@@ -1,0 +1,64 @@
+"""E-AGG — Scenario 1: flexibility loss of aggregation strategies.
+
+For the synthetic neighbourhood workload, aggregates the flex-offers with
+three strategies (grouping by similar time parameters, one single group, and
+fixed-size bins) and reports the flexibility retained under every applicable
+measure.  Expected shape (no absolute numbers in the paper): aggregation
+compresses the population, start-alignment preserves total energy
+flexibility exactly, and grouping by similar time parameters retains at least
+as much time/product flexibility as throwing everything into one group.
+"""
+
+import pytest
+
+from repro.aggregation import (
+    GroupingParameters,
+    aggregate_all,
+    compare_strategies,
+    group_all_together,
+    group_by_grid,
+    group_fixed_size,
+)
+from repro.analysis import format_loss_report
+
+from conftest import report
+
+MEASURES = ["time", "energy", "product", "vector", "series", "assignments"]
+
+
+def _run_strategies(originals):
+    strategies = {
+        "grouped(tes,tf)": aggregate_all(
+            group_by_grid(originals, GroupingParameters(4, 2)), prefix="grouped"
+        ),
+        "one-group": aggregate_all(group_all_together(originals), prefix="single"),
+        "bins-of-4": aggregate_all(group_fixed_size(originals, 4), prefix="bin"),
+    }
+    return compare_strategies(originals, strategies, MEASURES)
+
+
+def test_aggregation_flexibility_loss(benchmark, neighbourhood):
+    originals = list(neighbourhood.flex_offers)
+    reports = benchmark(_run_strategies, originals)
+
+    grouped = reports["grouped(tes,tf)"]
+    single = reports["one-group"]
+
+    # Start-alignment aggregation preserves the summed energy flexibility.
+    assert grouped.retained("energy") == pytest.approx(1.0)
+    # Aggregation reduces the number of flex-offers.
+    assert grouped.compression > 1.0
+    assert single.aggregate_count == 1
+    # Aggregation never creates time or product flexibility.
+    for strategy_report in reports.values():
+        assert strategy_report.retained("time") <= 1.0 + 1e-9
+        assert strategy_report.retained("product") <= 1.0 + 1e-9
+    # Grouping by similar time parameters retains at least as much time
+    # flexibility as one big group (the Scenario 1 motivation for grouping).
+    assert grouped.retained("time") >= single.retained("time") - 1e-9
+
+    report(
+        "Scenario 1 — aggregation flexibility loss "
+        f"({len(originals)} flex-offers)",
+        format_loss_report(reports, MEASURES).splitlines(),
+    )

@@ -1,0 +1,104 @@
+"""E-EX11 / E-EX12 / E-EX13 — the measure-limitation examples of Section 4.
+
+Three benchmarks, one per example:
+
+* Example 11: product flexibility collapses to zero when one dimension is
+  inflexible and cannot distinguish flex-offers whose energy needs differ by
+  two orders of magnitude.
+* Example 12: vector flexibility is equally size-blind (identical L1/L2 norms
+  for fx and fy).
+* Example 13: the time-series measure is blind to time flexibility (f1 and
+  its 10×-wider variant f1' obtain identical norms).
+"""
+
+import pytest
+
+from repro.measures import (
+    product_flexibility,
+    series_flexibility,
+    time_flexibility,
+    vector_flexibility_norm,
+)
+from repro.workloads import (
+    example11_large_flexoffer,
+    example11_small_flexoffer,
+    example11_zero_energy_flexoffer,
+    example13_wide_time_flexoffer,
+    figure2_flexoffer,
+)
+
+from conftest import report
+
+
+def test_ex11_product_limitations(benchmark):
+    zero_ef = example11_zero_energy_flexoffer()
+    small = example11_small_flexoffer()
+    large = example11_large_flexoffer()
+
+    values = benchmark(
+        lambda: (
+            product_flexibility(zero_ef),
+            product_flexibility(small),
+            product_flexibility(large),
+        )
+    )
+    zero_product, small_product, large_product = values
+
+    assert time_flexibility(zero_ef) == 6 and zero_product == 0
+    assert small_product == large_product == 8
+
+    report("Example 11 — product flexibility limitations", [
+        f"fx=([2,8],<[5,5]>)        paper product=0   measured={zero_product}",
+        f"fx=([1,3],<[1,5]>)        paper product=8   measured={small_product}",
+        f"fy=([1,3],<[101,105]>)    paper product=8   measured={large_product}",
+        "-> equal values despite a >100x difference in minimum energy need",
+    ])
+
+
+def test_ex12_vector_limitations(benchmark):
+    small = example11_small_flexoffer()
+    large = example11_large_flexoffer()
+
+    values = benchmark(
+        lambda: (
+            vector_flexibility_norm(small, "l1"),
+            vector_flexibility_norm(large, "l1"),
+            vector_flexibility_norm(small, "l2"),
+            vector_flexibility_norm(large, "l2"),
+        )
+    )
+    small_l1, large_l1, small_l2, large_l2 = values
+
+    assert small_l1 == large_l1 == 6
+    assert small_l2 == pytest.approx(4.472, abs=1e-3)
+    assert large_l2 == pytest.approx(4.472, abs=1e-3)
+
+    report("Example 12 — vector flexibility limitations", [
+        f"L1 norm   paper=6 for both       measured fx={small_l1}, fy={large_l1}",
+        f"L2 norm   paper=4.472 for both   measured fx={small_l2:.3f}, fy={large_l2:.3f}",
+    ])
+
+
+def test_ex13_series_limitations(benchmark):
+    narrow = figure2_flexoffer()
+    wide = example13_wide_time_flexoffer()
+
+    values = benchmark(
+        lambda: (
+            series_flexibility(narrow, "l1"),
+            series_flexibility(wide, "l1"),
+            series_flexibility(narrow, "l2"),
+            series_flexibility(wide, "l2"),
+        )
+    )
+    narrow_l1, wide_l1, narrow_l2, wide_l2 = values
+
+    assert time_flexibility(wide) == 10 * time_flexibility(narrow)
+    assert narrow_l1 == wide_l1 == 1
+    assert narrow_l2 == wide_l2 == 1
+
+    report("Example 13 — time-series flexibility limitations", [
+        f"f1  = ([0,1],<[0,1]>)   L1/L2 paper=1/1  measured={narrow_l1}/{narrow_l2}",
+        f"f1' = ([0,10],<[0,1]>)  L1/L2 paper=1/1  measured={wide_l1}/{wide_l2}",
+        "-> identical norms despite 10x more time flexibility",
+    ])

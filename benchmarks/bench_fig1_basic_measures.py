@@ -1,0 +1,52 @@
+"""E-F1 — Figure 1 / Examples 1-4: time, energy, product and vector measures.
+
+Reproduces tf = 5, ef = 12 and product = 60 for the Figure 1 flex-offer and
+reports the vector norms.  Note: the paper's Example 4 prints the vector as
+⟨5, 10⟩ (norms 15 / 11.180) although its own Example 2 derives ef = 12; the
+library follows Definition 4 (⟨tf, ef⟩ = ⟨5, 12⟩, norms 17 / 13.0) and the
+discrepancy is documented in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.measures import (
+    energy_flexibility,
+    product_flexibility,
+    time_flexibility,
+    vector_flexibility,
+    vector_flexibility_norm,
+)
+from repro.workloads import figure1_flexoffer
+
+from conftest import report
+
+
+def _all_basic_measures(flex_offer):
+    return (
+        time_flexibility(flex_offer),
+        energy_flexibility(flex_offer),
+        product_flexibility(flex_offer),
+        vector_flexibility(flex_offer),
+        vector_flexibility_norm(flex_offer, "l1"),
+        vector_flexibility_norm(flex_offer, "l2"),
+    )
+
+
+def test_fig1_basic_measures(benchmark):
+    flex_offer = figure1_flexoffer()
+    tf, ef, product, vector, l1, l2 = benchmark(_all_basic_measures, flex_offer)
+
+    assert tf == 5          # Example 1
+    assert ef == 12         # Example 2
+    assert product == 60    # Example 3
+    assert vector == (5, 12)
+    assert l1 == 17
+    assert l2 == pytest.approx(13.0)
+
+    report("Figure 1 / Examples 1-4", [
+        f"time flexibility        paper=5      measured={tf}",
+        f"energy flexibility      paper=12     measured={ef}",
+        f"product flexibility     paper=60     measured={product}",
+        f"vector (per Def. 4)     paper=<5,10>* measured={vector}  (*Example 4 typo, see EXPERIMENTS.md)",
+        f"vector L1 / L2          paper=15/11.180* measured={l1}/{l2:.3f}",
+    ])

@@ -1,0 +1,35 @@
+"""E-F2 — Figure 2 / Example 5: time-series flexibility of f1.
+
+Reproduces the difference series ⟨0, 1⟩, its L1 and L2 norms (both 1), and
+the 4-assignment count of the single-slice flex-offer f1.
+"""
+
+from repro.measures import assignment_flexibility, series_difference, series_flexibility
+from repro.workloads import figure2_flexoffer
+
+from conftest import report
+
+
+def _series_measures(flex_offer):
+    return (
+        series_difference(flex_offer).to_dict(),
+        series_flexibility(flex_offer, "l1"),
+        series_flexibility(flex_offer, "l2"),
+        assignment_flexibility(flex_offer),
+    )
+
+
+def test_fig2_series_flexibility(benchmark):
+    flex_offer = figure2_flexoffer()
+    difference, l1, l2, count = benchmark(_series_measures, flex_offer)
+
+    assert difference == {0: 0, 1: 1}
+    assert l1 == 1 and l2 == 1   # Example 5
+    assert count == 4            # "f1 has 4 assignments"
+
+    report("Figure 2 / Example 5", [
+        f"difference series       paper=<0,1>  measured={difference}",
+        f"series flexibility L1   paper=1      measured={l1}",
+        f"series flexibility L2   paper=1      measured={l2}",
+        f"number of assignments   paper=4      measured={count}",
+    ])

@@ -1,0 +1,25 @@
+"""E-F4 — Figure 4 / Example 7: the area of a single assignment.
+
+Reproduces the six grid cells covered by the assignment ⟨2, 1, 3⟩ starting at
+time 1.
+"""
+
+from repro.core import TimeSeries, series_area
+
+from conftest import report
+
+PAPER_CELLS = {(1, 0), (1, 1), (2, 0), (3, 0), (3, 1), (3, 2)}
+
+
+def test_fig4_assignment_area(benchmark):
+    series = TimeSeries(1, (2, 1, 3))
+    cells = benchmark(series_area, series)
+
+    assert cells == PAPER_CELLS
+
+    report("Figure 4 / Example 7", [
+        f"assignment              <2, 1, 3> starting at t=1",
+        f"area cells (paper)      {sorted(PAPER_CELLS)}",
+        f"area cells (measured)   {sorted(cells)}",
+        f"area size               paper=6      measured={len(cells)}",
+    ])

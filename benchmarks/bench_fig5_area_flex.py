@@ -1,0 +1,36 @@
+"""E-F5 — Figure 5 / Examples 8 and 10: area-based flexibility of f4.
+
+Reproduces union area 10, absolute area-based flexibility 8 and relative
+area-based flexibility 4 for f4 = ([0,4], ⟨[2,2]⟩) with cmin = cmax = 2.
+"""
+
+import pytest
+
+from repro.core import flexoffer_area_size
+from repro.measures import absolute_area_flexibility, relative_area_flexibility
+from repro.workloads import figure5_flexoffer
+
+from conftest import report
+
+
+def _area_measures(flex_offer):
+    return (
+        flexoffer_area_size(flex_offer),
+        absolute_area_flexibility(flex_offer),
+        relative_area_flexibility(flex_offer),
+    )
+
+
+def test_fig5_area_flexibility(benchmark):
+    flex_offer = figure5_flexoffer()
+    union, absolute, relative = benchmark(_area_measures, flex_offer)
+
+    assert union == 10
+    assert absolute == 8              # Example 8: 10 - 2
+    assert relative == pytest.approx(4.0)  # Example 10: 2*8 / (2+2)
+
+    report("Figure 5 / Examples 8 and 10 (f4)", [
+        f"union area               paper=10     measured={union}",
+        f"absolute area flexibility paper=8     measured={absolute}",
+        f"relative area flexibility paper=4     measured={relative}",
+    ])

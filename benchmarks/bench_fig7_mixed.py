@@ -1,0 +1,59 @@
+"""E-F7 — Figure 7 / Examples 14-15: the mixed flex-offer f6.
+
+Reproduces the 240-assignment count (and its tf=0 / ef=0 variants), the
+union area of 24 cells, and the Example 15 area-based values (32 and 6.4)
+obtained with the paper's own convention for mixed flex-offers.
+"""
+
+import pytest
+
+from repro.core import flexoffer_area_size
+from repro.measures import (
+    MixedPolicy,
+    absolute_area_flexibility,
+    assignment_flexibility,
+    energy_flexibility,
+    relative_area_flexibility,
+    time_flexibility,
+)
+from repro.workloads import figure7_flexoffer
+
+from conftest import report
+
+
+def _mixed_measures(flex_offer):
+    return (
+        time_flexibility(flex_offer),
+        energy_flexibility(flex_offer),
+        assignment_flexibility(flex_offer),
+        assignment_flexibility(flex_offer.without_time_flexibility()),
+        assignment_flexibility(flex_offer.without_energy_flexibility()),
+        flexoffer_area_size(flex_offer),
+        absolute_area_flexibility(flex_offer, MixedPolicy.PAPER_EXAMPLE),
+        relative_area_flexibility(flex_offer, MixedPolicy.PAPER_EXAMPLE),
+    )
+
+
+def test_fig7_mixed_flexoffer(benchmark):
+    flex_offer = figure7_flexoffer()
+    tf, ef, count, count_tf0, count_ef0, union, absolute, relative = benchmark(
+        _mixed_measures, flex_offer
+    )
+
+    assert (tf, ef) == (2, 10)
+    assert count == 240          # Example 14
+    assert count_tf0 == 80       # Example 14
+    assert count_ef0 == 3        # Example 14
+    assert union == 24           # Example 15
+    assert absolute == 32        # Example 15: 24 - (-8)
+    assert relative == pytest.approx(6.4)  # Example 15
+
+    report("Figure 7 / Examples 14-15 (mixed f6)", [
+        f"tf / ef                  paper=2/10   measured={tf}/{ef}",
+        f"assignments              paper=240    measured={count}",
+        f"assignments, tf=0        paper=80     measured={count_tf0}",
+        f"assignments, ef=0        paper=3      measured={count_ef0}",
+        f"union area               paper=24     measured={union}",
+        f"absolute area (Ex. 15)   paper=32     measured={absolute}",
+        f"relative area (Ex. 15)   paper=6.4    measured={relative}",
+    ])

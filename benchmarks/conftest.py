@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper (or one
+extended experiment from the discussion / future-work sections).  Each module
+both *asserts* the paper's reported values (so a benchmark run doubles as a
+reproduction check) and times the relevant code path with pytest-benchmark.
+The ``report`` helper prints the reproduced rows so the console output of
+``pytest benchmarks/ --benchmark-only`` can be compared against the paper
+side by side; the printed values are also recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, lines: list[str]) -> None:
+    """Print a small reproduction report block."""
+    print()
+    print(f"=== {title} ===")
+    for line in lines:
+        print(f"  {line}")
+
+
+@pytest.fixture(scope="session")
+def neighbourhood():
+    """The Scenario 1 workload shared by the aggregation/scheduling benches."""
+    from repro.workloads import neighbourhood_scenario
+
+    return neighbourhood_scenario(households=24, seed=7, horizon=32)
+
+
+@pytest.fixture(scope="session")
+def balancing():
+    """The Scenario 2 workload (contains production and mixed flex-offers)."""
+    from repro.workloads import balancing_scenario
+
+    return balancing_scenario(units=16, seed=11, horizon=32)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: build a flex-offer and evaluate all eight flexibility measures.
+
+Recreates the paper's Figure 1 flex-offer, prints every measure the paper
+proposes (Section 3), and regenerates the Table 1 characteristics matrix.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    FlexOffer,
+    absolute_area_flexibility,
+    assignment_flexibility,
+    energy_flexibility,
+    format_characteristics_table,
+    product_flexibility,
+    relative_area_flexibility,
+    series_flexibility,
+    time_flexibility,
+    vector_flexibility,
+    vector_flexibility_norm,
+)
+
+
+def main() -> None:
+    # The flex-offer of Figure 1: start anywhere in [1, 6], four one-hour
+    # slices with the energy ranges [1,3], [2,4], [0,5], [0,3].
+    flex_offer = FlexOffer(1, 6, [(1, 3), (2, 4), (0, 5), (0, 3)], name="figure-1")
+    print(f"Flex-offer: {flex_offer}")
+    print()
+
+    print("Individual flexibility dimensions (Section 3.1)")
+    print(f"  time flexibility    tf(f) = {time_flexibility(flex_offer)}")
+    print(f"  energy flexibility  ef(f) = {energy_flexibility(flex_offer)}")
+    print()
+
+    print("Combined measures (Section 3.2)")
+    print(f"  product flexibility          = {product_flexibility(flex_offer)}")
+    print(f"  vector flexibility           = {vector_flexibility(flex_offer)}")
+    print(f"    Manhattan norm             = {vector_flexibility_norm(flex_offer, 'l1'):.3f}")
+    print(f"    Euclidean norm             = {vector_flexibility_norm(flex_offer, 'l2'):.3f}")
+    print(f"  time-series flexibility (L1) = {series_flexibility(flex_offer, 'l1'):.3f}")
+    print(f"  time-series flexibility (L2) = {series_flexibility(flex_offer, 'l2'):.3f}")
+    print(f"  assignment flexibility       = {assignment_flexibility(flex_offer)}")
+    print(f"  absolute area flexibility    = {absolute_area_flexibility(flex_offer)}")
+    print(f"  relative area flexibility    = {relative_area_flexibility(flex_offer):.3f}")
+    print()
+
+    print("Table 1 — characteristics of the proposed measures")
+    print(format_characteristics_table())
+
+
+if __name__ == "__main__":
+    main()

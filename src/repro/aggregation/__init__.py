@@ -1,0 +1,33 @@
+"""Flex-offer aggregation and disaggregation (Scenario 1 of the paper)."""
+
+from .alignment import aggregate_all, aggregate_start_aligned
+from .balance import BalanceAggregationResult, balance_aggregate, expected_total_energy
+from .base import AggregatedFlexOffer, align_profiles
+from .disaggregation import disaggregate
+from .grouping import (
+    GroupingParameters,
+    group_all_together,
+    group_by_grid,
+    group_by_kind,
+    group_fixed_size,
+)
+from .loss import AggregationLossReport, aggregation_loss, compare_strategies
+
+__all__ = [
+    "AggregatedFlexOffer",
+    "align_profiles",
+    "aggregate_start_aligned",
+    "aggregate_all",
+    "balance_aggregate",
+    "BalanceAggregationResult",
+    "expected_total_energy",
+    "disaggregate",
+    "GroupingParameters",
+    "group_by_grid",
+    "group_all_together",
+    "group_fixed_size",
+    "group_by_kind",
+    "AggregationLossReport",
+    "aggregation_loss",
+    "compare_strategies",
+]

@@ -1,0 +1,111 @@
+"""Balance-aware aggregation (Valsomatzis et al., DARE 2014 [14]).
+
+The TotalFlex project uses aggregation not only to reduce the number of
+flex-offers but also to *partially handle the balancing task*: pairing
+consumption (positive) with production (negative) flex-offers so the
+aggregate's total energy is close to zero.  The resulting aggregates are
+typically **mixed** flex-offers — which is exactly why Section 4 of the paper
+argues that measures unable to express mixed flex-offers (the area-based
+ones) are inappropriate for this scenario, while the vector and assignment
+measures remain applicable.
+
+The implementation is a greedy bipartite pairing: consumption and production
+flex-offers are sorted by the magnitude of their expected total energy and
+matched largest-against-largest; leftovers are grouped among themselves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.flexoffer import FlexOffer
+from .alignment import aggregate_start_aligned
+from .base import AggregatedFlexOffer
+
+__all__ = ["BalanceAggregationResult", "balance_aggregate", "expected_total_energy"]
+
+
+def expected_total_energy(flex_offer: FlexOffer) -> float:
+    """The midpoint of the flex-offer's total energy range.
+
+    Used as the single-number summary of how much energy the flex-offer is
+    expected to add to (positive) or remove from (negative) the grid.
+    """
+    return (flex_offer.cmin + flex_offer.cmax) / 2.0
+
+
+@dataclass(frozen=True)
+class BalanceAggregationResult:
+    """Outcome of balance-aware aggregation."""
+
+    #: The aggregates, each pairing consumption with production where possible.
+    aggregates: tuple[AggregatedFlexOffer, ...]
+    #: Expected total energy (sum of member midpoints) per aggregate.
+    expected_imbalance: tuple[float, ...]
+
+    @property
+    def total_expected_imbalance(self) -> float:
+        """Absolute expected imbalance summed over all aggregates."""
+        return sum(abs(value) for value in self.expected_imbalance)
+
+    @property
+    def mixed_count(self) -> int:
+        """How many aggregates came out as mixed flex-offers."""
+        return sum(
+            1 for aggregate in self.aggregates if aggregate.flex_offer.is_mixed
+        )
+
+
+def balance_aggregate(
+    flex_offers: Sequence[FlexOffer],
+    pair_size: int = 2,
+) -> BalanceAggregationResult:
+    """Aggregate flex-offers so that aggregates are as balanced as possible.
+
+    Parameters
+    ----------
+    flex_offers:
+        Any mix of consumption and production flex-offers.
+    pair_size:
+        How many flex-offers of *each* sign may be combined into one
+        aggregate before a new aggregate is started (1 pairs one consumer
+        with one producer; larger values build bigger balanced blocks).
+
+    Returns
+    -------
+    BalanceAggregationResult
+        Aggregates whose expected total energy is driven towards zero.
+    """
+    consumers = sorted(
+        (f for f in flex_offers if expected_total_energy(f) >= 0),
+        key=lambda f: -abs(expected_total_energy(f)),
+    )
+    producers = sorted(
+        (f for f in flex_offers if expected_total_energy(f) < 0),
+        key=lambda f: -abs(expected_total_energy(f)),
+    )
+    groups: list[list[FlexOffer]] = []
+    while consumers and producers:
+        group: list[FlexOffer] = []
+        for _ in range(max(1, pair_size)):
+            if consumers:
+                group.append(consumers.pop(0))
+            if producers:
+                group.append(producers.pop(0))
+        groups.append(group)
+    for leftovers in (consumers, producers):
+        for start in range(0, len(leftovers), max(1, pair_size)):
+            chunk = leftovers[start:start + max(1, pair_size)]
+            if chunk:
+                groups.append(list(chunk))
+
+    aggregates = tuple(
+        aggregate_start_aligned(group, name=f"balanced-{index}")
+        for index, group in enumerate(groups)
+    )
+    imbalance = tuple(
+        sum(expected_total_energy(member) for member in aggregate.members)
+        for aggregate in aggregates
+    )
+    return BalanceAggregationResult(aggregates, imbalance)

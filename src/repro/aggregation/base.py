@@ -1,0 +1,96 @@
+"""Aggregation primitives: the aggregated flex-offer and its bookkeeping.
+
+Scenario 1 of the paper motivates *flex-offer aggregation*: combining many
+small flex-offers into fewer, larger ones to reduce scheduling complexity and
+to create tradable commodities (Scenario 2), while "retaining as much as
+possible of their flexibility".  An aggregated flex-offer is itself a regular
+:class:`~repro.core.flexoffer.FlexOffer`, so every flexibility measure applies
+to it unchanged; this module adds the bookkeeping needed to later
+*disaggregate* an assignment of the aggregate back to its members
+(Šikšnys et al., SSDBM 2012 [15]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..core.errors import AggregationError
+from ..core.flexoffer import FlexOffer
+from ..core.slices import EnergySlice
+
+__all__ = ["AggregatedFlexOffer", "align_profiles"]
+
+
+@dataclass(frozen=True)
+class AggregatedFlexOffer:
+    """An aggregated flex-offer together with its member bookkeeping.
+
+    Attributes
+    ----------
+    flex_offer:
+        The aggregate itself — an ordinary flex-offer, usable with every
+        measure, scheduler and market primitive in the library.
+    members:
+        The original flex-offers that were aggregated.
+    member_offsets:
+        For each member, the offset (in time units) of its own earliest start
+        relative to the aggregate's earliest start.  When the aggregate is
+        assigned a start time ``T``, member ``i`` starts at
+        ``T + member_offsets[i]``.
+    """
+
+    flex_offer: FlexOffer
+    members: tuple[FlexOffer, ...]
+    member_offsets: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.members) != len(self.member_offsets):
+            raise AggregationError(
+                f"{len(self.members)} members but {len(self.member_offsets)} offsets"
+            )
+        if not self.members:
+            raise AggregationError("an aggregated flex-offer needs at least one member")
+
+    @property
+    def size(self) -> int:
+        """Number of member flex-offers."""
+        return len(self.members)
+
+    def member_start(self, aggregate_start: int, index: int) -> int:
+        """The start time of member ``index`` for a given aggregate start time."""
+        return aggregate_start + self.member_offsets[index]
+
+    def describe(self) -> dict[str, object]:
+        """A serialisable summary of the aggregate."""
+        return {
+            "name": self.flex_offer.name,
+            "members": [member.name for member in self.members],
+            "member_offsets": list(self.member_offsets),
+            "time_flexibility": self.flex_offer.time_flexibility,
+            "energy_flexibility": self.flex_offer.energy_flexibility,
+        }
+
+
+def align_profiles(
+    members: Sequence[FlexOffer],
+) -> tuple[int, list[int], list[list[EnergySlice]]]:
+    """Align member profiles on an absolute time grid anchored at the earliest start.
+
+    Every member is assumed to start at its own earliest start time; the
+    anchor of the aggregate is the minimum of those.  Returns the anchor, the
+    per-member offsets from the anchor, and — per grid column — the list of
+    member slices that cover that column.
+    """
+    if not members:
+        raise AggregationError("cannot align an empty set of flex-offers")
+    anchor = min(member.earliest_start for member in members)
+    offsets = [member.earliest_start - anchor for member in members]
+    horizon = max(
+        offset + member.duration for offset, member in zip(offsets, members)
+    )
+    columns: list[list[EnergySlice]] = [[] for _ in range(horizon)]
+    for offset, member in zip(offsets, members):
+        for index, energy_slice in enumerate(member.slices):
+            columns[offset + index].append(energy_slice)
+    return anchor, offsets, columns

@@ -1,0 +1,198 @@
+"""Disaggregation: distributing an aggregate assignment to its members.
+
+The value of flex-offer aggregation (Scenario 1 of the paper) rests on the
+ability to *disaggregate*: once the scheduler or the market fixes an
+assignment for the aggregated flex-offer, every original prosumer needs a
+valid assignment of its own flex-offer such that the member assignments sum
+back to the aggregate assignment column by column.
+
+The algorithm for start-aligned aggregates works in three steps:
+
+1. the common start shift of the aggregate is applied to every member;
+2. every column's energy is split among the member slices covering it,
+   greedily within each member's slice ranges (always feasible, because each
+   aggregate slice is the Minkowski sum of the member slices it covers);
+3. a repair pass transfers energy between members *inside the same column*
+   (keeping every column sum intact) until every member's total energy lies
+   within its ``[cmin, cmax]``; if no feasible transfer remains a
+   :class:`DisaggregationError` is raised.
+"""
+
+from __future__ import annotations
+
+from ..core.assignment import Assignment
+from ..core.errors import DisaggregationError
+from ..core.flexoffer import FlexOffer
+from ..core.slices import EnergySlice
+from .base import AggregatedFlexOffer
+
+__all__ = ["disaggregate"]
+
+
+def _split_column(amount: int, bounds: list[EnergySlice]) -> list[int]:
+    """Split ``amount`` into one value per bound, greedily left to right."""
+    values = [bound.amin for bound in bounds]
+    surplus = amount - sum(values)
+    if surplus < 0:
+        raise DisaggregationError(
+            f"column amount {amount} below the sum of member minima {sum(values)}"
+        )
+    for index, bound in enumerate(bounds):
+        if surplus <= 0:
+            break
+        take = min(bound.amax - values[index], surplus)
+        values[index] += take
+        surplus -= take
+    if surplus > 0:
+        raise DisaggregationError(
+            f"column amount {amount} exceeds the sum of member maxima"
+        )
+    return values
+
+
+def _transfer_within_columns(
+    members: tuple[FlexOffer, ...],
+    offsets: tuple[int, ...],
+    bounds: list[tuple[EnergySlice, ...]],
+    member_values: list[list[int]],
+) -> None:
+    """Move energy between members sharing a column until totals are feasible.
+
+    Transfers keep every column sum unchanged, so the disaggregated
+    assignments always add up to the aggregate assignment; only the split of
+    each column between members changes.
+    """
+    column_members: dict[int, list[int]] = {}
+    for member_index, (member, offset) in enumerate(zip(members, offsets)):
+        for slice_index in range(member.duration):
+            column_members.setdefault(offset + slice_index, []).append(member_index)
+
+    for _ in range(len(members) * max(1, len(column_members))):
+        totals = [sum(values) for values in member_values]
+        over = [i for i, member in enumerate(members) if totals[i] > member.cmax]
+        under = [i for i, member in enumerate(members) if totals[i] < member.cmin]
+        if not over and not under:
+            return
+        progressed = False
+        # Members above cmax hand energy to column-mates that can absorb it;
+        # members below cmin receive energy from column-mates that can spare it.
+        for donors, receivers_needed in ((over, False), (under, True)):
+            for donor in donors:
+                need = (
+                    members[donor].cmin - sum(member_values[donor])
+                    if receivers_needed
+                    else sum(member_values[donor]) - members[donor].cmax
+                )
+                if need <= 0:
+                    continue
+                offset = offsets[donor]
+                for slice_index in range(members[donor].duration):
+                    if need <= 0:
+                        break
+                    column = offset + slice_index
+                    for other in column_members.get(column, []):
+                        if other == donor or need <= 0:
+                            continue
+                        other_slice_index = column - offsets[other]
+                        donor_value = member_values[donor][slice_index]
+                        other_value = member_values[other][other_slice_index]
+                        donor_bound = bounds[donor][slice_index]
+                        other_bound = bounds[other][other_slice_index]
+                        other_total = sum(member_values[other])
+                        if receivers_needed:
+                            # donor must gain energy; the other member gives it up.
+                            transferable = min(
+                                donor_bound.amax - donor_value,
+                                other_value - other_bound.amin,
+                                other_total - members[other].cmin,
+                                need,
+                            )
+                            if transferable > 0:
+                                member_values[donor][slice_index] += transferable
+                                member_values[other][other_slice_index] -= transferable
+                                need -= transferable
+                                progressed = True
+                        else:
+                            # donor must shed energy; the other member absorbs it.
+                            transferable = min(
+                                donor_value - donor_bound.amin,
+                                other_bound.amax - other_value,
+                                members[other].cmax - other_total,
+                                need,
+                            )
+                            if transferable > 0:
+                                member_values[donor][slice_index] -= transferable
+                                member_values[other][other_slice_index] += transferable
+                                need -= transferable
+                                progressed = True
+        if not progressed:
+            break
+
+    totals = [sum(values) for values in member_values]
+    for member, total in zip(members, totals):
+        if not member.cmin <= total <= member.cmax:
+            raise DisaggregationError(
+                f"cannot satisfy the total constraints of member {member.name!r}: "
+                f"total {total} outside [{member.cmin}, {member.cmax}]"
+            )
+
+
+def disaggregate(
+    aggregated: AggregatedFlexOffer, assignment: Assignment
+) -> list[Assignment]:
+    """Disaggregate an assignment of the aggregate into member assignments.
+
+    Parameters
+    ----------
+    aggregated:
+        The aggregate produced by
+        :func:`repro.aggregation.alignment.aggregate_start_aligned`.
+    assignment:
+        A valid assignment of ``aggregated.flex_offer``.
+
+    Returns
+    -------
+    list[Assignment]
+        One valid assignment per member, in member order; their series sum to
+        the aggregate assignment column by column (and therefore in total).
+
+    Raises
+    ------
+    DisaggregationError
+        If the assignment does not belong to the aggregate or no feasible
+        split exists.
+    """
+    aggregate = aggregated.flex_offer
+    if assignment.flex_offer is not aggregate and assignment.flex_offer != aggregate:
+        raise DisaggregationError(
+            "the assignment does not instantiate the aggregated flex-offer"
+        )
+    shift = assignment.start_time - aggregate.earliest_start
+
+    members = aggregated.members
+    offsets = aggregated.member_offsets
+    bounds = [member.effective_slice_bounds() for member in members]
+
+    # Which (member, slice) pairs cover each column, in member order.
+    column_owners: dict[int, list[tuple[int, int]]] = {}
+    for member_index, (member, offset) in enumerate(zip(members, offsets)):
+        for slice_index in range(member.duration):
+            column_owners.setdefault(offset + slice_index, []).append(
+                (member_index, slice_index)
+            )
+
+    member_values: list[list[int]] = [[0] * member.duration for member in members]
+    for column, owners in sorted(column_owners.items()):
+        amount = int(assignment.values[column]) if column < len(assignment.values) else 0
+        owner_bounds = [bounds[m][s] for m, s in owners]
+        split = _split_column(amount, owner_bounds)
+        for (member_index, slice_index), value in zip(owners, split):
+            member_values[member_index][slice_index] = value
+
+    _transfer_within_columns(members, offsets, bounds, member_values)
+
+    assignments: list[Assignment] = []
+    for member, offset, values in zip(members, offsets, member_values):
+        start = member.earliest_start + shift
+        assignments.append(Assignment(member, start, tuple(values)))
+    return assignments

@@ -1,0 +1,23 @@
+"""Analysis utilities: comparison matrices, statistics and text reporting."""
+
+from .comparison import MeasurementMatrix, measure_matrix, ranking_agreement
+from .reporting import format_comparison, format_loss_report, format_table
+from .statistics import (
+    SummaryStatistics,
+    measure_summary,
+    population_summary,
+    summarise,
+)
+
+__all__ = [
+    "MeasurementMatrix",
+    "measure_matrix",
+    "ranking_agreement",
+    "format_table",
+    "format_comparison",
+    "format_loss_report",
+    "SummaryStatistics",
+    "summarise",
+    "population_summary",
+    "measure_summary",
+]

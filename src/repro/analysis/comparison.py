@@ -1,0 +1,124 @@
+"""Cross-measure comparison of flex-offers.
+
+The whole point of the paper is to *compare* flexibilities: which of two
+flex-offers is more flexible, and does the answer depend on the measure?
+This module builds the comparison matrices that the examples, benchmarks and
+EXPERIMENTS.md report: every flex-offer evaluated under every applicable
+measure, pairwise dominance, and per-measure rankings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.flexoffer import FlexOffer
+from ..measures.base import FlexibilityMeasure
+from ..measures.setwise import MeasureSpec, resolve_measures
+
+__all__ = ["MeasurementMatrix", "measure_matrix", "ranking_agreement"]
+
+
+@dataclass(frozen=True)
+class MeasurementMatrix:
+    """All flex-offers × all measures, with unsupported cells left as ``None``."""
+
+    #: Row labels (flex-offer names, generated when unnamed).
+    flexoffer_names: tuple[str, ...]
+    #: Column labels (measure keys).
+    measure_keys: tuple[str, ...]
+    #: ``values[row][column]`` — ``None`` when the measure rejects the flex-offer.
+    values: tuple[tuple[Optional[float], ...], ...]
+
+    def value(self, flexoffer_name: str, measure_key: str) -> Optional[float]:
+        """Look up one cell by labels."""
+        row = self.flexoffer_names.index(flexoffer_name)
+        column = self.measure_keys.index(measure_key)
+        return self.values[row][column]
+
+    def column(self, measure_key: str) -> dict[str, Optional[float]]:
+        """All flex-offer values under one measure."""
+        column = self.measure_keys.index(measure_key)
+        return {
+            name: self.values[row][column]
+            for row, name in enumerate(self.flexoffer_names)
+        }
+
+    def ranking(self, measure_key: str) -> list[str]:
+        """Flex-offer names ordered by decreasing flexibility under one measure.
+
+        Flex-offers the measure does not support are omitted.
+        """
+        scored = [
+            (name, value)
+            for name, value in self.column(measure_key).items()
+            if value is not None
+        ]
+        return [name for name, _ in sorted(scored, key=lambda item: -item[1])]
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """The matrix as a list of dictionaries (for CSV export / reporting)."""
+        rows = []
+        for row, name in enumerate(self.flexoffer_names):
+            entry: dict[str, object] = {"flex_offer": name}
+            for column, key in enumerate(self.measure_keys):
+                entry[key] = self.values[row][column]
+            rows.append(entry)
+        return rows
+
+
+def measure_matrix(
+    flex_offers: Sequence[FlexOffer],
+    measures: Optional[Iterable[MeasureSpec]] = None,
+) -> MeasurementMatrix:
+    """Evaluate every flex-offer under every measure.
+
+    Unsupported combinations (e.g. area-based measures on mixed flex-offers)
+    yield ``None`` instead of raising, so the matrix always has full shape.
+    """
+    resolved = resolve_measures(measures)
+    names = tuple(
+        flex_offer.name or f"flex-offer-{index}"
+        for index, flex_offer in enumerate(flex_offers)
+    )
+    rows = []
+    for flex_offer in flex_offers:
+        row: list[Optional[float]] = []
+        for measure in resolved:
+            row.append(measure.value(flex_offer) if measure.supports(flex_offer) else None)
+        rows.append(tuple(row))
+    return MeasurementMatrix(names, tuple(m.key for m in resolved), tuple(rows))
+
+
+def ranking_agreement(
+    matrix: MeasurementMatrix, measure_a: str, measure_b: str
+) -> float:
+    """Pairwise ranking agreement between two measures (1.0 = identical order).
+
+    Computed as the fraction of flex-offer pairs ordered the same way by both
+    measures (Kendall-style concordance over the pairs both measures can
+    rank).  Ties count as agreement only when both measures tie.
+    """
+    column_a = matrix.column(measure_a)
+    column_b = matrix.column(measure_b)
+    names = [
+        name
+        for name in matrix.flexoffer_names
+        if column_a[name] is not None and column_b[name] is not None
+    ]
+    if len(names) < 2:
+        return 1.0
+    agreements = 0
+    comparisons = 0
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            first, second = names[i], names[j]
+            delta_a = column_a[first] - column_a[second]  # type: ignore[operator]
+            delta_b = column_b[first] - column_b[second]  # type: ignore[operator]
+            comparisons += 1
+            if (delta_a > 0 and delta_b > 0) or (delta_a < 0 and delta_b < 0):
+                agreements += 1
+            elif delta_a == 0 and delta_b == 0:
+                agreements += 1
+    return agreements / comparisons

@@ -1,0 +1,86 @@
+"""Plain-text reporting used by the examples and benchmark harness.
+
+The paper reports its evaluation as tables (Table 1) and worked examples; the
+benchmark harness re-creates those as fixed-width text tables on stdout so a
+reader can compare them against the paper side by side without any plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Optional
+
+__all__ = ["format_table", "format_comparison", "format_loss_report"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_digits: int = 3,
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are rounded to ``float_digits``; ``None`` cells print as ``-``.
+    """
+    def render(cell: object) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, bool):
+            return "Yes" if cell else "No"
+        if isinstance(cell, float):
+            return f"{cell:.{float_digits}f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    all_rows = [list(headers)] + rendered
+    widths = [
+        max(len(row[column]) for row in all_rows) for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line.rstrip())
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(
+    comparison: Mapping[str, Mapping[str, float]], title: Optional[str] = None
+) -> str:
+    """Render the output of :func:`repro.measures.compare_sets` as a table."""
+    headers = ["measure", "before", "after", "loss", "retained"]
+    rows = [
+        [key, stats["before"], stats["after"], stats["loss"], stats["retained"]]
+        for key, stats in comparison.items()
+    ]
+    return format_table(headers, rows, title)
+
+
+def format_loss_report(reports: Mapping[str, object], measure_keys: Sequence[str]) -> str:
+    """Render per-strategy aggregation-loss reports side by side.
+
+    ``reports`` maps strategy name to
+    :class:`repro.aggregation.AggregationLossReport`; the table shows the
+    retained fraction per measure plus the compression factor.
+    """
+    headers = ["strategy", "aggregates", "compression"] + [
+        f"retained[{key}]" for key in measure_keys
+    ]
+    rows = []
+    for name, report in reports.items():
+        row: list[object] = [name, report.aggregate_count, report.compression]
+        for key in measure_keys:
+            row.append(
+                report.per_measure[key]["retained"] if key in report.per_measure else None
+            )
+        rows.append(row)
+    return format_table(headers, rows, "Aggregation flexibility loss by strategy")

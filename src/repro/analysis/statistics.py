@@ -1,0 +1,76 @@
+"""Descriptive statistics over flex-offer populations.
+
+Small numeric helpers shared by the benchmarks and examples: distribution
+summaries of time/energy flexibility across a population, and measure-value
+summaries that EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.flexoffer import FlexOffer
+from ..measures.base import FlexibilityMeasure
+from ..measures.setwise import MeasureSpec, resolve_measures
+
+__all__ = ["SummaryStatistics", "summarise", "population_summary", "measure_summary"]
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        """The summary as a plain dictionary (for CSV / report rows)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+def summarise(values: Iterable[float]) -> SummaryStatistics:
+    """Summary statistics of a numeric sample (empty sample → all zeros)."""
+    sample = [float(value) for value in values]
+    if not sample:
+        return SummaryStatistics(0, 0.0, 0.0, 0.0, 0.0)
+    mean = sum(sample) / len(sample)
+    variance = sum((value - mean) ** 2 for value in sample) / len(sample)
+    return SummaryStatistics(
+        len(sample), mean, math.sqrt(variance), min(sample), max(sample)
+    )
+
+
+def population_summary(flex_offers: Sequence[FlexOffer]) -> dict[str, SummaryStatistics]:
+    """Time-flexibility, energy-flexibility and duration summaries of a population."""
+    return {
+        "time_flexibility": summarise(f.time_flexibility for f in flex_offers),
+        "energy_flexibility": summarise(f.energy_flexibility for f in flex_offers),
+        "duration": summarise(f.duration for f in flex_offers),
+        "expected_energy": summarise((f.cmin + f.cmax) / 2 for f in flex_offers),
+    }
+
+
+def measure_summary(
+    flex_offers: Sequence[FlexOffer],
+    measure: MeasureSpec,
+) -> SummaryStatistics:
+    """Summary of one measure's values over the flex-offers it supports."""
+    resolved: FlexibilityMeasure = resolve_measures([measure])[0]
+    values = [
+        resolved.value(flex_offer)
+        for flex_offer in flex_offers
+        if resolved.supports(flex_offer)
+    ]
+    return summarise(values)

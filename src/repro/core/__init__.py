@@ -1,0 +1,89 @@
+"""Core flex-offer model: slices, flex-offers, assignments, areas.
+
+This subpackage implements Section 2 of the paper (Definitions 1 and 2) plus
+the assignment/areas machinery (Definitions 5, 6, 8, 9) that the flexibility
+measures in :mod:`repro.measures` build upon.
+"""
+
+from .area import (
+    GridCell,
+    assignment_area,
+    assignment_area_size,
+    flexoffer_area,
+    flexoffer_area_size,
+    flexoffer_column_extents,
+    series_area,
+    union_area_size,
+)
+from .assignment import Assignment, assignment_violations, validate_assignment
+from .enumeration import (
+    count_assignments,
+    count_assignments_constrained,
+    count_profiles_constrained,
+    enumerate_assignments,
+    enumerate_profiles,
+    enumerate_start_times,
+)
+from .errors import (
+    AggregationError,
+    DisaggregationError,
+    FlexError,
+    InvalidAssignmentError,
+    InvalidFlexOfferError,
+    InvalidSliceError,
+    InvalidTimeSeriesError,
+    MarketError,
+    MeasureError,
+    SchedulingError,
+    SerializationError,
+    UnsupportedFlexOfferError,
+    WorkloadError,
+)
+from .flexoffer import FlexOffer, FlexOfferKind
+from .slices import EnergySlice, parse_slices
+from .timeseries import TimeSeries
+
+__all__ = [
+    # time series
+    "TimeSeries",
+    # slices
+    "EnergySlice",
+    "parse_slices",
+    # flex-offers
+    "FlexOffer",
+    "FlexOfferKind",
+    # assignments
+    "Assignment",
+    "assignment_violations",
+    "validate_assignment",
+    # enumeration
+    "count_assignments",
+    "count_assignments_constrained",
+    "count_profiles_constrained",
+    "enumerate_assignments",
+    "enumerate_profiles",
+    "enumerate_start_times",
+    # area geometry
+    "GridCell",
+    "assignment_area",
+    "assignment_area_size",
+    "series_area",
+    "flexoffer_area",
+    "flexoffer_area_size",
+    "flexoffer_column_extents",
+    "union_area_size",
+    # errors
+    "FlexError",
+    "InvalidFlexOfferError",
+    "InvalidAssignmentError",
+    "InvalidSliceError",
+    "InvalidTimeSeriesError",
+    "MeasureError",
+    "UnsupportedFlexOfferError",
+    "AggregationError",
+    "DisaggregationError",
+    "SchedulingError",
+    "MarketError",
+    "SerializationError",
+    "WorkloadError",
+]

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the flex-offer library.
+
+All exceptions raised by :mod:`repro` derive from :class:`FlexError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FlexError",
+    "InvalidFlexOfferError",
+    "InvalidAssignmentError",
+    "InvalidSliceError",
+    "InvalidTimeSeriesError",
+    "MeasureError",
+    "UnsupportedFlexOfferError",
+    "AggregationError",
+    "DisaggregationError",
+    "SchedulingError",
+    "MarketError",
+    "SerializationError",
+    "WorkloadError",
+]
+
+
+class FlexError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class InvalidFlexOfferError(FlexError, ValueError):
+    """A flex-offer violates the structural constraints of Definition 1.
+
+    Examples include an empty profile, a latest start time that precedes the
+    earliest start time, or total energy constraints outside the bounds
+    implied by the slice ranges.
+    """
+
+
+class InvalidSliceError(FlexError, ValueError):
+    """An energy slice has an empty range (``amin > amax``) or bad types."""
+
+
+class InvalidAssignmentError(FlexError, ValueError):
+    """An assignment violates the constraints of Definition 2.
+
+    Raised when the start time falls outside the start-time flexibility
+    interval, a slice value falls outside its energy range, or the total
+    energy violates the flex-offer's total constraints.
+    """
+
+
+class InvalidTimeSeriesError(FlexError, ValueError):
+    """A time series is malformed (e.g. negative start time, empty values)."""
+
+
+class MeasureError(FlexError):
+    """Base class for failures while evaluating a flexibility measure."""
+
+
+class UnsupportedFlexOfferError(MeasureError, TypeError):
+    """A measure was applied to a flex-offer class it does not support.
+
+    The canonical example is applying the absolute or relative area-based
+    flexibility measure to a *mixed* flex-offer (Section 4 of the paper)
+    without explicitly opting in to the Example 15 convention.
+    """
+
+
+class AggregationError(FlexError):
+    """Aggregation of a set of flex-offers failed."""
+
+
+class DisaggregationError(FlexError):
+    """An aggregated assignment could not be disaggregated to its members."""
+
+
+class SchedulingError(FlexError):
+    """The scheduler could not produce a valid schedule."""
+
+
+class MarketError(FlexError):
+    """A market operation (bid, clearing, settlement) was invalid."""
+
+
+class SerializationError(FlexError, ValueError):
+    """A flex-offer or schedule could not be (de)serialised."""
+
+
+class WorkloadError(FlexError, ValueError):
+    """A workload/scenario specification was invalid."""

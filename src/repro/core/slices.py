@@ -1,0 +1,180 @@
+"""Energy slices — the per-time-unit energy ranges of a flex-offer profile.
+
+Definition 1 of the paper models a flex-offer's energy profile as a sequence
+of consecutive *slices*; each slice is an energy range ``[amin, amax]`` with a
+duration of one time unit.  :class:`EnergySlice` is the exact, hashable value
+type for one such range.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from .errors import InvalidSliceError
+
+__all__ = ["EnergySlice", "parse_slices"]
+
+
+def _check_int(value: object, label: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InvalidSliceError(f"{label} must be an integer, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True, order=True)
+class EnergySlice:
+    """An inclusive integer energy range ``[amin, amax]`` for one time unit.
+
+    Positive values represent consumption, negative values production
+    (Section 2 of the paper).  A slice with ``amin == amax`` is *inflexible*:
+    it admits exactly one energy value.
+
+    Examples
+    --------
+    >>> s = EnergySlice(1, 3)
+    >>> s.width
+    2
+    >>> s.count
+    3
+    >>> 2 in s
+    True
+    """
+
+    amin: int
+    amax: int
+
+    def __post_init__(self) -> None:
+        _check_int(self.amin, "amin")
+        _check_int(self.amax, "amax")
+        if self.amin > self.amax:
+            raise InvalidSliceError(
+                f"slice minimum {self.amin} exceeds maximum {self.amax}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Range characteristics
+    # ------------------------------------------------------------------ #
+    @property
+    def width(self) -> int:
+        """Energy flexibility of the slice: ``amax - amin``."""
+        return self.amax - self.amin
+
+    @property
+    def count(self) -> int:
+        """Number of admissible integer energy values: ``amax - amin + 1``.
+
+        This is the per-slice factor of the assignment flexibility measure
+        (Definition 8).
+        """
+        return self.amax - self.amin + 1
+
+    @property
+    def midpoint(self) -> float:
+        """Arithmetic mean of the bounds."""
+        return (self.amin + self.amax) / 2.0
+
+    @property
+    def is_flexible(self) -> bool:
+        """``True`` when the slice admits more than one energy value."""
+        return self.amax > self.amin
+
+    # ------------------------------------------------------------------ #
+    # Sign classification (Section 2: positive / negative / mixed)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_consumption(self) -> bool:
+        """``True`` when every admissible value is non-negative."""
+        return self.amin >= 0
+
+    @property
+    def is_production(self) -> bool:
+        """``True`` when every admissible value is non-positive."""
+        return self.amax <= 0
+
+    @property
+    def is_mixed(self) -> bool:
+        """``True`` when the range spans both negative and positive values."""
+        return self.amin < 0 < self.amax
+
+    # ------------------------------------------------------------------ #
+    # Membership / iteration
+    # ------------------------------------------------------------------ #
+    def __contains__(self, value: object) -> bool:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return False
+        return self.amin <= value <= self.amax
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate over every admissible integer energy value."""
+        return iter(range(self.amin, self.amax + 1))
+
+    def clamp(self, value: float) -> int:
+        """Round ``value`` to the nearest admissible integer inside the range."""
+        rounded = int(round(value))
+        if rounded < self.amin:
+            return self.amin
+        if rounded > self.amax:
+            return self.amax
+        return rounded
+
+    # ------------------------------------------------------------------ #
+    # Slice algebra used by aggregation
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "EnergySlice") -> "EnergySlice":
+        """Minkowski sum of two ranges — used by start-alignment aggregation."""
+        if not isinstance(other, EnergySlice):
+            return NotImplemented
+        return EnergySlice(self.amin + other.amin, self.amax + other.amax)
+
+    def scale(self, factor: int) -> "EnergySlice":
+        """Multiply both bounds by a positive integer ``factor``."""
+        if factor <= 0:
+            raise InvalidSliceError(f"scale factor must be positive, got {factor}")
+        return EnergySlice(self.amin * factor, self.amax * factor)
+
+    def intersect(self, other: "EnergySlice") -> "EnergySlice | None":
+        """Intersection of two ranges, or ``None`` when they are disjoint."""
+        low = max(self.amin, other.amin)
+        high = min(self.amax, other.amax)
+        if low > high:
+            return None
+        return EnergySlice(low, high)
+
+    def as_tuple(self) -> tuple[int, int]:
+        """Return ``(amin, amax)``."""
+        return self.amin, self.amax
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.amin}, {self.amax}]"
+
+
+def parse_slices(raw: Iterable[object]) -> tuple[EnergySlice, ...]:
+    """Normalise a heterogeneous slice specification into ``EnergySlice`` objects.
+
+    Accepted element forms:
+
+    * an :class:`EnergySlice` instance (kept as is),
+    * a 2-element ``(amin, amax)`` tuple or list,
+    * a single integer ``a`` (shorthand for the inflexible range ``[a, a]``).
+
+    This mirrors the compact notation the paper uses in its examples, e.g.
+    ``⟨[1, 3], [2, 4], [0, 5], [0, 3]⟩`` for Figure 1.
+    """
+    slices: list[EnergySlice] = []
+    for index, item in enumerate(raw):
+        if isinstance(item, EnergySlice):
+            slices.append(item)
+        elif isinstance(item, bool):
+            raise InvalidSliceError(f"slice #{index} must not be a bool")
+        elif isinstance(item, int):
+            slices.append(EnergySlice(item, item))
+        elif isinstance(item, (tuple, list)) and len(item) == 2:
+            amin, amax = item
+            slices.append(EnergySlice(_check_int(amin, "amin"), _check_int(amax, "amax")))
+        else:
+            raise InvalidSliceError(
+                f"slice #{index} must be an EnergySlice, (amin, amax) pair or int, "
+                f"got {item!r}"
+            )
+    return tuple(slices)

@@ -1,0 +1,292 @@
+"""Discrete-time integer-valued time series.
+
+The flex-offer model of the paper (Section 2) works on a discrete time axis
+with the domain of natural numbers and an energy domain of integers.  Both
+flex-offer *assignments* (Definition 2) and the *difference* between two
+assignments used by the time-series flexibility measure (Definition 7) are
+time series, so this module provides the small, exact (integer friendly)
+time-series type the rest of the library builds upon.
+
+A :class:`TimeSeries` is a contiguous sequence of numeric values anchored at
+an absolute ``start`` time; each value spans exactly one time unit, matching
+the unit-length slices of Definition 1.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Union
+
+from .errors import InvalidTimeSeriesError
+
+__all__ = ["TimeSeries", "Number"]
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """A contiguous, discrete time series anchored at an absolute start time.
+
+    Parameters
+    ----------
+    start:
+        The absolute time index (natural number, ``>= 0``) of the first value.
+    values:
+        The sequence of values, one per time unit.  Values may be integers
+        (the common case for energy amounts) or floats (e.g. average
+        profiles produced by analysis code).
+
+    Examples
+    --------
+    >>> ts = TimeSeries(2, (2, 3, 1, 2))
+    >>> ts.end
+    5
+    >>> ts[3]
+    3
+    >>> ts.total()
+    8
+    """
+
+    start: int
+    values: tuple[Number, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.start, int) or isinstance(self.start, bool):
+            raise InvalidTimeSeriesError(
+                f"start time must be an int, got {self.start!r}"
+            )
+        if self.start < 0:
+            raise InvalidTimeSeriesError(
+                f"start time must be non-negative, got {self.start}"
+            )
+        normalized = tuple(self.values)
+        for value in normalized:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise InvalidTimeSeriesError(
+                    f"time series values must be numeric, got {value!r}"
+                )
+        object.__setattr__(self, "values", normalized)
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Number]:
+        return iter(self.values)
+
+    def __getitem__(self, time: int) -> Number:
+        """Return the value at *absolute* time ``time``.
+
+        Times outside the series' span return ``0``, which matches the
+        convention used by the paper when subtracting two assignments that
+        start at different times (Example 5): positions not covered by an
+        assignment contribute no energy.
+        """
+        if not isinstance(time, int) or isinstance(time, bool):
+            raise TypeError(f"time index must be an int, got {time!r}")
+        offset = time - self.start
+        if 0 <= offset < len(self.values):
+            return self.values[offset]
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # Span
+    # ------------------------------------------------------------------ #
+    @property
+    def end(self) -> int:
+        """The absolute time of the last value (inclusive).
+
+        For an empty series this equals ``start - 1`` so that
+        ``end - start + 1 == len(series)`` always holds.
+        """
+        return self.start + len(self.values) - 1
+
+    @property
+    def duration(self) -> int:
+        """Number of time units the series spans."""
+        return len(self.values)
+
+    def times(self) -> range:
+        """The absolute time indices covered by the series."""
+        return range(self.start, self.start + len(self.values))
+
+    def items(self) -> Iterator[tuple[int, Number]]:
+        """Iterate over ``(absolute_time, value)`` pairs."""
+        for offset, value in enumerate(self.values):
+            yield self.start + offset, value
+
+    def to_dict(self) -> dict[int, Number]:
+        """Return a ``{absolute_time: value}`` mapping."""
+        return dict(self.items())
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def total(self) -> Number:
+        """Sum of all values (the total energy of an assignment)."""
+        return sum(self.values)
+
+    def minimum(self) -> Number:
+        """Smallest value of the series; ``0`` for an empty series."""
+        return min(self.values) if self.values else 0
+
+    def maximum(self) -> Number:
+        """Largest value of the series; ``0`` for an empty series."""
+        return max(self.values) if self.values else 0
+
+    def is_zero(self) -> bool:
+        """``True`` when every value equals zero (or the series is empty)."""
+        return all(value == 0 for value in self.values)
+
+    # ------------------------------------------------------------------ #
+    # Alignment and arithmetic
+    # ------------------------------------------------------------------ #
+    def aligned_with(self, other: "TimeSeries") -> tuple[int, int]:
+        """Return the smallest common absolute time span of two series.
+
+        The span is returned as an inclusive ``(start, end)`` pair.  If both
+        series are empty the span of ``self`` is returned.
+        """
+        if not isinstance(other, TimeSeries):
+            raise TypeError(f"expected TimeSeries, got {type(other).__name__}")
+        start = min(self.start, other.start)
+        end = max(self.end, other.end)
+        if end < start:
+            end = start - 1
+        return start, end
+
+    def _combine(self, other: "TimeSeries", sign: int) -> "TimeSeries":
+        start, end = self.aligned_with(other)
+        values = tuple(
+            self[t] + sign * other[t] for t in range(start, end + 1)
+        )
+        return TimeSeries(start, values)
+
+    def __add__(self, other: "TimeSeries") -> "TimeSeries":
+        """Pointwise sum over the union of the two spans (zero-filled)."""
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return self._combine(other, +1)
+
+    def __sub__(self, other: "TimeSeries") -> "TimeSeries":
+        """Pointwise difference over the union of the two spans (zero-filled).
+
+        This is exactly the operation used by Definition 7 of the paper to
+        compute the time-series flexibility of a flex-offer.
+        """
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return self._combine(other, -1)
+
+    def __neg__(self) -> "TimeSeries":
+        return TimeSeries(self.start, tuple(-value for value in self.values))
+
+    def scale(self, factor: Number) -> "TimeSeries":
+        """Return a copy with every value multiplied by ``factor``."""
+        return TimeSeries(self.start, tuple(value * factor for value in self.values))
+
+    def shift(self, delta: int) -> "TimeSeries":
+        """Return a copy shifted ``delta`` time units to the right.
+
+        ``delta`` may be negative as long as the resulting start time remains
+        non-negative (time has the domain of natural numbers, Section 2).
+        """
+        return TimeSeries(self.start + delta, self.values)
+
+    def trim(self) -> "TimeSeries":
+        """Return a copy with leading and trailing zero values removed.
+
+        An all-zero series collapses to an empty series anchored at the
+        original start time.
+        """
+        values = list(self.values)
+        leading = 0
+        while leading < len(values) and values[leading] == 0:
+            leading += 1
+        trailing = len(values)
+        while trailing > leading and values[trailing - 1] == 0:
+            trailing -= 1
+        if leading >= trailing:
+            return TimeSeries(self.start, ())
+        return TimeSeries(self.start + leading, tuple(values[leading:trailing]))
+
+    # ------------------------------------------------------------------ #
+    # Norms
+    # ------------------------------------------------------------------ #
+    def norm(self, order: Number = 2) -> float:
+        """Return the L``order`` norm of the series values.
+
+        Supported orders are any positive real number and ``math.inf`` for
+        the maximum norm.  The paper uses the Manhattan (``order=1``) and
+        Euclidean (``order=2``) norms when quantifying vector and time-series
+        flexibility (Examples 4, 5, 12, 13).
+        """
+        if order == math.inf:
+            return float(max((abs(value) for value in self.values), default=0))
+        if order <= 0:
+            raise ValueError(f"norm order must be positive, got {order}")
+        total = sum(abs(value) ** order for value in self.values)
+        return float(total ** (1.0 / order))
+
+    def manhattan_norm(self) -> float:
+        """The L1 norm of the series values."""
+        return float(sum(abs(value) for value in self.values))
+
+    def euclidean_norm(self) -> float:
+        """The L2 norm of the series values."""
+        return math.sqrt(sum(value * value for value in self.values))
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zeros(cls, start: int, duration: int) -> "TimeSeries":
+        """A series of ``duration`` zero values starting at ``start``."""
+        if duration < 0:
+            raise InvalidTimeSeriesError(
+                f"duration must be non-negative, got {duration}"
+            )
+        return cls(start, (0,) * duration)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, Number]) -> "TimeSeries":
+        """Build a series from a ``{time: value}`` mapping.
+
+        Gaps between the smallest and largest keys are filled with zeros.
+        An empty mapping produces an empty series anchored at time 0.
+        """
+        if not mapping:
+            return cls(0, ())
+        start = min(mapping)
+        end = max(mapping)
+        values = tuple(mapping.get(t, 0) for t in range(start, end + 1))
+        return cls(start, values)
+
+    @classmethod
+    def sum_of(cls, series: Sequence["TimeSeries"]) -> "TimeSeries":
+        """Pointwise sum of several series (zero-filled alignment).
+
+        Used, for instance, to compute the total load of a schedule from the
+        individual flex-offer assignments.
+        """
+        series = list(series)
+        if not series:
+            return cls(0, ())
+        start = min(ts.start for ts in series)
+        end = max(ts.end for ts in series)
+        if end < start:
+            return cls(start, ())
+        values = [0] * (end - start + 1)
+        for ts in series:
+            for t, value in ts.items():
+                values[t - start] += value
+        return cls(start, tuple(values))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(str(value) for value in self.values)
+        return f"TimeSeries(t={self.start}..{self.end}: [{body}])"

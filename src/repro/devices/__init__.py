@@ -1,0 +1,21 @@
+"""Device models that emit flex-offers (EVs, heat pumps, appliances, generation)."""
+
+from .base import DeviceModel
+from .battery import VehicleToGrid
+from .electric_vehicle import ElectricVehicle
+from .generation import SolarPanel, WindTurbine
+from .heat_pump import HeatPump
+from .refrigerator import Refrigerator
+from .wet_appliances import Dishwasher, WashingMachine
+
+__all__ = [
+    "DeviceModel",
+    "ElectricVehicle",
+    "HeatPump",
+    "Dishwasher",
+    "WashingMachine",
+    "Refrigerator",
+    "SolarPanel",
+    "WindTurbine",
+    "VehicleToGrid",
+]

@@ -1,0 +1,78 @@
+"""Device models: prosumer units that emit flex-offers.
+
+The paper's introduction motivates flex-offers with household appliances and
+distributed generation — electric vehicles, heat pumps, dishwashers, smart
+refrigerators, solar panels, wind turbines, vehicle-to-grid batteries.  Each
+device model in this subpackage knows how to turn its physical parameters
+(charge duration, energy need, owner deadlines, weather sensitivity, ...)
+into a :class:`~repro.core.flexoffer.FlexOffer`.
+
+All stochastic parameters are drawn from an explicit :class:`random.Random`
+generator supplied by the caller, so populations are reproducible — the
+workload generators and benchmarks rely on that.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import WorkloadError
+from ..core.flexoffer import FlexOffer
+
+__all__ = ["DeviceModel", "uniform_int", "clamp"]
+
+
+def uniform_int(rng: random.Random, low: int, high: int) -> int:
+    """A uniform integer in ``[low, high]`` with argument validation."""
+    if low > high:
+        raise WorkloadError(f"empty integer range [{low}, {high}]")
+    return rng.randint(low, high)
+
+
+def clamp(value: int, low: int, high: int) -> int:
+    """Clamp ``value`` into ``[low, high]``."""
+    return max(low, min(high, value))
+
+
+@dataclass
+class DeviceModel(abc.ABC):
+    """Base class of every device model.
+
+    Attributes
+    ----------
+    name:
+        Identifier prefix of the flex-offers the device emits (each generated
+        flex-offer gets a unique suffix).
+    """
+
+    name: str = "device"
+    _counter: int = 0
+
+    @abc.abstractmethod
+    def generate(self, rng: random.Random, plug_in_time: Optional[int] = None) -> FlexOffer:
+        """Generate one flex-offer for this device.
+
+        Parameters
+        ----------
+        rng:
+            Source of randomness; the caller controls the seed.
+        plug_in_time:
+            The absolute time unit at which the device becomes available
+            (e.g. the EV is plugged in, the dishwasher is loaded).  When
+            ``None`` the device model draws a typical time itself.
+        """
+
+    def _next_name(self) -> str:
+        self._counter += 1
+        return f"{self.name}-{self._counter}"
+
+    def generate_many(
+        self, count: int, rng: random.Random, plug_in_time: Optional[int] = None
+    ) -> list[FlexOffer]:
+        """Generate ``count`` independent flex-offers from this device model."""
+        if count < 0:
+            raise WorkloadError(f"count must be non-negative, got {count}")
+        return [self.generate(rng, plug_in_time) for _ in range(count)]

@@ -1,0 +1,88 @@
+"""Battery / vehicle-to-grid device model — the paper's *mixed* flex-offer.
+
+A stationary battery or a vehicle-to-grid-capable EV can both draw energy
+from the grid (positive values) and feed energy back (negative values) in
+every time unit, which makes its flex-offer *mixed* (Section 2).  Mixed
+flex-offers are the reason the paper excludes the area-based measures from
+the balancing scenario (Section 4); this device model exists so tests,
+examples and benchmarks can exercise that code path with realistic inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import WorkloadError
+from ..core.flexoffer import FlexOffer
+from .base import DeviceModel, uniform_int
+
+__all__ = ["VehicleToGrid"]
+
+
+@dataclass
+class VehicleToGrid(DeviceModel):
+    """A battery that can charge and discharge, producing mixed flex-offers.
+
+    Attributes
+    ----------
+    charge_power, discharge_power:
+        Per-slice bounds: the slice range is ``[-discharge_power, charge_power]``.
+    min_duration, max_duration:
+        Length of the availability window in slices.
+    net_energy_min, net_energy_max:
+        Bounds on the *net* energy over the window (negative values allow the
+        battery to end up emptier than it started).  They are clipped to the
+        profile bounds at generation time.
+    available_earliest, available_latest:
+        Range of window start times when none is supplied.
+    shift_slack:
+        Maximum postponement of the window.
+    """
+
+    name: str = "v2g"
+    charge_power: int = 3
+    discharge_power: int = 3
+    min_duration: int = 2
+    max_duration: int = 5
+    net_energy_min: int = -4
+    net_energy_max: int = 6
+    available_earliest: int = 18
+    available_latest: int = 23
+    shift_slack: int = 3
+
+    def __post_init__(self) -> None:
+        if self.charge_power < 0 or self.discharge_power < 0:
+            raise WorkloadError("power limits must be non-negative")
+        if self.charge_power == 0 and self.discharge_power == 0:
+            raise WorkloadError("at least one of charge/discharge power must be positive")
+        if self.min_duration < 1 or self.max_duration < self.min_duration:
+            raise WorkloadError("invalid availability-window duration range")
+        if self.net_energy_min > self.net_energy_max:
+            raise WorkloadError("net_energy_min must not exceed net_energy_max")
+        if self.shift_slack < 0:
+            raise WorkloadError("shift_slack must be >= 0")
+
+    def generate(self, rng: random.Random, plug_in_time: Optional[int] = None) -> FlexOffer:
+        duration = uniform_int(rng, self.min_duration, self.max_duration)
+        earliest = (
+            plug_in_time
+            if plug_in_time is not None
+            else uniform_int(rng, self.available_earliest, self.available_latest)
+        )
+        latest = earliest + uniform_int(rng, 0, self.shift_slack)
+        profile_minimum = -self.discharge_power * duration
+        profile_maximum = self.charge_power * duration
+        total_min = max(self.net_energy_min, profile_minimum)
+        total_max = min(self.net_energy_max, profile_maximum)
+        if total_min > total_max:
+            total_min, total_max = profile_minimum, profile_maximum
+        return FlexOffer(
+            earliest,
+            latest,
+            [(-self.discharge_power, self.charge_power)] * duration,
+            total_min,
+            total_max,
+            name=self._next_name(),
+        )

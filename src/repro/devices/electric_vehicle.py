@@ -1,0 +1,80 @@
+"""Electric-vehicle charger device model (the paper's Section 1 use case).
+
+The use case: an EV is plugged in at 23:00 with an empty battery, needs
+3 hours of charging, the owner is satisfied with any state of charge between
+60 % and 100 %, and the car must be ready by 6:00 — so charging can start
+anywhere between 23:00 and 3:00.  The model generalises those numbers with
+stochastic plug-in times, charge durations, per-hour charger power and
+owner-acceptable minimum charge levels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import WorkloadError
+from ..core.flexoffer import FlexOffer
+from .base import DeviceModel, uniform_int
+
+__all__ = ["ElectricVehicle"]
+
+
+@dataclass
+class ElectricVehicle(DeviceModel):
+    """An EV charger producing consumption flex-offers.
+
+    Attributes
+    ----------
+    charger_power:
+        Maximum energy units one slice (one time unit) can deliver.
+    min_duration, max_duration:
+        Range of charge durations (number of slices).
+    min_acceptable_fraction:
+        Lowest state of charge (as a fraction of a full charge) the owner
+        accepts — the paper's use case uses 0.6.
+    plug_in_earliest, plug_in_latest:
+        Range of plug-in times used when no explicit plug-in time is given.
+    deadline_slack:
+        How many time units after ``plug-in + duration`` the charge must be
+        finished at the latest; this determines the time flexibility.
+    """
+
+    name: str = "ev"
+    charger_power: int = 4
+    min_duration: int = 2
+    max_duration: int = 4
+    min_acceptable_fraction: float = 0.6
+    plug_in_earliest: int = 20
+    plug_in_latest: int = 24
+    deadline_slack: int = 4
+
+    def __post_init__(self) -> None:
+        if self.charger_power < 1:
+            raise WorkloadError("charger_power must be >= 1")
+        if not 0 < self.min_acceptable_fraction <= 1:
+            raise WorkloadError("min_acceptable_fraction must lie in (0, 1]")
+        if self.min_duration < 1 or self.max_duration < self.min_duration:
+            raise WorkloadError("invalid charge-duration range")
+        if self.deadline_slack < 0:
+            raise WorkloadError("deadline_slack must be >= 0")
+
+    def generate(self, rng: random.Random, plug_in_time: Optional[int] = None) -> FlexOffer:
+        duration = uniform_int(rng, self.min_duration, self.max_duration)
+        earliest = (
+            plug_in_time
+            if plug_in_time is not None
+            else uniform_int(rng, self.plug_in_earliest, self.plug_in_latest)
+        )
+        latest = earliest + uniform_int(rng, 0, self.deadline_slack)
+        full_charge = duration * self.charger_power
+        minimum_charge = max(1, int(round(full_charge * self.min_acceptable_fraction)))
+        return FlexOffer(
+            earliest,
+            latest,
+            [(0, self.charger_power)] * duration,
+            minimum_charge,
+            full_charge,
+            name=self._next_name(),
+        )

@@ -1,0 +1,118 @@
+"""Production devices: solar panels and wind turbines.
+
+Production is represented by *negative* flex-offers (Section 2 of the
+paper).  A photovoltaic installation or a wind turbine cannot choose when the
+sun shines or the wind blows, so its time flexibility is (near) zero, but it
+can curtail: each slice ranges from "produce everything available" (the most
+negative value) up to "curtail completely" (zero) or a contracted minimum
+feed-in.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import WorkloadError
+from ..core.flexoffer import FlexOffer
+from .base import DeviceModel, uniform_int
+
+__all__ = ["SolarPanel", "WindTurbine"]
+
+
+@dataclass
+class SolarPanel(DeviceModel):
+    """A rooftop PV installation producing negative (production) flex-offers.
+
+    Attributes
+    ----------
+    peak_production:
+        Largest per-slice production magnitude (energy units; stored as the
+        negative bound of the slice).
+    hours:
+        Number of production slices (the daylight window).
+    curtailable:
+        When ``True`` every slice may be curtailed down to zero; when
+        ``False`` at least half the available production must be fed in.
+    day_start_earliest, day_start_latest:
+        Range of window start times when none is supplied.
+    """
+
+    name: str = "solar"
+    peak_production: int = 3
+    hours: int = 6
+    curtailable: bool = True
+    day_start_earliest: int = 8
+    day_start_latest: int = 10
+
+    def __post_init__(self) -> None:
+        if self.peak_production < 1:
+            raise WorkloadError("peak_production must be >= 1")
+        if self.hours < 1:
+            raise WorkloadError("hours must be >= 1")
+
+    def _profile_shape(self, rng: random.Random) -> list[int]:
+        """A rough bell-shaped daily production profile."""
+        half = (self.hours + 1) // 2
+        ramp = [
+            max(1, round(self.peak_production * (index + 1) / half))
+            for index in range(half)
+        ]
+        shape = ramp + ramp[::-1][self.hours % 2:]
+        return shape[: self.hours]
+
+    def generate(self, rng: random.Random, plug_in_time: Optional[int] = None) -> FlexOffer:
+        start = (
+            plug_in_time
+            if plug_in_time is not None
+            else uniform_int(rng, self.day_start_earliest, self.day_start_latest)
+        )
+        slices = []
+        for available in self._profile_shape(rng):
+            upper = 0 if self.curtailable else -max(1, available // 2)
+            slices.append((-available, upper))
+        return FlexOffer(start, start, slices, name=self._next_name())
+
+
+@dataclass
+class WindTurbine(DeviceModel):
+    """A wind turbine producing negative flex-offers with gusty profiles.
+
+    Attributes
+    ----------
+    rated_power:
+        Largest per-slice production magnitude.
+    hours:
+        Number of production slices.
+    curtailable:
+        Whether production may be curtailed to zero per slice.
+    start_earliest, start_latest:
+        Range of window start times when none is supplied.
+    """
+
+    name: str = "wind"
+    rated_power: int = 5
+    hours: int = 8
+    curtailable: bool = True
+    start_earliest: int = 0
+    start_latest: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rated_power < 1:
+            raise WorkloadError("rated_power must be >= 1")
+        if self.hours < 1:
+            raise WorkloadError("hours must be >= 1")
+
+    def generate(self, rng: random.Random, plug_in_time: Optional[int] = None) -> FlexOffer:
+        start = (
+            plug_in_time
+            if plug_in_time is not None
+            else uniform_int(rng, self.start_earliest, self.start_latest)
+        )
+        slices = []
+        for _ in range(self.hours):
+            available = uniform_int(rng, 1, self.rated_power)
+            upper = 0 if self.curtailable else -max(1, available // 2)
+            slices.append((-available, upper))
+        return FlexOffer(start, start, slices, name=self._next_name())

@@ -1,0 +1,82 @@
+"""Heat-pump device model.
+
+Heat pumps are the paper's example of new devices that increase energy demand
+and risk consumption peaks.  A heat pump must keep the building inside a
+comfort band, so every operating block needs a minimum amount of energy but
+can modulate between a low and a high power level in every time unit and can
+shift its operating block by a small amount.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import WorkloadError
+from ..core.flexoffer import FlexOffer
+from .base import DeviceModel, uniform_int
+
+__all__ = ["HeatPump"]
+
+
+@dataclass
+class HeatPump(DeviceModel):
+    """A modulating heat pump producing consumption flex-offers.
+
+    Attributes
+    ----------
+    low_power, high_power:
+        Modulation range of every slice (energy units per time unit).
+    min_duration, max_duration:
+        Length of an operating block in time units.
+    comfort_fraction:
+        Fraction of the maximum block energy that must be delivered to keep
+        the comfort band (sets the total minimum constraint).
+    start_earliest, start_latest:
+        Range of block start times when none is supplied.
+    shift_slack:
+        Maximum number of time units the block may be postponed.
+    """
+
+    name: str = "heat-pump"
+    low_power: int = 1
+    high_power: int = 3
+    min_duration: int = 3
+    max_duration: int = 6
+    comfort_fraction: float = 0.7
+    start_earliest: int = 0
+    start_latest: int = 20
+    shift_slack: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low_power <= self.high_power:
+            raise WorkloadError("power levels must satisfy 0 <= low <= high")
+        if self.min_duration < 1 or self.max_duration < self.min_duration:
+            raise WorkloadError("invalid operating-block duration range")
+        if not 0 < self.comfort_fraction <= 1:
+            raise WorkloadError("comfort_fraction must lie in (0, 1]")
+        if self.shift_slack < 0:
+            raise WorkloadError("shift_slack must be >= 0")
+
+    def generate(self, rng: random.Random, plug_in_time: Optional[int] = None) -> FlexOffer:
+        duration = uniform_int(rng, self.min_duration, self.max_duration)
+        earliest = (
+            plug_in_time
+            if plug_in_time is not None
+            else uniform_int(rng, self.start_earliest, self.start_latest)
+        )
+        latest = earliest + uniform_int(rng, 0, self.shift_slack)
+        block_maximum = duration * self.high_power
+        block_minimum = max(
+            duration * self.low_power,
+            int(round(block_maximum * self.comfort_fraction)),
+        )
+        return FlexOffer(
+            earliest,
+            latest,
+            [(self.low_power, self.high_power)] * duration,
+            block_minimum,
+            block_maximum,
+            name=self._next_name(),
+        )

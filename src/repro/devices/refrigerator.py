@@ -1,0 +1,81 @@
+"""Smart refrigerator device model.
+
+A smart refrigerator can pre-cool: every time unit it may draw anywhere
+between a standby level and its compressor maximum, as long as enough energy
+is consumed over the horizon to keep the temperature in band.  The result is
+a flex-offer with little or no time flexibility (cooling cannot be postponed
+for long) but per-slice amount flexibility — the complementary shape to the
+wet appliances, useful for exercising measures that favour one dimension.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import WorkloadError
+from ..core.flexoffer import FlexOffer
+from .base import DeviceModel, uniform_int
+
+__all__ = ["Refrigerator"]
+
+
+@dataclass
+class Refrigerator(DeviceModel):
+    """A smart refrigerator producing amount-flexible consumption flex-offers.
+
+    Attributes
+    ----------
+    standby_power, compressor_power:
+        Per-slice energy range.
+    horizon:
+        Number of slices of the cooling window.
+    required_fraction:
+        Fraction of the maximum window energy that must be delivered to keep
+        the temperature band.
+    start_earliest, start_latest:
+        Range of window start times when none is supplied.
+    start_slack:
+        Maximum postponement of the window (usually 0 or 1).
+    """
+
+    name: str = "refrigerator"
+    standby_power: int = 0
+    compressor_power: int = 2
+    horizon: int = 6
+    required_fraction: float = 0.5
+    start_earliest: int = 0
+    start_latest: int = 18
+    start_slack: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.standby_power <= self.compressor_power:
+            raise WorkloadError("power levels must satisfy 0 <= standby <= compressor")
+        if self.horizon < 1:
+            raise WorkloadError("horizon must be >= 1")
+        if not 0 < self.required_fraction <= 1:
+            raise WorkloadError("required_fraction must lie in (0, 1]")
+        if self.start_slack < 0:
+            raise WorkloadError("start_slack must be >= 0")
+
+    def generate(self, rng: random.Random, plug_in_time: Optional[int] = None) -> FlexOffer:
+        earliest = (
+            plug_in_time
+            if plug_in_time is not None
+            else uniform_int(rng, self.start_earliest, self.start_latest)
+        )
+        latest = earliest + uniform_int(rng, 0, self.start_slack)
+        maximum_energy = self.horizon * self.compressor_power
+        minimum_energy = max(
+            self.horizon * self.standby_power,
+            int(round(maximum_energy * self.required_fraction)),
+        )
+        return FlexOffer(
+            earliest,
+            latest,
+            [(self.standby_power, self.compressor_power)] * self.horizon,
+            minimum_energy,
+            maximum_energy,
+            name=self._next_name(),
+        )

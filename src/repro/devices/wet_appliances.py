@@ -1,0 +1,79 @@
+"""Wet appliances: dishwashers and washing machines.
+
+Wet appliances run a fixed programme once loaded — their per-slice energy
+profile is essentially inflexible (heating, washing, rinsing phases draw what
+they draw) but the *start* of the programme can typically be deferred for
+several hours, which makes them the textbook example of pure time
+flexibility (``ef ≈ 0``, ``tf`` large).  Section 4 of the paper uses exactly
+this shape to show where the product flexibility measure fails.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.errors import WorkloadError
+from ..core.flexoffer import FlexOffer
+from .base import DeviceModel, uniform_int
+
+__all__ = ["Dishwasher", "WashingMachine"]
+
+
+@dataclass
+class Dishwasher(DeviceModel):
+    """A dishwasher: fixed programme profile, deferrable start.
+
+    Attributes
+    ----------
+    programme:
+        Per-slice energy draw of the washing programme.
+    jitter:
+        Half-width of the per-slice tolerance; ``0`` makes the profile fully
+        inflexible (the default and the common case).
+    load_earliest, load_latest:
+        Range of load (ready-to-start) times when none is supplied.
+    deferral:
+        Maximum number of time units the start may be deferred.
+    """
+
+    name: str = "dishwasher"
+    programme: tuple[int, ...] = (2, 3, 1)
+    jitter: int = 0
+    load_earliest: int = 17
+    load_latest: int = 22
+    deferral: int = 6
+
+    def __post_init__(self) -> None:
+        if not self.programme:
+            raise WorkloadError("the programme needs at least one slice")
+        if any(draw < 0 for draw in self.programme):
+            raise WorkloadError("programme draws must be non-negative")
+        if self.jitter < 0:
+            raise WorkloadError("jitter must be >= 0")
+        if self.deferral < 0:
+            raise WorkloadError("deferral must be >= 0")
+
+    def generate(self, rng: random.Random, plug_in_time: Optional[int] = None) -> FlexOffer:
+        earliest = (
+            plug_in_time
+            if plug_in_time is not None
+            else uniform_int(rng, self.load_earliest, self.load_latest)
+        )
+        latest = earliest + uniform_int(rng, 0, self.deferral)
+        slices = [
+            (max(0, draw - self.jitter), draw + self.jitter) for draw in self.programme
+        ]
+        return FlexOffer(earliest, latest, slices, name=self._next_name())
+
+
+@dataclass
+class WashingMachine(Dishwasher):
+    """A washing machine — same shape as the dishwasher, heavier programme."""
+
+    name: str = "washing-machine"
+    programme: tuple[int, ...] = (3, 2, 2, 1)
+    load_earliest: int = 7
+    load_latest: int = 20
+    deferral: int = 8

@@ -1,0 +1,39 @@
+"""Serialisation helpers (JSON and CSV) for flex-offers and schedules."""
+
+from .csv_io import (
+    flexoffers_from_csv,
+    flexoffers_to_csv,
+    measurements_to_csv,
+    read_flexoffers_csv,
+    write_flexoffers_csv,
+)
+from .serialization import (
+    assignment_from_dict,
+    assignment_to_dict,
+    flexoffer_from_dict,
+    flexoffer_to_dict,
+    flexoffers_from_json,
+    flexoffers_to_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    timeseries_from_dict,
+    timeseries_to_dict,
+)
+
+__all__ = [
+    "flexoffer_to_dict",
+    "flexoffer_from_dict",
+    "flexoffers_to_json",
+    "flexoffers_from_json",
+    "assignment_to_dict",
+    "assignment_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "timeseries_to_dict",
+    "timeseries_from_dict",
+    "flexoffers_to_csv",
+    "flexoffers_from_csv",
+    "write_flexoffers_csv",
+    "read_flexoffers_csv",
+    "measurements_to_csv",
+]

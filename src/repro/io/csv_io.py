@@ -1,0 +1,118 @@
+"""CSV import/export of flex-offer populations and measurement tables.
+
+CSV is the exchange format the evaluation tooling consumes (spreadsheets,
+plotting scripts).  Flex-offers are stored one per row with the profile
+encoded compactly as ``amin:amax`` pairs separated by ``|``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.errors import SerializationError
+from ..core.flexoffer import FlexOffer
+
+__all__ = [
+    "flexoffers_to_csv",
+    "flexoffers_from_csv",
+    "write_flexoffers_csv",
+    "read_flexoffers_csv",
+    "measurements_to_csv",
+]
+
+_FIELDNAMES = (
+    "name",
+    "earliest_start",
+    "latest_start",
+    "profile",
+    "total_energy_min",
+    "total_energy_max",
+)
+
+
+def _encode_profile(flex_offer: FlexOffer) -> str:
+    return "|".join(f"{s.amin}:{s.amax}" for s in flex_offer.slices)
+
+
+def _decode_profile(text: str) -> list[tuple[int, int]]:
+    slices = []
+    for token in text.split("|"):
+        try:
+            amin_text, amax_text = token.split(":")
+            slices.append((int(amin_text), int(amax_text)))
+        except ValueError as error:
+            raise SerializationError(f"malformed profile token {token!r}") from error
+    return slices
+
+
+def flexoffers_to_csv(flex_offers: Iterable[FlexOffer]) -> str:
+    """Serialise flex-offers into a CSV string (header included)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_FIELDNAMES)
+    writer.writeheader()
+    for flex_offer in flex_offers:
+        writer.writerow(
+            {
+                "name": flex_offer.name or "",
+                "earliest_start": flex_offer.earliest_start,
+                "latest_start": flex_offer.latest_start,
+                "profile": _encode_profile(flex_offer),
+                "total_energy_min": flex_offer.cmin,
+                "total_energy_max": flex_offer.cmax,
+            }
+        )
+    return buffer.getvalue()
+
+
+def flexoffers_from_csv(text: str) -> list[FlexOffer]:
+    """Parse flex-offers from a CSV string produced by :func:`flexoffers_to_csv`."""
+    reader = csv.DictReader(io.StringIO(text))
+    flex_offers = []
+    for row_number, row in enumerate(reader, start=2):
+        try:
+            flex_offers.append(
+                FlexOffer(
+                    int(row["earliest_start"]),
+                    int(row["latest_start"]),
+                    _decode_profile(row["profile"]),
+                    int(row["total_energy_min"]),
+                    int(row["total_energy_max"]),
+                    row["name"] or None,
+                )
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise SerializationError(f"malformed CSV row {row_number}: {error}") from error
+    return flex_offers
+
+
+def write_flexoffers_csv(path: Union[str, Path], flex_offers: Iterable[FlexOffer]) -> None:
+    """Write flex-offers to a CSV file."""
+    Path(path).write_text(flexoffers_to_csv(flex_offers), encoding="utf-8")
+
+
+def read_flexoffers_csv(path: Union[str, Path]) -> list[FlexOffer]:
+    """Read flex-offers from a CSV file."""
+    return flexoffers_from_csv(Path(path).read_text(encoding="utf-8"))
+
+
+def measurements_to_csv(
+    rows: Sequence[Mapping[str, object]], fieldnames: Optional[Sequence[str]] = None
+) -> str:
+    """Serialise measurement/benchmark rows (dicts) into a CSV string.
+
+    ``fieldnames`` defaults to the keys of the first row; every row must
+    provide a value for every field.
+    """
+    if not rows:
+        return ""
+    names = list(fieldnames) if fieldnames is not None else list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=names)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({name: row.get(name, "") for name in names})
+    return buffer.getvalue()

@@ -1,0 +1,126 @@
+"""JSON (de)serialisation of flex-offers, assignments and schedules.
+
+Flex-offers are exchanged between prosumers, Aggregators and BRPs (Scenario 2
+of the paper), so the library needs a stable wire format.  The format is
+deliberately plain JSON — a dictionary per flex-offer with the paper's field
+names — so that other tools can produce and consume it without this library.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from ..core.assignment import Assignment
+from ..core.errors import SerializationError
+from ..core.flexoffer import FlexOffer
+from ..core.timeseries import TimeSeries
+from ..scheduling.base import Schedule
+
+__all__ = [
+    "flexoffer_to_dict",
+    "flexoffer_from_dict",
+    "flexoffers_to_json",
+    "flexoffers_from_json",
+    "assignment_to_dict",
+    "assignment_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "timeseries_to_dict",
+    "timeseries_from_dict",
+]
+
+
+def flexoffer_to_dict(flex_offer: FlexOffer) -> dict[str, Any]:
+    """A JSON-ready dictionary for one flex-offer."""
+    return {
+        "name": flex_offer.name,
+        "earliest_start": flex_offer.earliest_start,
+        "latest_start": flex_offer.latest_start,
+        "slices": [list(energy_slice.as_tuple()) for energy_slice in flex_offer.slices],
+        "total_energy_min": flex_offer.cmin,
+        "total_energy_max": flex_offer.cmax,
+    }
+
+
+def flexoffer_from_dict(payload: dict[str, Any]) -> FlexOffer:
+    """Rebuild a flex-offer from its dictionary form.
+
+    Raises :class:`SerializationError` with the offending field on malformed
+    input.
+    """
+    try:
+        return FlexOffer(
+            int(payload["earliest_start"]),
+            int(payload["latest_start"]),
+            [tuple(item) for item in payload["slices"]],
+            payload.get("total_energy_min"),
+            payload.get("total_energy_max"),
+            payload.get("name"),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"malformed flex-offer payload: {error}") from error
+
+
+def flexoffers_to_json(flex_offers: Iterable[FlexOffer], indent: int = 2) -> str:
+    """Serialise many flex-offers into a JSON array string."""
+    return json.dumps([flexoffer_to_dict(f) for f in flex_offers], indent=indent)
+
+
+def flexoffers_from_json(text: str) -> list[FlexOffer]:
+    """Parse a JSON array of flex-offers."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    if not isinstance(payload, list):
+        raise SerializationError("expected a JSON array of flex-offers")
+    return [flexoffer_from_dict(item) for item in payload]
+
+
+def timeseries_to_dict(series: TimeSeries) -> dict[str, Any]:
+    """A JSON-ready dictionary for a time series."""
+    return {"start": series.start, "values": list(series.values)}
+
+
+def timeseries_from_dict(payload: dict[str, Any]) -> TimeSeries:
+    """Rebuild a time series from its dictionary form."""
+    try:
+        return TimeSeries(int(payload["start"]), tuple(payload["values"]))
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"malformed time-series payload: {error}") from error
+
+
+def assignment_to_dict(assignment: Assignment) -> dict[str, Any]:
+    """A JSON-ready dictionary for one assignment (embeds its flex-offer)."""
+    return {
+        "flex_offer": flexoffer_to_dict(assignment.flex_offer),
+        "start_time": assignment.start_time,
+        "values": list(assignment.values),
+    }
+
+
+def assignment_from_dict(payload: dict[str, Any]) -> Assignment:
+    """Rebuild an assignment (and its flex-offer) from its dictionary form."""
+    try:
+        flex_offer = flexoffer_from_dict(payload["flex_offer"])
+        return Assignment(flex_offer, int(payload["start_time"]), tuple(payload["values"]))
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"malformed assignment payload: {error}") from error
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """A JSON-ready dictionary for a schedule."""
+    return {"assignments": [assignment_to_dict(a) for a in schedule.assignments]}
+
+
+def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
+    """Rebuild a schedule from its dictionary form."""
+    try:
+        assignments = tuple(
+            assignment_from_dict(item) for item in payload["assignments"]
+        )
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"malformed schedule payload: {error}") from error
+    return Schedule(assignments)

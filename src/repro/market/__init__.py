@@ -1,0 +1,16 @@
+"""Energy-market substrate (Scenario 2 of the paper)."""
+
+from .actors import Aggregator, BalanceResponsibleParty, Prosumer
+from .settlement import ImbalanceSettlement, SettlementResult
+from .trading import Bid, FlexibilityPricer, TradingSession
+
+__all__ = [
+    "Prosumer",
+    "Aggregator",
+    "BalanceResponsibleParty",
+    "ImbalanceSettlement",
+    "SettlementResult",
+    "FlexibilityPricer",
+    "Bid",
+    "TradingSession",
+]

@@ -1,0 +1,121 @@
+"""Energy-market actors: prosumers, aggregators and balance responsible parties.
+
+Scenario 2 of the paper: individual prosumer flex-offers are too small to
+trade directly, so an *Aggregator* collects them, aggregates them into larger
+flex-offers and offers those in the market, where a *Balance Responsible
+Party* (BRP) buys flexibility to keep its portfolio balanced and avoid
+imbalance penalties.  The actor classes here are deliberately light — they
+orchestrate the aggregation, measurement, scheduling and settlement modules
+rather than adding new physics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..aggregation import (
+    AggregatedFlexOffer,
+    GroupingParameters,
+    aggregate_all,
+    group_by_grid,
+)
+from ..core.errors import MarketError
+from ..core.flexoffer import FlexOffer
+from ..core.timeseries import TimeSeries
+from ..measures.setwise import MeasureSpec, evaluate_set
+from ..scheduling import GreedyImbalanceScheduler, ImbalanceObjective, Schedule
+
+__all__ = ["Prosumer", "Aggregator", "BalanceResponsibleParty"]
+
+
+@dataclass
+class Prosumer:
+    """A producer and/or consumer owning one or more flexible devices."""
+
+    name: str
+    flex_offers: list[FlexOffer] = field(default_factory=list)
+
+    def submit(self, flex_offer: FlexOffer) -> FlexOffer:
+        """Register a flex-offer with this prosumer (named after the prosumer)."""
+        named = flex_offer if flex_offer.name else flex_offer.with_name(
+            f"{self.name}-fo{len(self.flex_offers)}"
+        )
+        self.flex_offers.append(named)
+        return named
+
+    @property
+    def offered_flexibility_count(self) -> int:
+        """Number of flex-offers currently offered by the prosumer."""
+        return len(self.flex_offers)
+
+
+@dataclass
+class Aggregator:
+    """Collects prosumer flex-offers, aggregates them and values the result.
+
+    Parameters
+    ----------
+    name:
+        Aggregator identifier.
+    grouping:
+        Grouping tolerances used before start-alignment aggregation.
+    """
+
+    name: str = "aggregator"
+    grouping: GroupingParameters = field(default_factory=GroupingParameters)
+    collected: list[FlexOffer] = field(default_factory=list)
+
+    def collect(self, flex_offers: Iterable[FlexOffer]) -> int:
+        """Add prosumer flex-offers to the Aggregator's portfolio."""
+        before = len(self.collected)
+        self.collected.extend(flex_offers)
+        return len(self.collected) - before
+
+    def aggregate(self) -> list[AggregatedFlexOffer]:
+        """Group and aggregate the collected flex-offers.
+
+        Raises :class:`MarketError` when nothing has been collected yet.
+        """
+        if not self.collected:
+            raise MarketError(f"aggregator {self.name!r} has no flex-offers to aggregate")
+        groups = group_by_grid(self.collected, self.grouping)
+        return aggregate_all(groups, prefix=f"{self.name}-lot")
+
+    def portfolio_flexibility(
+        self, measures: Optional[Iterable[MeasureSpec]] = None
+    ) -> dict[str, float]:
+        """Flexibility of the collected portfolio under the chosen measures."""
+        return evaluate_set(self.collected, measures).values
+
+
+@dataclass
+class BalanceResponsibleParty:
+    """A BRP scheduling purchased flexibility against its forecast position.
+
+    Parameters
+    ----------
+    name:
+        BRP identifier.
+    forecast_supply:
+        The BRP's contracted / forecast supply profile; scheduled flexible
+        demand should follow it to minimise imbalance.
+    """
+
+    name: str
+    forecast_supply: TimeSeries
+
+    def schedule_flexibility(
+        self, flex_offers: Sequence[FlexOffer]
+    ) -> Schedule:
+        """Schedule purchased flex-offers to track the forecast supply."""
+        scheduler = GreedyImbalanceScheduler(
+            ImbalanceObjective("absolute", self.forecast_supply)
+        )
+        return scheduler.schedule(flex_offers, self.forecast_supply)
+
+    def imbalance_energy(self, schedule: Schedule) -> float:
+        """Remaining absolute imbalance energy after using the flexibility."""
+        objective = ImbalanceObjective("absolute", self.forecast_supply)
+        return objective.of_schedule(schedule)

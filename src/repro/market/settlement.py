@@ -1,0 +1,96 @@
+"""Imbalance settlement.
+
+A BRP that deviates from its traded position pays imbalance penalties
+(Scenario 2: flexibility is valuable because it lets the BRP avoid them).
+The settlement model here is the standard single-price scheme: every unit of
+absolute deviation between the scheduled load and the contracted position is
+charged at the spot price of that hour times a penalty factor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.errors import MarketError
+from ..core.timeseries import TimeSeries
+from ..scheduling import Schedule
+
+__all__ = ["ImbalanceSettlement", "SettlementResult"]
+
+
+@dataclass(frozen=True)
+class SettlementResult:
+    """Outcome of settling one schedule against a contracted position."""
+
+    #: Total absolute deviation energy.
+    imbalance_energy: float
+    #: Total imbalance cost (currency units).
+    imbalance_cost: float
+    #: Per-time-unit signed deviation (load − position).
+    deviation: TimeSeries
+
+    @property
+    def average_price_paid(self) -> float:
+        """Average penalty paid per unit of imbalance energy (0 when balanced)."""
+        if self.imbalance_energy == 0:
+            return 0.0
+        return self.imbalance_cost / self.imbalance_energy
+
+
+@dataclass(frozen=True)
+class ImbalanceSettlement:
+    """Single-price imbalance settlement.
+
+    Parameters
+    ----------
+    prices:
+        Spot price per time unit, starting at ``price_start``.
+    penalty_factor:
+        Multiplier applied to the spot price for imbalance energy (> 1 means
+        imbalances are more expensive than energy bought day-ahead).
+    price_start:
+        Absolute time of ``prices[0]``.
+    """
+
+    prices: tuple[float, ...]
+    penalty_factor: float = 1.5
+    price_start: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.prices:
+            raise MarketError("the settlement needs at least one price")
+        if self.penalty_factor < 0:
+            raise MarketError("penalty_factor must be non-negative")
+        object.__setattr__(self, "prices", tuple(float(p) for p in self.prices))
+
+    def price_at(self, time: int) -> float:
+        """Spot price at an absolute time (clamped to the price horizon)."""
+        index = time - self.price_start
+        if index < 0:
+            index = 0
+        if index >= len(self.prices):
+            index = len(self.prices) - 1
+        return self.prices[index]
+
+    def settle_load(self, load: TimeSeries, position: TimeSeries) -> SettlementResult:
+        """Settle an arbitrary load series against a contracted position."""
+        deviation = load - position
+        energy = 0.0
+        cost = 0.0
+        for time, value in deviation.items():
+            energy += abs(value)
+            cost += abs(value) * self.price_at(time) * self.penalty_factor
+        return SettlementResult(energy, cost, deviation)
+
+    def settle(self, schedule: Schedule, position: TimeSeries) -> SettlementResult:
+        """Settle a schedule's total load against a contracted position."""
+        return self.settle_load(schedule.total_load(), position)
+
+    def savings(
+        self, baseline: Schedule, flexible: Schedule, position: TimeSeries
+    ) -> float:
+        """Imbalance-cost savings of a flexible schedule over a baseline."""
+        baseline_cost = self.settle(baseline, position).imbalance_cost
+        flexible_cost = self.settle(flexible, position).imbalance_cost
+        return baseline_cost - flexible_cost

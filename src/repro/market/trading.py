@@ -1,0 +1,138 @@
+"""Flex-offer trading: measure-based valuation and a simple market session.
+
+Scenario 2 of the paper: aggregated flex-offers are traded as commodities,
+and "it is preferable for aggregated flex-offers to retain as much
+flexibility as possible in order to obtain a better value in the energy
+market".  The pricing model here makes that explicit: a flex-offer's offer
+price is its expected energy cost plus a flexibility premium proportional to
+a chosen flexibility measure — so the measures of Section 3 literally price
+the commodity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..aggregation import AggregatedFlexOffer
+from ..core.errors import MarketError
+from ..core.flexoffer import FlexOffer
+from ..measures.base import FlexibilityMeasure
+from ..measures.setwise import resolve_measures
+
+__all__ = ["FlexibilityPricer", "Bid", "TradingSession"]
+
+
+@dataclass(frozen=True)
+class Bid:
+    """A sell bid for one (aggregated) flex-offer."""
+
+    flex_offer: FlexOffer
+    energy_price: float
+    flexibility_premium: float
+
+    @property
+    def total_price(self) -> float:
+        """Energy cost plus flexibility premium."""
+        return self.energy_price + self.flexibility_premium
+
+
+@dataclass(frozen=True)
+class FlexibilityPricer:
+    """Prices a flex-offer from its expected energy and its flexibility.
+
+    Parameters
+    ----------
+    measure:
+        Measure key or instance used to compute the flexibility premium.
+    energy_price:
+        Price per unit of expected energy (midpoint of the total constraints).
+    premium_per_unit:
+        Price per unit of measured flexibility — a flex-offer that retains
+        more flexibility earns a larger premium for its seller.
+    """
+
+    measure: Union[str, FlexibilityMeasure] = "vector"
+    energy_price: float = 30.0
+    premium_per_unit: float = 2.0
+
+    def _measure(self) -> FlexibilityMeasure:
+        return resolve_measures([self.measure])[0]
+
+    def price(self, flex_offer: FlexOffer) -> Bid:
+        """Build a bid for one flex-offer.
+
+        Raises :class:`MarketError` when the chosen measure does not support
+        the flex-offer's sign class (e.g. area-based measures on a mixed
+        aggregate — exactly the Section 4 caveat).
+        """
+        measure = self._measure()
+        if not measure.supports(flex_offer):
+            raise MarketError(
+                f"measure {measure.key!r} does not support flex-offer {flex_offer.name!r} "
+                f"of kind {flex_offer.kind.value}"
+            )
+        expected_energy = abs(flex_offer.cmin + flex_offer.cmax) / 2.0
+        flexibility = measure.value(flex_offer)
+        return Bid(
+            flex_offer,
+            energy_price=expected_energy * self.energy_price,
+            flexibility_premium=flexibility * self.premium_per_unit,
+        )
+
+
+@dataclass
+class TradingSession:
+    """A single clearing round where an Aggregator sells lots to a buyer.
+
+    Parameters
+    ----------
+    pricer:
+        The pricing rule applied to every offered lot.
+    budget:
+        The buyer's budget; lots are bought greedily in order of descending
+        flexibility premium per unit of price until the budget is exhausted.
+    """
+
+    pricer: FlexibilityPricer = field(default_factory=FlexibilityPricer)
+    budget: float = float("inf")
+
+    def offer_lots(
+        self, lots: Sequence[Union[FlexOffer, AggregatedFlexOffer]]
+    ) -> list[Bid]:
+        """Price every offered lot (aggregates are unwrapped automatically)."""
+        bids = []
+        for lot in lots:
+            flex_offer = lot.flex_offer if isinstance(lot, AggregatedFlexOffer) else lot
+            bids.append(self.pricer.price(flex_offer))
+        return bids
+
+    def clear(
+        self, lots: Sequence[Union[FlexOffer, AggregatedFlexOffer]]
+    ) -> tuple[list[Bid], list[Bid]]:
+        """Clear the session: returns ``(accepted, rejected)`` bids.
+
+        Lots with the best flexibility-per-cost ratio are accepted first
+        until the budget runs out — the buyer is purchasing flexibility, so
+        it prefers lots that retained more of it (the Scenario 2 argument for
+        measuring flexibility).
+        """
+        bids = self.offer_lots(lots)
+        ranked = sorted(
+            bids,
+            key=lambda bid: (
+                bid.flexibility_premium / bid.total_price if bid.total_price else 0.0
+            ),
+            reverse=True,
+        )
+        accepted: list[Bid] = []
+        rejected: list[Bid] = []
+        remaining = self.budget
+        for bid in ranked:
+            if bid.total_price <= remaining:
+                accepted.append(bid)
+                remaining -= bid.total_price
+            else:
+                rejected.append(bid)
+        return accepted, rejected

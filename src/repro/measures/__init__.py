@@ -1,0 +1,122 @@
+"""The eight flexibility measures of the paper, plus composites and set-wise tools.
+
+Importing this package registers every measure in the registry of
+:mod:`repro.measures.base`, so ``get_measure("product")`` and the Table 1
+machinery work after a plain ``import repro.measures``.
+"""
+
+from .area_absolute import (
+    AbsoluteAreaFlexibility,
+    MixedPolicy,
+    absolute_area_flexibility,
+    inflexible_area_baseline,
+)
+from .area_relative import RelativeAreaFlexibility, relative_area_flexibility
+from .assignments import (
+    AssignmentFlexibility,
+    assignment_flexibility,
+    log_assignment_flexibility,
+    set_assignment_flexibility,
+)
+from .base import (
+    FlexibilityMeasure,
+    MeasureCharacteristics,
+    SetAggregation,
+    get_measure,
+    measure_keys,
+    register_measure,
+    registered_measures,
+)
+from .characteristics import (
+    PAPER_MEASURE_ORDER,
+    PAPER_TABLE_1,
+    characteristics_matrix,
+    characteristics_table,
+    format_characteristics_table,
+    matches_paper_table,
+)
+from .composite import WeightedFlexibility
+from .energy_measure import (
+    EnergyFlexibility,
+    energy_flexibility,
+    profile_energy_flexibility,
+)
+from .norms import (
+    NORM_ALIASES,
+    euclidean,
+    lp_norm,
+    manhattan,
+    maximum,
+    resolve_norm_order,
+    vector_norm,
+)
+from .product import ProductFlexibility, legacy_product_flexibility, product_flexibility
+from .series import SeriesFlexibility, series_difference, series_flexibility
+from .setwise import (
+    FlexibilitySetReport,
+    applicable_measures,
+    compare_sets,
+    evaluate_set,
+    rank_flexoffers,
+)
+from .time_measure import TimeFlexibility, time_flexibility
+from .vector import VectorFlexibility, vector_flexibility, vector_flexibility_norm
+
+__all__ = [
+    # framework
+    "FlexibilityMeasure",
+    "MeasureCharacteristics",
+    "SetAggregation",
+    "register_measure",
+    "registered_measures",
+    "measure_keys",
+    "get_measure",
+    # individual measures
+    "TimeFlexibility",
+    "time_flexibility",
+    "EnergyFlexibility",
+    "energy_flexibility",
+    "profile_energy_flexibility",
+    "ProductFlexibility",
+    "product_flexibility",
+    "legacy_product_flexibility",
+    "VectorFlexibility",
+    "vector_flexibility",
+    "vector_flexibility_norm",
+    "SeriesFlexibility",
+    "series_difference",
+    "series_flexibility",
+    "AssignmentFlexibility",
+    "assignment_flexibility",
+    "log_assignment_flexibility",
+    "set_assignment_flexibility",
+    "AbsoluteAreaFlexibility",
+    "MixedPolicy",
+    "absolute_area_flexibility",
+    "inflexible_area_baseline",
+    "RelativeAreaFlexibility",
+    "relative_area_flexibility",
+    # composites
+    "WeightedFlexibility",
+    # norms
+    "NORM_ALIASES",
+    "lp_norm",
+    "manhattan",
+    "euclidean",
+    "maximum",
+    "vector_norm",
+    "resolve_norm_order",
+    # characteristics / Table 1
+    "PAPER_MEASURE_ORDER",
+    "PAPER_TABLE_1",
+    "characteristics_matrix",
+    "characteristics_table",
+    "format_characteristics_table",
+    "matches_paper_table",
+    # set-wise tools
+    "FlexibilitySetReport",
+    "applicable_measures",
+    "evaluate_set",
+    "compare_sets",
+    "rank_flexoffers",
+]

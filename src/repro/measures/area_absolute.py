@@ -1,0 +1,131 @@
+"""Absolute area-based flexibility measure (Definitions 9–10 of the paper).
+
+The measure is built on the two-dimensional (time × energy) grid: the area of
+a flex-offer is the union of the areas of all its valid assignments, and the
+absolute area-based flexibility subtracts the inflexible portion of that area
+— the total minimum energy constraint for consumption flex-offers:
+
+    ``absolute_area_flexibility(f) = |⋃_{a ∈ L(f)} area(a)| − cmin(f)``
+
+Section 4 of the paper restricts the measure by sign class:
+
+* **consumption** flex-offers subtract ``cmin`` (Definition 10, Examples 8–9);
+* **production** flex-offers should subtract ``|cmax|`` instead, because for
+  negative amounts ``cmax`` is the bound closest to zero and thus the
+  inflexible part;
+* **mixed** flex-offers are declared "not feasible" for this measure —
+  although the paper's Example 15 still evaluates the Definition 10 formula
+  on the mixed flex-offer of Figure 7, obtaining ``24 − (−8) = 32``.  The
+  implementation therefore refuses mixed flex-offers by default and offers
+  the Example 15 convention behind an explicit policy switch.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import ClassVar, Union
+
+from ..core.area import flexoffer_area_size
+from ..core.errors import UnsupportedFlexOfferError
+from ..core.flexoffer import FlexOffer, FlexOfferKind
+from .base import FlexibilityMeasure, MeasureCharacteristics, register_measure
+
+__all__ = [
+    "MixedPolicy",
+    "AbsoluteAreaFlexibility",
+    "absolute_area_flexibility",
+    "inflexible_area_baseline",
+]
+
+
+class MixedPolicy(Enum):
+    """How the area-based measures treat *mixed* flex-offers."""
+
+    #: Raise :class:`UnsupportedFlexOfferError` (the paper's recommendation).
+    FORBID = "forbid"
+    #: Follow the paper's Example 15 and subtract ``cmin`` even when mixed.
+    PAPER_EXAMPLE = "paper-example"
+    #: Subtract nothing; report the raw union-of-areas size.
+    RAW_AREA = "raw-area"
+
+
+def inflexible_area_baseline(
+    flex_offer: FlexOffer, mixed_policy: MixedPolicy = MixedPolicy.FORBID
+) -> int:
+    """The inflexible portion subtracted from the union-of-areas size.
+
+    Consumption flex-offers must deliver at least ``cmin`` cells of energy,
+    production flex-offers at least ``|cmax|``; that committed amount is not
+    flexibility, so Definition 10 removes it.
+    """
+    kind = flex_offer.kind
+    if kind is FlexOfferKind.CONSUMPTION:
+        return flex_offer.cmin
+    if kind is FlexOfferKind.PRODUCTION:
+        return abs(flex_offer.cmax)
+    if mixed_policy is MixedPolicy.PAPER_EXAMPLE:
+        return flex_offer.cmin
+    if mixed_policy is MixedPolicy.RAW_AREA:
+        return 0
+    raise UnsupportedFlexOfferError(
+        "the absolute area-based flexibility measure is not defined for mixed "
+        "flex-offers (Section 4 of the paper); pass "
+        "mixed_policy=MixedPolicy.PAPER_EXAMPLE to apply the Example 15 convention"
+    )
+
+
+def absolute_area_flexibility(
+    flex_offer: FlexOffer,
+    mixed_policy: Union[MixedPolicy, str] = MixedPolicy.FORBID,
+) -> int:
+    """Absolute area-based flexibility per Definition 10 (exact integer).
+
+    Examples
+    --------
+    The paper's Example 8 (Figure 5 flex-offer):
+
+    >>> absolute_area_flexibility(FlexOffer(0, 4, [(2, 2)]))
+    8
+    """
+    policy = MixedPolicy(mixed_policy)
+    area = flexoffer_area_size(flex_offer)
+    return area - inflexible_area_baseline(flex_offer, policy)
+
+
+@register_measure
+class AbsoluteAreaFlexibility(FlexibilityMeasure):
+    """Single-value absolute area-based flexibility.
+
+    Parameters
+    ----------
+    mixed_policy:
+        Treatment of mixed flex-offers; defaults to refusing them
+        (:class:`MixedPolicy.FORBID`), matching Section 4 of the paper.
+
+    Characteristics (Table 1): captures time, energy and their combination,
+    and — uniquely among the proposed measures together with the relative
+    variant — the *size* of the flex-offer; it does not capture mixed
+    flex-offers.  Sets of flex-offers are compared by summing the individual
+    values (Section 4).
+    """
+
+    key: ClassVar[str] = "absolute_area"
+    label: ClassVar[str] = "Abs. Area"
+    characteristics: ClassVar[MeasureCharacteristics] = MeasureCharacteristics(
+        captures_time=True,
+        captures_energy=True,
+        captures_time_and_energy=True,
+        captures_size=True,
+        captures_mixed=False,
+    )
+
+    def __init__(self, mixed_policy: Union[MixedPolicy, str] = MixedPolicy.FORBID) -> None:
+        self.mixed_policy = MixedPolicy(mixed_policy)
+
+    def value(self, flex_offer: FlexOffer) -> float:
+        return float(absolute_area_flexibility(flex_offer, self.mixed_policy))
+
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description["mixed_policy"] = self.mixed_policy.value
+        return description

@@ -1,0 +1,100 @@
+"""Relative area-based flexibility measure (Definition 11 of the paper).
+
+The absolute area-based flexibility depends on the actual energy amounts of
+the flex-offer, which makes it unsuitable for comparing flex-offers of very
+different sizes (a household dishwasher versus a district-level aggregate).
+The relative measure normalises by the average magnitude of the total energy
+constraints:
+
+    ``relative_area_flexibility(f) = 2 · absolute_area_flexibility(f) / (|cmin| + |cmax|)``
+
+and is undefined when ``|cmin| + |cmax| = 0``.  The paper's Example 10
+computes 4 for the Figure 5 flex-offer and 16/6 for the Figure 6 flex-offer.
+
+For sets of flex-offers, Section 4 notes that summing relative flexibilities
+is not meaningful; the *average* relative flexibility should be used instead,
+which is what :meth:`RelativeAreaFlexibility.set_value` does.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Union
+
+from ..core.errors import MeasureError
+from ..core.flexoffer import FlexOffer
+from .area_absolute import MixedPolicy, absolute_area_flexibility
+from .base import (
+    FlexibilityMeasure,
+    MeasureCharacteristics,
+    SetAggregation,
+    register_measure,
+)
+
+__all__ = ["RelativeAreaFlexibility", "relative_area_flexibility"]
+
+
+def relative_area_flexibility(
+    flex_offer: FlexOffer,
+    mixed_policy: Union[MixedPolicy, str] = MixedPolicy.FORBID,
+) -> float:
+    """Relative area-based flexibility per Definition 11.
+
+    Raises
+    ------
+    MeasureError
+        If ``|cmin| + |cmax| == 0`` (the normaliser of Definition 11 must be
+        non-zero) — this happens only for flex-offers whose total energy is
+        constrained to exactly zero.
+
+    Examples
+    --------
+    >>> relative_area_flexibility(FlexOffer(0, 4, [(2, 2)]))
+    4.0
+    """
+    denominator = abs(flex_offer.cmin) + abs(flex_offer.cmax)
+    if denominator == 0:
+        raise MeasureError(
+            "relative area-based flexibility is undefined when |cmin| + |cmax| = 0 "
+            f"(flex-offer {flex_offer})"
+        )
+    absolute = absolute_area_flexibility(flex_offer, mixed_policy)
+    return 2.0 * absolute / denominator
+
+
+@register_measure
+class RelativeAreaFlexibility(FlexibilityMeasure):
+    """Single-value relative (size-normalised) area-based flexibility.
+
+    Parameters
+    ----------
+    mixed_policy:
+        Treatment of mixed flex-offers, forwarded to the absolute measure;
+        defaults to refusing them.
+
+    Characteristics (Table 1): identical to the absolute area-based measure
+    (captures time, energy, their combination and size; no mixed
+    flex-offers), but flex-offer *sets* are aggregated by averaging rather
+    than summation (Section 4).
+    """
+
+    key: ClassVar[str] = "relative_area"
+    label: ClassVar[str] = "Rel. Area"
+    characteristics: ClassVar[MeasureCharacteristics] = MeasureCharacteristics(
+        captures_time=True,
+        captures_energy=True,
+        captures_time_and_energy=True,
+        captures_size=True,
+        captures_mixed=False,
+    )
+    set_aggregation: ClassVar[SetAggregation] = SetAggregation.MEAN
+
+    def __init__(self, mixed_policy: Union[MixedPolicy, str] = MixedPolicy.FORBID) -> None:
+        self.mixed_policy = MixedPolicy(mixed_policy)
+
+    def value(self, flex_offer: FlexOffer) -> float:
+        return relative_area_flexibility(flex_offer, self.mixed_policy)
+
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description["mixed_policy"] = self.mixed_policy.value
+        return description

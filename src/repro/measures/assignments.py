@@ -1,0 +1,135 @@
+"""Assignment flexibility measure (Definition 8 of the paper).
+
+The flexibility of a flex-offer is the *number of its possible assignments*:
+
+    ``assignment_flexibility(f) = (tls − tes + 1) · Π_i (s(i).amax − s(i).amin + 1)``
+
+Section 4 of the paper discusses the measure's behaviour: the count grows
+linearly in the time flexibility but exponentially (one factor per slice) in
+the energy flexibility, so the measure strongly favours energy flexibility;
+it ignores the total energy constraints and the absolute size of the energy
+amounts.  For sets of flex-offers the paper counts the number of possible
+assignments of the whole set, i.e. the *product* of the individual counts —
+which this implementation follows (a sum would not count joint assignments).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from typing import ClassVar
+
+from ..core.enumeration import count_assignments, count_assignments_constrained
+from ..core.flexoffer import FlexOffer
+from .base import (
+    FlexibilityMeasure,
+    MeasureCharacteristics,
+    SetAggregation,
+    register_measure,
+)
+
+__all__ = [
+    "AssignmentFlexibility",
+    "assignment_flexibility",
+    "log_assignment_flexibility",
+    "set_assignment_flexibility",
+]
+
+
+def assignment_flexibility(flex_offer: FlexOffer) -> int:
+    """Number of possible assignments per Definition 8 (exact integer)."""
+    return count_assignments(flex_offer)
+
+
+def log_assignment_flexibility(flex_offer: FlexOffer) -> float:
+    """Natural logarithm of the assignment count.
+
+    The raw count explodes combinatorially with the number of flexible
+    slices; the logarithm is the numerically safe variant used by the
+    aggregation-loss and scaling experiments when comparing large
+    flex-offers.
+    """
+    start_choices = flex_offer.latest_start - flex_offer.earliest_start + 1
+    log_count = math.log(start_choices)
+    for energy_slice in flex_offer.slices:
+        log_count += math.log(energy_slice.count)
+    return log_count
+
+
+def set_assignment_flexibility(flex_offers: Iterable[FlexOffer]) -> int:
+    """Number of joint assignments of a set of flex-offers (product of counts).
+
+    The paper (Section 4) extends the measure to sets "by counting the number
+    of possible assignments for the whole set"; since the members are
+    scheduled independently, that is the product of the individual counts.
+    An empty set has exactly one (empty) assignment.
+    """
+    total = 1
+    for flex_offer in flex_offers:
+        total *= count_assignments(flex_offer)
+    return total
+
+
+@register_measure
+class AssignmentFlexibility(FlexibilityMeasure):
+    """Single-value assignment-count flexibility.
+
+    Parameters
+    ----------
+    respect_total_constraints:
+        Definition 8 deliberately ignores the total energy constraints; pass
+        ``True`` to count only assignments that also satisfy
+        ``cmin <= Σ v(i) <= cmax`` (the exact size of ``L(f)``), which the
+        library exposes for the extended experiments.
+    logarithmic:
+        Report the natural logarithm of the count instead of the raw count —
+        useful when comparing flex-offers with many flexible slices where the
+        raw count overflows any fixed-width representation.
+
+    Characteristics (Table 1): captures time, energy and their combination,
+    is size-blind, applies to all sign classes.
+    """
+
+    key: ClassVar[str] = "assignments"
+    label: ClassVar[str] = "Assignments"
+    characteristics: ClassVar[MeasureCharacteristics] = MeasureCharacteristics(
+        captures_time=True,
+        captures_energy=True,
+        captures_time_and_energy=True,
+        captures_size=False,
+    )
+    set_aggregation: ClassVar[SetAggregation] = SetAggregation.SUM
+
+    def __init__(
+        self,
+        respect_total_constraints: bool = False,
+        logarithmic: bool = False,
+    ) -> None:
+        self.respect_total_constraints = respect_total_constraints
+        self.logarithmic = logarithmic
+
+    def value(self, flex_offer: FlexOffer) -> float:
+        if self.respect_total_constraints:
+            count = count_assignments_constrained(flex_offer)
+            return float(math.log(count)) if self.logarithmic else float(count)
+        if self.logarithmic:
+            return log_assignment_flexibility(flex_offer)
+        return float(count_assignments(flex_offer))
+
+    def set_value(self, flex_offers: Iterable[FlexOffer]) -> float:
+        """Joint assignment count of the set (product; log-sum when logarithmic)."""
+        flex_offers = list(flex_offers)
+        if not flex_offers:
+            return 1.0 if not self.logarithmic else 0.0
+        if self.logarithmic:
+            return float(sum(self.value(flex_offer) for flex_offer in flex_offers))
+        product = 1.0
+        for flex_offer in flex_offers:
+            product *= self.value(flex_offer)
+        return product
+
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description["respect_total_constraints"] = self.respect_total_constraints
+        description["logarithmic"] = self.logarithmic
+        return description

@@ -1,0 +1,206 @@
+"""Measure framework: base class, characteristics metadata and registry.
+
+Every flexibility measure of the paper is implemented as a small class
+deriving from :class:`FlexibilityMeasure`.  A measure knows
+
+* how to compute a single numeric value for one flex-offer (``value``),
+* how to combine values over a *set* of flex-offers (``set_value``) —
+  Section 4 of the paper states that all measures extend to sets, by
+  summation for most measures and by averaging for the relative area-based
+  measure,
+* its qualitative characteristics (``characteristics``) — the rows of the
+  paper's Table 1 — so that the characteristics matrix can be generated
+  programmatically and composite measures can check compatibility.
+
+Measures register themselves in a module-level registry keyed by their
+``key`` so the analysis, benchmark and reporting code can iterate over "all
+measures the paper proposes" without hard-coding the list in many places.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable
+from dataclasses import dataclass, fields
+from enum import Enum
+from typing import ClassVar
+
+from ..core.errors import MeasureError
+from ..core.flexoffer import FlexOffer
+
+__all__ = [
+    "MeasureCharacteristics",
+    "FlexibilityMeasure",
+    "SetAggregation",
+    "register_measure",
+    "registered_measures",
+    "get_measure",
+    "measure_keys",
+]
+
+
+@dataclass(frozen=True)
+class MeasureCharacteristics:
+    """The qualitative characteristics of a measure (Table 1 of the paper).
+
+    Each boolean corresponds to one row of Table 1; the column for a measure
+    is obtained from its ``characteristics`` attribute.
+    """
+
+    captures_time: bool
+    captures_energy: bool
+    captures_time_and_energy: bool
+    captures_size: bool
+    captures_positive: bool = True
+    captures_negative: bool = True
+    captures_mixed: bool = True
+    single_value: bool = True
+
+    #: Row labels exactly as printed in Table 1, in paper order.
+    ROW_LABELS: ClassVar[tuple[tuple[str, str], ...]] = (
+        ("captures_time", "Captures time"),
+        ("captures_energy", "Captures energy"),
+        ("captures_time_and_energy", "Captures time & energy"),
+        ("captures_size", "Captures size"),
+        ("captures_positive", "Captures positive flex-offers"),
+        ("captures_negative", "Captures negative flex-offers"),
+        ("captures_mixed", "Captures Mixed flex-offers"),
+        ("single_value", "Single Value"),
+    )
+
+    def as_row(self) -> tuple[bool, ...]:
+        """The characteristics in Table 1 row order."""
+        return tuple(getattr(self, field_name) for field_name, _ in self.ROW_LABELS)
+
+    def as_dict(self) -> dict[str, bool]:
+        """A ``{field_name: value}`` mapping of all characteristics."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class SetAggregation(Enum):
+    """How a measure extends from one flex-offer to a set of flex-offers."""
+
+    #: Sum the per-flex-offer values (product, vector, series, ... — Section 4).
+    SUM = "sum"
+    #: Average the per-flex-offer values (relative area-based measure — Section 4).
+    MEAN = "mean"
+
+
+class FlexibilityMeasure(abc.ABC):
+    """Abstract base class of every flexibility measure.
+
+    Subclasses must define the class attributes ``key`` (a short stable
+    identifier), ``label`` (the column header used in Table 1),
+    ``characteristics`` and implement :meth:`value`.
+    """
+
+    #: Stable identifier, e.g. ``"product"``; used by the registry and CLI-ish code.
+    key: ClassVar[str] = ""
+    #: Human-readable column label as used in the paper's Table 1.
+    label: ClassVar[str] = ""
+    #: Qualitative characteristics (the measure's Table 1 column).
+    characteristics: ClassVar[MeasureCharacteristics]
+    #: How the measure extends to sets of flex-offers.
+    set_aggregation: ClassVar[SetAggregation] = SetAggregation.SUM
+
+    # ------------------------------------------------------------------ #
+    # Core protocol
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def value(self, flex_offer: FlexOffer) -> float:
+        """The flexibility of a single flex-offer under this measure."""
+
+    def set_value(self, flex_offers: Iterable[FlexOffer]) -> float:
+        """The flexibility of a *set* of flex-offers.
+
+        The default combines the per-flex-offer values according to
+        ``set_aggregation``.  An empty set has zero flexibility (and, for
+        averaging measures, zero is also returned rather than raising).
+        """
+        values = [self.value(flex_offer) for flex_offer in flex_offers]
+        if not values:
+            return 0.0
+        if self.set_aggregation is SetAggregation.MEAN:
+            return float(sum(values) / len(values))
+        return float(sum(values))
+
+    def __call__(self, flex_offer: FlexOffer) -> float:
+        return self.value(flex_offer)
+
+    # ------------------------------------------------------------------ #
+    # Applicability
+    # ------------------------------------------------------------------ #
+    def supports(self, flex_offer: FlexOffer) -> bool:
+        """Whether the measure is meaningful for the flex-offer's sign class.
+
+        Derived from the measure's characteristics; measures that cannot
+        express mixed flex-offers (the area-based ones, Section 4) return
+        ``False`` for mixed inputs.
+        """
+        if flex_offer.is_mixed:
+            return self.characteristics.captures_mixed
+        if flex_offer.is_production:
+            return self.characteristics.captures_negative
+        return self.characteristics.captures_positive
+
+    def describe(self) -> dict[str, object]:
+        """A serialisable description of the measure (used by reporting)."""
+        return {
+            "key": self.key,
+            "label": self.label,
+            "set_aggregation": self.set_aggregation.value,
+            "characteristics": self.characteristics.as_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(key={self.key!r})"
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+_REGISTRY: dict[str, type[FlexibilityMeasure]] = {}
+
+
+def register_measure(cls: type[FlexibilityMeasure]) -> type[FlexibilityMeasure]:
+    """Class decorator registering a measure under its ``key``.
+
+    Registration is idempotent for the same class but refuses to silently
+    overwrite a different class with the same key.
+    """
+    if not issubclass(cls, FlexibilityMeasure):
+        raise TypeError(f"{cls!r} is not a FlexibilityMeasure subclass")
+    if not cls.key:
+        raise ValueError(f"measure class {cls.__name__} must define a non-empty key")
+    existing = _REGISTRY.get(cls.key)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"measure key {cls.key!r} already registered by {existing.__name__}"
+        )
+    _REGISTRY[cls.key] = cls
+    return cls
+
+
+def registered_measures() -> dict[str, type[FlexibilityMeasure]]:
+    """A copy of the measure registry, keyed by measure key."""
+    return dict(_REGISTRY)
+
+
+def measure_keys() -> list[str]:
+    """All registered measure keys, in registration (paper) order."""
+    return list(_REGISTRY)
+
+
+def get_measure(key: str, **kwargs: object) -> FlexibilityMeasure:
+    """Instantiate a registered measure by key.
+
+    Keyword arguments are forwarded to the measure constructor (for example
+    ``norm="l1"`` for the vector and time-series measures).
+    """
+    try:
+        cls = _REGISTRY[key]
+    except KeyError:
+        raise MeasureError(
+            f"unknown measure {key!r}; registered measures: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)  # type: ignore[call-arg]

@@ -1,0 +1,154 @@
+"""The characteristics matrix of the flexibility measures (Table 1).
+
+Table 1 of the paper summarises every proposed measure against eight
+qualitative characteristics (captures time, captures energy, captures their
+combination, captures size, applicability to positive / negative / mixed
+flex-offers, single value).  Here the matrix is *derived* from the
+``characteristics`` metadata declared on every registered measure class, so
+the benchmark that reproduces Table 1 checks the metadata that the rest of
+the library actually consults (for example :meth:`FlexibilityMeasure.supports`
+and the composite-measure compatibility checks).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+from .base import (
+    FlexibilityMeasure,
+    MeasureCharacteristics,
+    get_measure,
+    registered_measures,
+)
+
+__all__ = [
+    "PAPER_MEASURE_ORDER",
+    "PAPER_TABLE_1",
+    "characteristics_matrix",
+    "characteristics_table",
+    "format_characteristics_table",
+    "matches_paper_table",
+]
+
+#: The measure keys in the column order of the paper's Table 1.
+PAPER_MEASURE_ORDER: tuple[str, ...] = (
+    "time",
+    "energy",
+    "product",
+    "vector",
+    "series",
+    "assignments",
+    "absolute_area",
+    "relative_area",
+)
+
+#: The paper's Table 1, transcribed verbatim: ``{row_label: {measure_key: bool}}``.
+PAPER_TABLE_1: dict[str, dict[str, bool]] = {
+    "Captures time": {
+        "time": True, "energy": False, "product": False, "vector": True,
+        "series": False, "assignments": True, "absolute_area": True,
+        "relative_area": True,
+    },
+    "Captures energy": {
+        "time": False, "energy": True, "product": False, "vector": True,
+        "series": True, "assignments": True, "absolute_area": True,
+        "relative_area": True,
+    },
+    "Captures time & energy": {
+        "time": False, "energy": False, "product": True, "vector": True,
+        "series": False, "assignments": True, "absolute_area": True,
+        "relative_area": True,
+    },
+    "Captures size": {
+        "time": False, "energy": False, "product": False, "vector": False,
+        "series": False, "assignments": False, "absolute_area": True,
+        "relative_area": True,
+    },
+    "Captures positive flex-offers": {
+        key: True for key in PAPER_MEASURE_ORDER
+    },
+    "Captures negative flex-offers": {
+        key: True for key in PAPER_MEASURE_ORDER
+    },
+    "Captures Mixed flex-offers": {
+        "time": True, "energy": True, "product": True, "vector": True,
+        "series": True, "assignments": True, "absolute_area": False,
+        "relative_area": False,
+    },
+    "Single Value": {
+        key: True for key in PAPER_MEASURE_ORDER
+    },
+}
+
+
+def _ordered_measures(keys: Optional[Sequence[str]] = None) -> list[type[FlexibilityMeasure]]:
+    registry = registered_measures()
+    ordered_keys = list(keys) if keys is not None else [
+        key for key in PAPER_MEASURE_ORDER if key in registry
+    ]
+    return [registry[key] for key in ordered_keys]
+
+
+def characteristics_matrix(
+    keys: Optional[Sequence[str]] = None,
+) -> dict[str, dict[str, bool]]:
+    """The characteristics matrix derived from the measure metadata.
+
+    Returns ``{row_label: {measure_key: bool}}`` with rows in Table 1 order
+    and columns restricted to ``keys`` (default: the paper's eight measures).
+    """
+    measures = _ordered_measures(keys)
+    matrix: dict[str, dict[str, bool]] = {}
+    for field_name, row_label in MeasureCharacteristics.ROW_LABELS:
+        matrix[row_label] = {
+            cls.key: getattr(cls.characteristics, field_name) for cls in measures
+        }
+    return matrix
+
+
+def characteristics_table(
+    keys: Optional[Sequence[str]] = None,
+) -> list[list[str]]:
+    """Table 1 as a list of rows of strings (header row first)."""
+    measures = _ordered_measures(keys)
+    header = ["Characteristics"] + [cls.label for cls in measures]
+    rows = [header]
+    matrix = characteristics_matrix([cls.key for cls in measures])
+    for _, row_label in MeasureCharacteristics.ROW_LABELS:
+        row = [row_label]
+        for cls in measures:
+            row.append("Yes" if matrix[row_label][cls.key] else "No")
+        rows.append(row)
+    return rows
+
+
+def format_characteristics_table(keys: Optional[Sequence[str]] = None) -> str:
+    """Table 1 rendered as a fixed-width text table (for reports and benches)."""
+    rows = characteristics_table(keys)
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    lines = []
+    for index, row in enumerate(rows):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
+
+
+def matches_paper_table(keys: Optional[Sequence[str]] = None) -> dict[str, bool]:
+    """Compare the derived matrix against the transcribed paper Table 1.
+
+    Returns ``{row_label: True/False}`` where ``True`` means the whole row
+    matches the paper.  The benchmark :mod:`benchmarks.bench_table1_characteristics`
+    asserts every row matches.
+    """
+    derived = characteristics_matrix(keys)
+    agreement: dict[str, bool] = {}
+    for row_label, expected_row in PAPER_TABLE_1.items():
+        derived_row = derived.get(row_label, {})
+        agreement[row_label] = all(
+            derived_row.get(key) == expected for key, expected in expected_row.items()
+            if key in derived_row
+        ) and set(expected_row) == set(derived_row)
+    return agreement

@@ -1,0 +1,139 @@
+"""Composite (weighted) flexibility measures.
+
+Section 4 of the paper observes that no single measure has all the desirable
+characteristics and suggests *weighting* as a way of "combining different
+flexibility measures and balancing their influences to fulfill specific
+characteristics".  :class:`WeightedFlexibility` implements exactly that: a
+linear combination of registered measures with optional per-measure
+normalisation, so e.g. an Aggregator can blend a size-aware measure
+(relative area) with a mixed-capable one (vector) as the discussion section
+recommends for the balancing use case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import ClassVar, Optional, Union
+
+from ..core.errors import MeasureError
+from ..core.flexoffer import FlexOffer
+from .base import (
+    FlexibilityMeasure,
+    MeasureCharacteristics,
+    get_measure,
+)
+
+__all__ = ["WeightedFlexibility", "MeasureWeight"]
+
+#: A single term of a weighted combination: ``(measure, weight)``.
+MeasureWeight = tuple[FlexibilityMeasure, float]
+
+
+def _combine_characteristics(
+    components: Sequence[FlexibilityMeasure],
+) -> MeasureCharacteristics:
+    """Characteristics of a weighted combination.
+
+    A combination *captures* a dimension as soon as one of its components
+    does, but it only *supports* a sign class (positive / negative / mixed)
+    when every component does — applying the combination to a flex-offer a
+    component refuses would fail.
+    """
+    return MeasureCharacteristics(
+        captures_time=any(m.characteristics.captures_time for m in components),
+        captures_energy=any(m.characteristics.captures_energy for m in components),
+        captures_time_and_energy=any(
+            m.characteristics.captures_time_and_energy for m in components
+        ),
+        captures_size=any(m.characteristics.captures_size for m in components),
+        captures_positive=all(m.characteristics.captures_positive for m in components),
+        captures_negative=all(m.characteristics.captures_negative for m in components),
+        captures_mixed=all(m.characteristics.captures_mixed for m in components),
+        single_value=True,
+    )
+
+
+class WeightedFlexibility(FlexibilityMeasure):
+    """A weighted linear combination of flexibility measures.
+
+    Parameters
+    ----------
+    weights:
+        Either a mapping from measure key to weight (measures are then
+        instantiated from the registry with default arguments) or an iterable
+        of ``(measure_instance, weight)`` pairs for full control over measure
+        parameters such as norms.
+    normalise_weights:
+        When ``True`` (default) the weights are rescaled to sum to one so the
+        combined value stays on a scale comparable to its components.
+
+    Examples
+    --------
+    >>> from repro.core import FlexOffer
+    >>> blend = WeightedFlexibility({"vector": 0.5, "product": 0.5})
+    >>> blend.value(FlexOffer(1, 6, [(1, 3), (2, 4), (0, 5), (0, 3)])) > 0
+    True
+    """
+
+    key: ClassVar[str] = "weighted"
+    label: ClassVar[str] = "Weighted"
+    #: Placeholder; instances override ``characteristics`` per combination.
+    characteristics: ClassVar[MeasureCharacteristics] = MeasureCharacteristics(
+        captures_time=True,
+        captures_energy=True,
+        captures_time_and_energy=True,
+        captures_size=True,
+    )
+
+    def __init__(
+        self,
+        weights: Union[Mapping[str, float], Iterable[MeasureWeight]],
+        normalise_weights: bool = True,
+    ) -> None:
+        terms: list[MeasureWeight] = []
+        if isinstance(weights, Mapping):
+            for measure_key, weight in weights.items():
+                terms.append((get_measure(measure_key), float(weight)))
+        else:
+            for measure, weight in weights:
+                if not isinstance(measure, FlexibilityMeasure):
+                    raise MeasureError(
+                        f"expected a FlexibilityMeasure instance, got {measure!r}"
+                    )
+                terms.append((measure, float(weight)))
+        if not terms:
+            raise MeasureError("a weighted flexibility needs at least one component")
+        for measure, weight in terms:
+            if weight < 0:
+                raise MeasureError(
+                    f"weight for measure {measure.key!r} must be non-negative, got {weight}"
+                )
+        total_weight = sum(weight for _, weight in terms)
+        if total_weight <= 0:
+            raise MeasureError("the weights of a weighted flexibility must not all be zero")
+        if normalise_weights:
+            terms = [(measure, weight / total_weight) for measure, weight in terms]
+        self.terms: tuple[MeasureWeight, ...] = tuple(terms)
+        # Per-instance characteristics reflecting the actual components.
+        self.characteristics = _combine_characteristics([m for m, _ in terms])
+
+    def value(self, flex_offer: FlexOffer) -> float:
+        return sum(weight * measure.value(flex_offer) for measure, weight in self.terms)
+
+    def components(self) -> tuple[MeasureWeight, ...]:
+        """The ``(measure, weight)`` terms of the combination."""
+        return self.terms
+
+    def breakdown(self, flex_offer: FlexOffer) -> dict[str, float]:
+        """Per-component weighted contributions for one flex-offer."""
+        return {
+            measure.key: weight * measure.value(flex_offer)
+            for measure, weight in self.terms
+        }
+
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description["components"] = [
+            {"measure": measure.key, "weight": weight} for measure, weight in self.terms
+        ]
+        return description

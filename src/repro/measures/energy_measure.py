@@ -1,0 +1,61 @@
+"""Energy flexibility measure (Section 3.1 of the paper).
+
+``ef(f) = cmax(f) − cmin(f)``: the width of the total-energy range admitted by
+the flex-offer's total constraints.  Example 2 of the paper computes
+``ef = 12`` for the Figure 1 flex-offer (whose total constraints default to
+the sums of the slice minima and maxima, 3 and 15).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import ClassVar
+
+from ..core.flexoffer import FlexOffer
+from .base import FlexibilityMeasure, MeasureCharacteristics, register_measure
+
+__all__ = ["EnergyFlexibility", "energy_flexibility", "profile_energy_flexibility"]
+
+
+@register_measure
+class EnergyFlexibility(FlexibilityMeasure):
+    """The energy flexibility ``ef(f) = cmax − cmin``.
+
+    Characteristics (Table 1): captures energy only; applicable to positive,
+    negative and mixed flex-offers; insensitive to the time dimension and to
+    the flex-offer's size (only the *difference* of the total constraints
+    matters, not their magnitude).
+    """
+
+    key: ClassVar[str] = "energy"
+    label: ClassVar[str] = "Energy"
+    characteristics: ClassVar[MeasureCharacteristics] = MeasureCharacteristics(
+        captures_time=False,
+        captures_energy=True,
+        captures_time_and_energy=False,
+        captures_size=False,
+    )
+
+    def value(self, flex_offer: FlexOffer) -> float:
+        return float(flex_offer.energy_flexibility)
+
+
+def energy_flexibility(flex_offer: FlexOffer) -> int:
+    """Convenience function returning ``ef(f)`` as an exact integer."""
+    return flex_offer.energy_flexibility
+
+
+def profile_energy_flexibility(flex_offer: FlexOffer) -> int:
+    """Sum of per-slice energy flexibilities ``Σ (amax − amin)``.
+
+    This is the energy term used by the *original* total-flexibility
+    definition of Šikšnys et al. [15] that the paper's product flexibility
+    refines; it ignores the total constraints.  Exposed for the aggregation
+    loss experiments and for comparison with ``ef(f)``.
+    """
+    return sum(s.width for s in flex_offer.slices)
+
+
+def total_energy_flexibility(flex_offers: Iterable[FlexOffer]) -> int:
+    """Sum of energy flexibilities over a set of flex-offers."""
+    return sum(flex_offer.energy_flexibility for flex_offer in flex_offers)

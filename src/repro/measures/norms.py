@@ -1,0 +1,89 @@
+"""Vector norms used by the flexibility measures.
+
+The paper applies the Manhattan (L1) and Euclidean (L2) norms to two kinds of
+objects: the 2-component vector flexibility (Definition 4, Example 4) and the
+difference time series of the time-series flexibility (Definition 7,
+Example 5).  This module provides a small, explicit norm registry so measure
+constructors can accept either a name (``"l1"``, ``"manhattan"``, ``"l2"``,
+``"euclidean"``, ``"max"``/``"linf"``) or a numeric order.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from typing import Union
+
+__all__ = [
+    "NormOrder",
+    "manhattan",
+    "euclidean",
+    "maximum",
+    "lp_norm",
+    "resolve_norm_order",
+    "vector_norm",
+    "NORM_ALIASES",
+]
+
+NormOrder = Union[int, float]
+
+#: Mapping of accepted textual norm names to numeric orders.
+NORM_ALIASES: dict[str, NormOrder] = {
+    "l1": 1,
+    "manhattan": 1,
+    "taxicab": 1,
+    "l2": 2,
+    "euclidean": 2,
+    "linf": math.inf,
+    "max": math.inf,
+    "chebyshev": math.inf,
+}
+
+
+def resolve_norm_order(norm: Union[str, NormOrder]) -> NormOrder:
+    """Normalise a norm specification into a numeric order.
+
+    Raises ``ValueError`` on an unknown name or non-positive order.
+    """
+    if isinstance(norm, str):
+        key = norm.strip().lower()
+        if key not in NORM_ALIASES:
+            raise ValueError(
+                f"unknown norm {norm!r}; expected one of {sorted(NORM_ALIASES)}"
+            )
+        return NORM_ALIASES[key]
+    if isinstance(norm, bool) or not isinstance(norm, (int, float)):
+        raise ValueError(f"norm must be a name or a numeric order, got {norm!r}")
+    if norm <= 0:
+        raise ValueError(f"norm order must be positive, got {norm}")
+    return norm
+
+
+def lp_norm(values: Iterable[float], order: NormOrder) -> float:
+    """The L``order`` norm of a sequence of numbers."""
+    items = [abs(float(value)) for value in values]
+    if order == math.inf:
+        return max(items, default=0.0)
+    if order <= 0:
+        raise ValueError(f"norm order must be positive, got {order}")
+    return sum(item ** order for item in items) ** (1.0 / order)
+
+
+def manhattan(values: Iterable[float]) -> float:
+    """L1 norm: sum of absolute values."""
+    return lp_norm(values, 1)
+
+
+def euclidean(values: Iterable[float]) -> float:
+    """L2 norm: square root of the sum of squares."""
+    return lp_norm(values, 2)
+
+
+def maximum(values: Iterable[float]) -> float:
+    """L∞ norm: largest absolute value."""
+    return lp_norm(values, math.inf)
+
+
+def vector_norm(values: Sequence[float], norm: Union[str, NormOrder] = 2) -> float:
+    """Norm of a vector given either a textual name or a numeric order."""
+    return lp_norm(values, resolve_norm_order(norm))

@@ -1,0 +1,60 @@
+"""Product flexibility measure (Definition 3 of the paper).
+
+``product_flexibility(f) = tf(f) · ef(f)``.
+
+The paper's Example 3 computes ``5 · 12 = 60`` for the Figure 1 flex-offer.
+Section 4 discusses the measure's main weakness, illustrated by Example 11:
+whenever either dimension has zero flexibility the product collapses to zero
+even though the flex-offer is still flexible in the other dimension, and the
+measure is blind to the flex-offer's size (absolute energy amounts).
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from ..core.flexoffer import FlexOffer
+from .base import FlexibilityMeasure, MeasureCharacteristics, register_measure
+
+__all__ = ["ProductFlexibility", "product_flexibility", "legacy_product_flexibility"]
+
+
+@register_measure
+class ProductFlexibility(FlexibilityMeasure):
+    """The product flexibility ``tf(f) · ef(f)``.
+
+    Characteristics (Table 1): captures the *combination* of time and energy
+    (but neither dimension individually — a zero in either dimension hides
+    the other), is size-blind, and applies to positive, negative and mixed
+    flex-offers.
+    """
+
+    key: ClassVar[str] = "product"
+    label: ClassVar[str] = "Product"
+    characteristics: ClassVar[MeasureCharacteristics] = MeasureCharacteristics(
+        captures_time=False,
+        captures_energy=False,
+        captures_time_and_energy=True,
+        captures_size=False,
+    )
+
+    def value(self, flex_offer: FlexOffer) -> float:
+        return float(flex_offer.time_flexibility * flex_offer.energy_flexibility)
+
+
+def product_flexibility(flex_offer: FlexOffer) -> int:
+    """Convenience function returning ``tf(f) · ef(f)`` as an exact integer."""
+    return flex_offer.time_flexibility * flex_offer.energy_flexibility
+
+
+def legacy_product_flexibility(flex_offer: FlexOffer) -> int:
+    """The original total flexibility of Šikšnys et al. [15].
+
+    Before the paper introduced total energy constraints, the total (joint)
+    flexibility of a flex-offer was defined as the product of the time
+    flexibility and the *sum of the per-slice energy flexibilities*.  This
+    historical variant is exposed because the aggregation experiments compare
+    against it.
+    """
+    slice_flexibility = sum(s.width for s in flex_offer.slices)
+    return flex_offer.time_flexibility * slice_flexibility

@@ -1,0 +1,88 @@
+"""Time-series flexibility measure (Definitions 5–7 of the paper).
+
+The measure compares the two most dissimilar assignments of a flex-offer —
+the *minimum assignment* (per-slice minima, earliest start, Definition 5) and
+the *maximum assignment* (per-slice maxima, latest start, Definition 6) — by
+taking their difference as a time series and collapsing it with a norm
+(Manhattan or Euclidean).
+
+Section 4 and Example 13 of the paper point out the measure's blind spot:
+standard Lp norms ignore the temporal structure of the difference series, so
+the result only reflects the energy dimension — two flex-offers that differ
+only in time flexibility obtain identical values.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Union
+
+from ..core.flexoffer import FlexOffer
+from ..core.timeseries import TimeSeries
+from .base import FlexibilityMeasure, MeasureCharacteristics, register_measure
+from .norms import NormOrder, lp_norm, resolve_norm_order
+
+__all__ = [
+    "SeriesFlexibility",
+    "series_difference",
+    "series_flexibility",
+]
+
+
+def series_difference(flex_offer: FlexOffer) -> TimeSeries:
+    """The difference ``f_a^max − f_a^min`` as a zero-filled time series.
+
+    The two canonical assignments generally start at different times; the
+    difference is taken over the union of their spans with missing positions
+    treated as zero, exactly as in the paper's Example 5.
+    """
+    return flex_offer.maximum_assignment() - flex_offer.minimum_assignment()
+
+
+def series_flexibility(
+    flex_offer: FlexOffer, norm: Union[str, NormOrder] = 2
+) -> float:
+    """Time-series flexibility: ``‖ f_a^max − f_a^min ‖`` under the given norm."""
+    difference = series_difference(flex_offer)
+    return lp_norm(difference.values, resolve_norm_order(norm))
+
+
+@register_measure
+class SeriesFlexibility(FlexibilityMeasure):
+    """Single-value time-series flexibility.
+
+    Parameters
+    ----------
+    norm:
+        Norm used to collapse the difference series; defaults to the
+        Euclidean norm.  The paper uses Manhattan and Euclidean norms
+        (Example 5).
+
+    Characteristics (Table 1): although the construction involves both time
+    and energy, the Lp norms discard the temporal structure, so the measure
+    effectively captures only energy flexibility.  It applies to all sign
+    classes and extends to sets by summation.
+    """
+
+    key: ClassVar[str] = "series"
+    label: ClassVar[str] = "Time-series"
+    characteristics: ClassVar[MeasureCharacteristics] = MeasureCharacteristics(
+        captures_time=False,
+        captures_energy=True,
+        captures_time_and_energy=False,
+        captures_size=False,
+    )
+
+    def __init__(self, norm: Union[str, NormOrder] = 2) -> None:
+        self.norm_order = resolve_norm_order(norm)
+
+    def value(self, flex_offer: FlexOffer) -> float:
+        return series_flexibility(flex_offer, self.norm_order)
+
+    def difference(self, flex_offer: FlexOffer) -> TimeSeries:
+        """The underlying difference series before the norm is applied."""
+        return series_difference(flex_offer)
+
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description["norm_order"] = self.norm_order
+        return description

@@ -1,0 +1,160 @@
+"""Set-wise flexibility evaluation.
+
+Section 4 of the paper extends every measure from a single flex-offer to a
+*set* of flex-offers: most measures sum the individual values, the relative
+area-based measure averages them, and the assignment measure counts joint
+assignments (the product of the individual counts).  This module adds the
+orchestration layer on top of the per-measure ``set_value`` hooks: evaluating
+one set under many measures at once, comparing two sets (e.g. before and
+after aggregation), and ranking flex-offers inside a set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.errors import MeasureError
+from ..core.flexoffer import FlexOffer
+from .base import FlexibilityMeasure, get_measure, registered_measures
+
+__all__ = [
+    "FlexibilitySetReport",
+    "MeasureSpec",
+    "applicable_measures",
+    "resolve_measures",
+    "evaluate_set",
+    "compare_sets",
+    "rank_flexoffers",
+]
+
+MeasureSpec = Union[str, FlexibilityMeasure]
+
+
+def resolve_measures(measures: Optional[Iterable[MeasureSpec]]) -> list[FlexibilityMeasure]:
+    """Resolve measure keys and/or instances into measure instances.
+
+    ``None`` resolves to one default-configured instance of every registered
+    measure.
+    """
+    if measures is None:
+        return [cls() for cls in registered_measures().values() if cls.key != "weighted"]
+    resolved: list[FlexibilityMeasure] = []
+    for spec in measures:
+        if isinstance(spec, FlexibilityMeasure):
+            resolved.append(spec)
+        elif isinstance(spec, str):
+            resolved.append(get_measure(spec))
+        else:
+            raise MeasureError(f"cannot resolve measure specification {spec!r}")
+    return resolved
+
+
+def applicable_measures(
+    flex_offers: Sequence[FlexOffer],
+    measures: Optional[Iterable[MeasureSpec]] = None,
+) -> list[FlexibilityMeasure]:
+    """The subset of measures that support every flex-offer in the set.
+
+    Mirrors the paper's Section 4 guidance: e.g. the area-based measures are
+    dropped as soon as the set contains a mixed flex-offer.
+    """
+    resolved = resolve_measures(measures)
+    return [
+        measure
+        for measure in resolved
+        if all(measure.supports(flex_offer) for flex_offer in flex_offers)
+    ]
+
+
+@dataclass(frozen=True)
+class FlexibilitySetReport:
+    """Flexibility of one set of flex-offers under several measures."""
+
+    #: Number of flex-offers evaluated.
+    size: int
+    #: ``{measure_key: set_value}`` for every measure that supports the set.
+    values: dict[str, float]
+    #: Measure keys that were skipped because they do not support the set.
+    skipped: tuple[str, ...]
+
+    def value(self, measure_key: str) -> float:
+        """The set value for one measure; raises ``KeyError`` when skipped."""
+        return self.values[measure_key]
+
+
+def evaluate_set(
+    flex_offers: Sequence[FlexOffer],
+    measures: Optional[Iterable[MeasureSpec]] = None,
+    skip_unsupported: bool = True,
+) -> FlexibilitySetReport:
+    """Evaluate a set of flex-offers under several measures at once.
+
+    Parameters
+    ----------
+    measures:
+        Measure keys or instances; defaults to every registered measure.
+    skip_unsupported:
+        When ``True`` (default) measures that do not support the set's sign
+        classes are recorded in ``skipped`` instead of raising.
+    """
+    flex_offers = list(flex_offers)
+    resolved = resolve_measures(measures)
+    values: dict[str, float] = {}
+    skipped: list[str] = []
+    for measure in resolved:
+        supported = all(measure.supports(flex_offer) for flex_offer in flex_offers)
+        if not supported and skip_unsupported:
+            skipped.append(measure.key)
+            continue
+        values[measure.key] = measure.set_value(flex_offers)
+    return FlexibilitySetReport(len(flex_offers), values, tuple(skipped))
+
+
+def compare_sets(
+    before: Sequence[FlexOffer],
+    after: Sequence[FlexOffer],
+    measures: Optional[Iterable[MeasureSpec]] = None,
+) -> dict[str, dict[str, float]]:
+    """Compare two sets of flex-offers measure by measure.
+
+    Returns ``{measure_key: {"before": x, "after": y, "loss": x - y,
+    "retained": y / x}}`` for every measure supported by both sets.  The
+    ``retained`` ratio is reported as 1.0 whenever the *before* value is zero.
+    This is the primitive the aggregation-loss experiments (Scenario 1 of the
+    paper) are built on.
+    """
+    before_report = evaluate_set(before, measures)
+    after_report = evaluate_set(after, measures)
+    comparison: dict[str, dict[str, float]] = {}
+    for key, before_value in before_report.values.items():
+        if key not in after_report.values:
+            continue
+        after_value = after_report.values[key]
+        retained = 1.0 if before_value == 0 else after_value / before_value
+        comparison[key] = {
+            "before": before_value,
+            "after": after_value,
+            "loss": before_value - after_value,
+            "retained": retained,
+        }
+    return comparison
+
+
+def rank_flexoffers(
+    flex_offers: Sequence[FlexOffer],
+    measure: MeasureSpec,
+    descending: bool = True,
+) -> list[tuple[FlexOffer, float]]:
+    """Rank flex-offers by their flexibility under one measure.
+
+    Flex-offers the measure does not support are excluded from the ranking.
+    """
+    resolved = resolve_measures([measure])[0]
+    scored = [
+        (flex_offer, resolved.value(flex_offer))
+        for flex_offer in flex_offers
+        if resolved.supports(flex_offer)
+    ]
+    return sorted(scored, key=lambda pair: pair[1], reverse=descending)

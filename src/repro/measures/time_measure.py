@@ -1,0 +1,48 @@
+"""Time flexibility measure (Section 3.1 of the paper).
+
+``tf(f) = tls − tes``: the width of the start-time flexibility interval,
+measured in time units.  Example 1 of the paper computes ``tf = 5`` for the
+Figure 1 flex-offer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import ClassVar
+
+from ..core.flexoffer import FlexOffer
+from .base import FlexibilityMeasure, MeasureCharacteristics, register_measure
+
+__all__ = ["TimeFlexibility", "time_flexibility"]
+
+
+@register_measure
+class TimeFlexibility(FlexibilityMeasure):
+    """The time flexibility ``tf(f) = f.tls − f.tes``.
+
+    Characteristics (Table 1): captures time only; applicable to positive,
+    negative and mixed flex-offers; insensitive to the energy dimension and
+    to the flex-offer's size.
+    """
+
+    key: ClassVar[str] = "time"
+    label: ClassVar[str] = "Time"
+    characteristics: ClassVar[MeasureCharacteristics] = MeasureCharacteristics(
+        captures_time=True,
+        captures_energy=False,
+        captures_time_and_energy=False,
+        captures_size=False,
+    )
+
+    def value(self, flex_offer: FlexOffer) -> float:
+        return float(flex_offer.time_flexibility)
+
+
+def time_flexibility(flex_offer: FlexOffer) -> int:
+    """Convenience function returning ``tf(f)`` as an exact integer."""
+    return flex_offer.time_flexibility
+
+
+def total_time_flexibility(flex_offers: Iterable[FlexOffer]) -> int:
+    """Sum of time flexibilities over a set of flex-offers."""
+    return sum(flex_offer.time_flexibility for flex_offer in flex_offers)

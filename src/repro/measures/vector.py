@@ -1,0 +1,76 @@
+"""Vector flexibility measure (Definition 4 of the paper).
+
+The vector flexibility of a flex-offer is the two-component vector
+``⟨tf(f), ef(f)⟩``; its magnitude under a chosen norm (Manhattan or
+Euclidean in the paper) gives a single-value flexibility.
+
+Unlike the product flexibility, the vector measure still reports non-zero
+flexibility when one of the two dimensions is inflexible (Section 4), but it
+remains blind to the flex-offer's size (Example 12).
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Union
+
+from ..core.flexoffer import FlexOffer
+from .base import FlexibilityMeasure, MeasureCharacteristics, register_measure
+from .norms import NormOrder, resolve_norm_order, vector_norm
+
+__all__ = ["VectorFlexibility", "vector_flexibility", "vector_flexibility_norm"]
+
+
+def vector_flexibility(flex_offer: FlexOffer) -> tuple[int, int]:
+    """The raw flexibility vector ``⟨tf(f), ef(f)⟩`` (Definition 4)."""
+    return flex_offer.time_flexibility, flex_offer.energy_flexibility
+
+
+def vector_flexibility_norm(
+    flex_offer: FlexOffer, norm: Union[str, NormOrder] = 2
+) -> float:
+    """The length of the flexibility vector under the given norm.
+
+    ``norm`` accepts ``"l1"``/``"manhattan"``, ``"l2"``/``"euclidean"``,
+    ``"max"`` or any positive numeric order.
+    """
+    return vector_norm(vector_flexibility(flex_offer), norm)
+
+
+@register_measure
+class VectorFlexibility(FlexibilityMeasure):
+    """Single-value vector flexibility ``‖⟨tf(f), ef(f)⟩‖``.
+
+    Parameters
+    ----------
+    norm:
+        The norm used to collapse the vector into a single value; defaults to
+        the Euclidean norm.  The paper evaluates both the Manhattan and the
+        Euclidean norm (Example 4).
+
+    Characteristics (Table 1): captures time, energy and their combination,
+    is size-blind and applies to all sign classes.
+    """
+
+    key: ClassVar[str] = "vector"
+    label: ClassVar[str] = "Vector"
+    characteristics: ClassVar[MeasureCharacteristics] = MeasureCharacteristics(
+        captures_time=True,
+        captures_energy=True,
+        captures_time_and_energy=True,
+        captures_size=False,
+    )
+
+    def __init__(self, norm: Union[str, NormOrder] = 2) -> None:
+        self.norm_order = resolve_norm_order(norm)
+
+    def value(self, flex_offer: FlexOffer) -> float:
+        return vector_norm(vector_flexibility(flex_offer), self.norm_order)
+
+    def components(self, flex_offer: FlexOffer) -> tuple[int, int]:
+        """The underlying ``⟨tf, ef⟩`` vector before applying the norm."""
+        return vector_flexibility(flex_offer)
+
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description["norm_order"] = self.norm_order
+        return description

@@ -1,0 +1,28 @@
+"""Flex-offer scheduling substrate (Scenario 1 of the paper)."""
+
+from .base import Schedule, Scheduler
+from .evolutionary import EvolutionaryScheduler
+from .greedy import EarliestStartScheduler, GreedyImbalanceScheduler
+from .objective import (
+    ImbalanceObjective,
+    absolute_imbalance,
+    imbalance_series,
+    peak_load,
+    squared_imbalance,
+)
+from .stochastic import HillClimbingScheduler, random_assignment
+
+__all__ = [
+    "Schedule",
+    "Scheduler",
+    "EarliestStartScheduler",
+    "GreedyImbalanceScheduler",
+    "HillClimbingScheduler",
+    "EvolutionaryScheduler",
+    "random_assignment",
+    "ImbalanceObjective",
+    "imbalance_series",
+    "absolute_imbalance",
+    "squared_imbalance",
+    "peak_load",
+]

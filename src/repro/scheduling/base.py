@@ -1,0 +1,97 @@
+"""Scheduling primitives: schedules and the scheduler interface.
+
+Scenario 1 of the paper: flex-offers "must be scheduled at some point in time
+to be able to satisfy the prosumers' energy needs" — the flex-offer
+scheduling problem, which the paper notes is similar to the unit commitment
+problem and is highly complex for large flex-offer populations.  A *schedule*
+fixes one valid assignment per flex-offer; schedulers differ in how they pick
+those assignments to track a reference (e.g. forecast wind production).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.assignment import Assignment
+from ..core.errors import SchedulingError
+from ..core.flexoffer import FlexOffer
+from ..core.timeseries import TimeSeries
+
+__all__ = ["Schedule", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One valid assignment per scheduled flex-offer."""
+
+    assignments: tuple[Assignment, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assignments", tuple(self.assignments))
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+    def __iter__(self):
+        return iter(self.assignments)
+
+    @property
+    def flex_offers(self) -> tuple[FlexOffer, ...]:
+        """The scheduled flex-offers, in schedule order."""
+        return tuple(assignment.flex_offer for assignment in self.assignments)
+
+    def total_load(self) -> TimeSeries:
+        """The aggregate load of the schedule (sum of assignment series)."""
+        return TimeSeries.sum_of([assignment.series for assignment in self.assignments])
+
+    def total_energy(self) -> int:
+        """Total energy over all assignments."""
+        return sum(assignment.total_energy for assignment in self.assignments)
+
+    def assignment_for(self, name: str) -> Assignment:
+        """Look up the assignment of a flex-offer by its name."""
+        for assignment in self.assignments:
+            if assignment.flex_offer.name == name:
+                return assignment
+        raise SchedulingError(f"no assignment for flex-offer named {name!r}")
+
+    def replacing(self, index: int, assignment: Assignment) -> "Schedule":
+        """A copy of the schedule with the assignment at ``index`` replaced."""
+        updated = list(self.assignments)
+        updated[index] = assignment
+        return Schedule(tuple(updated))
+
+
+class Scheduler(abc.ABC):
+    """Interface shared by every scheduler in the library."""
+
+    #: Short identifier used in benchmark tables.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def schedule(
+        self,
+        flex_offers: Sequence[FlexOffer],
+        reference: Optional[TimeSeries] = None,
+    ) -> Schedule:
+        """Produce one valid assignment per flex-offer.
+
+        Parameters
+        ----------
+        flex_offers:
+            The flex-offers to schedule.
+        reference:
+            Optional reference profile (e.g. forecast renewable production)
+            the schedule should track; schedulers that ignore it (such as the
+            earliest-start baseline) accept and discard it.
+        """
+
+    def __call__(
+        self,
+        flex_offers: Sequence[FlexOffer],
+        reference: Optional[TimeSeries] = None,
+    ) -> Schedule:
+        return self.schedule(flex_offers, reference)

@@ -1,0 +1,142 @@
+"""Greedy schedulers.
+
+Two deterministic baselines:
+
+* :class:`EarliestStartScheduler` ignores flexibility entirely — every
+  flex-offer starts as early as possible with its minimum feasible profile.
+  It models today's "charge as soon as plugged in" behaviour and is the
+  baseline against which the value of flexibility is demonstrated.
+* :class:`GreedyImbalanceScheduler` processes flex-offers one by one and, for
+  each, picks the start time and per-slice energy that minimise the running
+  imbalance against a reference profile — a fast constructive heuristic for
+  the flex-offer scheduling problem of Scenario 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Optional
+
+from ..core.assignment import Assignment
+from ..core.flexoffer import FlexOffer
+from ..core.timeseries import TimeSeries
+from .base import Schedule, Scheduler
+from .objective import ImbalanceObjective
+
+__all__ = ["EarliestStartScheduler", "GreedyImbalanceScheduler"]
+
+
+class EarliestStartScheduler(Scheduler):
+    """Schedule every flex-offer at its earliest start with minimal energy.
+
+    The scheduler discards the reference profile; it exists as the
+    no-flexibility-used baseline for the E-SCHED experiment.
+    """
+
+    name = "earliest-start"
+
+    def schedule(
+        self,
+        flex_offers: Sequence[FlexOffer],
+        reference: Optional[TimeSeries] = None,
+    ) -> Schedule:
+        assignments = [
+            Assignment.earliest_minimum(flex_offer) for flex_offer in flex_offers
+        ]
+        return Schedule(tuple(assignments))
+
+
+class GreedyImbalanceScheduler(Scheduler):
+    """Constructive greedy scheduler tracking a reference profile.
+
+    For every flex-offer (processed in the given order) the scheduler
+    enumerates all start times and, per start time, greedily chooses each
+    slice's energy so the running load approaches the reference in that
+    column; the start time with the lowest resulting objective wins.
+
+    Parameters
+    ----------
+    objective:
+        The imbalance objective; its reference profile is also used for the
+        per-column energy choice.  When omitted, an absolute-imbalance
+        objective with a zero reference is used.
+    """
+
+    name = "greedy-imbalance"
+
+    def __init__(self, objective: Optional[ImbalanceObjective] = None) -> None:
+        self.objective = objective or ImbalanceObjective()
+
+    def _choose_profile(
+        self,
+        flex_offer: FlexOffer,
+        start: int,
+        load: dict[int, float],
+        reference: Optional[TimeSeries],
+    ) -> tuple[int, ...]:
+        """Pick per-slice energies that locally track the reference."""
+        bounds = flex_offer.effective_slice_bounds()
+        values: list[int] = []
+        for offset, energy_slice in enumerate(bounds):
+            time = start + offset
+            target = reference[time] if reference is not None else 0
+            current = load.get(time, 0)
+            desired = target - current
+            values.append(energy_slice.clamp(desired))
+        # Repair the total so it satisfies the flex-offer's total constraints.
+        total = sum(values)
+        if total < flex_offer.cmin:
+            deficit = flex_offer.cmin - total
+            for index, energy_slice in enumerate(bounds):
+                if deficit <= 0:
+                    break
+                headroom = energy_slice.amax - values[index]
+                take = min(headroom, deficit)
+                values[index] += take
+                deficit -= take
+        elif total > flex_offer.cmax:
+            surplus = total - flex_offer.cmax
+            for index, energy_slice in enumerate(bounds):
+                if surplus <= 0:
+                    break
+                slack = values[index] - energy_slice.amin
+                drop = min(slack, surplus)
+                values[index] -= drop
+                surplus -= drop
+        return tuple(values)
+
+    def schedule(
+        self,
+        flex_offers: Sequence[FlexOffer],
+        reference: Optional[TimeSeries] = None,
+    ) -> Schedule:
+        objective = (
+            self.objective
+            if reference is None
+            else ImbalanceObjective(self.objective.metric, reference)
+        )
+        load: dict[int, float] = {}
+        assignments: list[Assignment] = []
+        for flex_offer in flex_offers:
+            best: Optional[Assignment] = None
+            best_value = float("inf")
+            for start in range(flex_offer.earliest_start, flex_offer.latest_start + 1):
+                values = self._choose_profile(
+                    flex_offer, start, load, objective.reference
+                )
+                candidate = Assignment(flex_offer, start, values)
+                candidate_load = dict(load)
+                for time, value in candidate.series.items():
+                    candidate_load[time] = candidate_load.get(time, 0) + value
+                series = TimeSeries.from_mapping(
+                    {t: v for t, v in candidate_load.items()}
+                )
+                value = objective.of_load(series)
+                if value < best_value:
+                    best_value = value
+                    best = candidate
+            assert best is not None  # at least one start time always exists
+            assignments.append(best)
+            for time, value in best.series.items():
+                load[time] = load.get(time, 0) + value
+        return Schedule(tuple(assignments))

@@ -1,0 +1,91 @@
+"""Scheduling objectives: imbalance between scheduled load and a reference.
+
+The TotalFlex / MIRABEL setting schedules flexible demand so that it follows
+fluctuating renewable production (Section 1 of the paper: "let the energy
+demand follow the energy supply").  The canonical objective is therefore the
+*imbalance* between the schedule's total load and a reference supply profile,
+summed over time — either as absolute deviations (the imbalance energy a BRP
+would have to settle) or squared deviations (penalising peaks).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.timeseries import TimeSeries
+from .base import Schedule
+
+__all__ = [
+    "imbalance_series",
+    "absolute_imbalance",
+    "squared_imbalance",
+    "peak_load",
+    "ImbalanceObjective",
+]
+
+
+def imbalance_series(load: TimeSeries, reference: Optional[TimeSeries]) -> TimeSeries:
+    """The signed deviation ``load − reference`` over the union of their spans.
+
+    A missing reference is treated as the all-zero profile, in which case the
+    imbalance is simply the load itself.
+    """
+    if reference is None:
+        return load
+    return load - reference
+
+
+def absolute_imbalance(load: TimeSeries, reference: Optional[TimeSeries]) -> float:
+    """Total absolute imbalance energy (the L1 norm of the deviation)."""
+    return imbalance_series(load, reference).manhattan_norm()
+
+
+def squared_imbalance(load: TimeSeries, reference: Optional[TimeSeries]) -> float:
+    """Sum of squared deviations (penalises large instantaneous imbalances)."""
+    deviation = imbalance_series(load, reference)
+    return float(sum(value * value for value in deviation.values))
+
+
+def peak_load(load: TimeSeries) -> float:
+    """The largest absolute instantaneous load of a schedule."""
+    return float(max((abs(value) for value in load.values), default=0))
+
+
+@dataclass(frozen=True)
+class ImbalanceObjective:
+    """A configurable scheduling objective.
+
+    Parameters
+    ----------
+    metric:
+        ``"absolute"`` (default) or ``"squared"``.
+    reference:
+        The supply profile the schedule should follow; ``None`` means the
+        objective minimises the load itself (pure valley-filling towards 0).
+    """
+
+    metric: str = "absolute"
+    reference: Optional[TimeSeries] = None
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("absolute", "squared"):
+            raise ValueError(f"unknown imbalance metric {self.metric!r}")
+
+    def of_load(self, load: TimeSeries) -> float:
+        """Objective value of a total-load series."""
+        if self.metric == "absolute":
+            return absolute_imbalance(load, self.reference)
+        return squared_imbalance(load, self.reference)
+
+    def of_schedule(self, schedule: Schedule) -> float:
+        """Objective value of a schedule (lower is better)."""
+        return self.of_load(schedule.total_load())
+
+    def improvement_over(self, baseline: Schedule, candidate: Schedule) -> float:
+        """Relative improvement of ``candidate`` over ``baseline`` (0..1)."""
+        baseline_value = self.of_schedule(baseline)
+        if baseline_value == 0:
+            return 0.0
+        return (baseline_value - self.of_schedule(candidate)) / baseline_value

@@ -1,0 +1,61 @@
+"""Workloads: paper-example fixtures, synthetic populations, profiles, scenarios."""
+
+from .generator import PopulationSpec, default_device_mix, generate_population
+from .paper_examples import (
+    PAPER_EXPECTATIONS,
+    all_paper_flexoffers,
+    ev_use_case_flexoffer,
+    example11_large_flexoffer,
+    example11_small_flexoffer,
+    example11_zero_energy_flexoffer,
+    example13_wide_time_flexoffer,
+    figure1_flexoffer,
+    figure2_flexoffer,
+    figure3_flexoffer,
+    figure5_flexoffer,
+    figure6_flexoffer,
+    figure7_flexoffer,
+)
+from .profiles import (
+    baseline_demand_profile,
+    solar_production_profile,
+    spot_price_profile,
+    wind_production_profile,
+)
+from .scenarios import (
+    Scenario,
+    balancing_scenario,
+    neighbourhood_scenario,
+    scaling_scenario,
+)
+
+__all__ = [
+    # paper fixtures
+    "PAPER_EXPECTATIONS",
+    "all_paper_flexoffers",
+    "ev_use_case_flexoffer",
+    "example11_large_flexoffer",
+    "example11_small_flexoffer",
+    "example11_zero_energy_flexoffer",
+    "example13_wide_time_flexoffer",
+    "figure1_flexoffer",
+    "figure2_flexoffer",
+    "figure3_flexoffer",
+    "figure5_flexoffer",
+    "figure6_flexoffer",
+    "figure7_flexoffer",
+    # generators
+    "PopulationSpec",
+    "default_device_mix",
+    "generate_population",
+    # profiles
+    "wind_production_profile",
+    "solar_production_profile",
+    "baseline_demand_profile",
+    "spot_price_profile",
+    # scenarios
+    "Scenario",
+    "neighbourhood_scenario",
+    "balancing_scenario",
+    "scaling_scenario",
+]

@@ -1,0 +1,123 @@
+"""Synthetic flex-offer populations.
+
+The benchmarks and the aggregation / scheduling / market experiments need
+populations of flex-offers with controllable composition (how many EVs, heat
+pumps, wet appliances, refrigerators, PV installations, wind turbines,
+vehicle-to-grid batteries) and controllable randomness.  This module builds
+such populations from the device models in :mod:`repro.devices`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..core.errors import WorkloadError
+from ..core.flexoffer import FlexOffer
+from ..devices import (
+    Dishwasher,
+    ElectricVehicle,
+    HeatPump,
+    Refrigerator,
+    SolarPanel,
+    VehicleToGrid,
+    WashingMachine,
+    WindTurbine,
+)
+from ..devices.base import DeviceModel
+
+__all__ = ["PopulationSpec", "generate_population", "default_device_mix"]
+
+
+def default_device_mix() -> dict[str, DeviceModel]:
+    """The device models available to the population generator, by key."""
+    return {
+        "ev": ElectricVehicle(),
+        "heat_pump": HeatPump(),
+        "dishwasher": Dishwasher(),
+        "washing_machine": WashingMachine(),
+        "refrigerator": Refrigerator(),
+        "solar": SolarPanel(),
+        "wind": WindTurbine(),
+        "v2g": VehicleToGrid(),
+    }
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Specification of a synthetic prosumer population.
+
+    Attributes
+    ----------
+    counts:
+        ``{device_key: number_of_units}`` using the keys of
+        :func:`default_device_mix`.
+    seed:
+        Seed of the random generator driving all stochastic device
+        parameters; two populations with the same spec are identical.
+    horizon:
+        Optional scheduling horizon (time units); device plug-in times are
+        folded into ``[0, horizon)`` when given so all flex-offers fit one
+        day-like window.
+    """
+
+    counts: dict[str, int] = field(default_factory=lambda: {"ev": 10})
+    seed: int = 0
+    horizon: int = 0
+
+    def __post_init__(self) -> None:
+        available = default_device_mix()
+        for key, count in self.counts.items():
+            if key not in available:
+                raise WorkloadError(
+                    f"unknown device key {key!r}; available: {sorted(available)}"
+                )
+            if count < 0:
+                raise WorkloadError(f"count for {key!r} must be non-negative")
+        if self.horizon < 0:
+            raise WorkloadError("horizon must be non-negative")
+
+    @property
+    def total(self) -> int:
+        """Total number of flex-offers the spec describes."""
+        return sum(self.counts.values())
+
+
+def _fold_into_horizon(flex_offer: FlexOffer, horizon: int) -> FlexOffer:
+    """Shift a flex-offer so its whole time window fits inside ``[0, horizon)``."""
+    latest_needed = flex_offer.latest_start + flex_offer.duration
+    if latest_needed <= horizon:
+        return flex_offer
+    shift = latest_needed - horizon
+    new_earliest = flex_offer.earliest_start - shift
+    if new_earliest < 0:
+        # The flex-offer is longer than the horizon; pin it at time zero and
+        # drop the surplus time flexibility.
+        width = min(flex_offer.time_flexibility, max(0, horizon - flex_offer.duration))
+        return FlexOffer(
+            0, width, flex_offer.slices,
+            flex_offer.total_energy_min, flex_offer.total_energy_max, flex_offer.name,
+        )
+    return flex_offer.shift(-shift)
+
+
+def generate_population(spec: PopulationSpec) -> list[FlexOffer]:
+    """Generate the flex-offer population described by ``spec``.
+
+    Flex-offers are generated device type by device type (sorted by key, so
+    the output is independent of dict insertion order) from a single seeded
+    random generator.
+    """
+    rng = random.Random(spec.seed)
+    devices = default_device_mix()
+    population: list[FlexOffer] = []
+    for key in sorted(spec.counts):
+        count = spec.counts[key]
+        model = devices[key]
+        for _ in range(count):
+            flex_offer = model.generate(rng)
+            if spec.horizon:
+                flex_offer = _fold_into_horizon(flex_offer, spec.horizon)
+            population.append(flex_offer)
+    return population

@@ -1,0 +1,201 @@
+"""The worked examples of the paper as ready-made fixtures.
+
+Every flex-offer drawn in Figures 1–7 of the paper, plus the auxiliary
+flex-offers of Examples 11–13, is reproduced here verbatim so that tests,
+benchmarks and the EXPERIMENTS.md index can refer to them by name.  The
+expected measure values reported in the paper's examples are collected in
+:data:`PAPER_EXPECTATIONS` (with notes where the paper's own numbers are
+internally inconsistent — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from ..core.flexoffer import FlexOffer
+
+__all__ = [
+    "figure1_flexoffer",
+    "figure2_flexoffer",
+    "figure3_flexoffer",
+    "figure5_flexoffer",
+    "figure6_flexoffer",
+    "figure7_flexoffer",
+    "example11_zero_energy_flexoffer",
+    "example11_small_flexoffer",
+    "example11_large_flexoffer",
+    "example13_wide_time_flexoffer",
+    "ev_use_case_flexoffer",
+    "all_paper_flexoffers",
+    "PAPER_EXPECTATIONS",
+]
+
+
+def figure1_flexoffer() -> FlexOffer:
+    """Figure 1: ``f = ([1, 6], ⟨[1, 3], [2, 4], [0, 5], [0, 3]⟩)``.
+
+    Used by Examples 1–4 (tf = 5, ef = 12, product = 60).
+    """
+    return FlexOffer(1, 6, [(1, 3), (2, 4), (0, 5), (0, 3)], name="paper-fig1")
+
+
+def figure2_flexoffer() -> FlexOffer:
+    """Figure 2 / Example 5: ``f1 = ([0, 1], ⟨[0, 1]⟩)`` with cmin=0, cmax=1."""
+    return FlexOffer(0, 1, [(0, 1)], 0, 1, name="paper-fig2-f1")
+
+
+def figure3_flexoffer() -> FlexOffer:
+    """Figure 3 / Examples 6 and 14: ``f2 = ([0, 2], ⟨[0, 2]⟩)`` (9 assignments)."""
+    return FlexOffer(0, 2, [(0, 2)], name="paper-fig3-f2")
+
+
+def figure5_flexoffer() -> FlexOffer:
+    """Figure 5 / Examples 8 and 10: ``f4 = ([0, 4], ⟨[2, 2]⟩)`` with cmin=cmax=2."""
+    return FlexOffer(0, 4, [(2, 2)], 2, 2, name="paper-fig5-f4")
+
+
+def figure6_flexoffer() -> FlexOffer:
+    """Figure 6 / Examples 9 and 10: ``f5 = ([0, 4], ⟨[1, 1], [2, 2]⟩)`` with cmin=cmax=3."""
+    return FlexOffer(0, 4, [(1, 1), (2, 2)], 3, 3, name="paper-fig6-f5")
+
+
+def figure7_flexoffer() -> FlexOffer:
+    """Figure 7 / Examples 14 and 15: the mixed flex-offer ``f6``.
+
+    The paper writes its profile as ``⟨[−1, 2], [−1, −4], [−3, 1]⟩`` with
+    ``cmin = −8`` and ``cmax = 2``; the second slice is printed with its
+    bounds swapped (a range must satisfy amin ≤ amax), so the intended slice
+    is ``[−4, −1]`` — which is also the only reading consistent with the
+    stated cmin/cmax and with the 240-assignment count of Example 14.
+    """
+    return FlexOffer(0, 2, [(-1, 2), (-4, -1), (-3, 1)], -8, 2, name="paper-fig7-f6")
+
+
+def example11_zero_energy_flexoffer() -> FlexOffer:
+    """Example 11: ``fx = ([2, 8], ⟨[5, 5]⟩)`` — time-flexible, energy-inflexible."""
+    return FlexOffer(2, 8, [(5, 5)], name="paper-ex11-zero-ef")
+
+
+def example11_small_flexoffer() -> FlexOffer:
+    """Example 11/12: ``fx = ([1, 3], ⟨[1, 5]⟩)`` — the small flex-offer."""
+    return FlexOffer(1, 3, [(1, 5)], name="paper-ex11-small")
+
+
+def example11_large_flexoffer() -> FlexOffer:
+    """Example 11/12: ``fy = ([1, 3], ⟨[101, 105]⟩)`` — 100× larger energy need."""
+    return FlexOffer(1, 3, [(101, 105)], name="paper-ex11-large")
+
+
+def example13_wide_time_flexoffer() -> FlexOffer:
+    """Example 13: ``f1' = ([0, 10], ⟨[0, 1]⟩)`` — 10× the time flexibility of f1."""
+    return FlexOffer(0, 10, [(0, 1)], 0, 1, name="paper-ex13-f1-prime")
+
+
+def ev_use_case_flexoffer(energy_unit_per_percent: int = 1) -> FlexOffer:
+    """The electric-vehicle use case of Section 1 as a flex-offer.
+
+    The EV is plugged in at 23:00 (time unit 23), needs 3 hours of charging,
+    must start by 3:00 the latest (time unit 27 on a continued axis), and the
+    owner accepts any state of charge between 60 % and 100 %.  Each slice can
+    deliver up to a third of the full charge; the total constraints encode the
+    60–100 % satisfaction range.
+
+    ``energy_unit_per_percent`` scales the integer energy units (Section 2
+    lets callers choose the granularity by multiplying with a coefficient).
+    """
+    full_charge = 100 * energy_unit_per_percent
+    per_slice_max = full_charge // 3 + (1 if full_charge % 3 else 0)
+    minimum_charge = 60 * energy_unit_per_percent
+    return FlexOffer(
+        23,
+        27,
+        [(0, per_slice_max)] * 3,
+        minimum_charge,
+        full_charge,
+        name="ev-use-case",
+    )
+
+
+def all_paper_flexoffers() -> dict[str, FlexOffer]:
+    """Every paper flex-offer keyed by a stable identifier."""
+    return {
+        "fig1": figure1_flexoffer(),
+        "fig2_f1": figure2_flexoffer(),
+        "fig3_f2": figure3_flexoffer(),
+        "fig5_f4": figure5_flexoffer(),
+        "fig6_f5": figure6_flexoffer(),
+        "fig7_f6": figure7_flexoffer(),
+        "ex11_zero_ef": example11_zero_energy_flexoffer(),
+        "ex11_small": example11_small_flexoffer(),
+        "ex11_large": example11_large_flexoffer(),
+        "ex13_wide_tf": example13_wide_time_flexoffer(),
+    }
+
+
+#: Expected values reported by the paper, keyed by (flex-offer id, quantity).
+#: Quantities whose paper value is internally inconsistent carry a note and
+#: the value implied by the paper's own definitions (see EXPERIMENTS.md).
+PAPER_EXPECTATIONS: dict[str, dict[str, object]] = {
+    "fig1": {
+        "time_flexibility": 5,
+        "energy_flexibility": 12,
+        "product_flexibility": 60,
+        # Example 4 prints the vector as ⟨5, 10⟩ (norms 15 and 11.180) even
+        # though Example 2 derives ef = 12; by Definition 4 the vector is
+        # ⟨tf, ef⟩ = ⟨5, 12⟩ with norms 17 and 13.0.
+        "vector_per_definition": (5, 12),
+        "vector_printed_in_example4": (5, 10),
+        "vector_l1_printed": 15.0,
+        "vector_l2_printed": 11.180,
+    },
+    "fig2_f1": {
+        "assignment_flexibility": 4,
+        "series_difference": {0: 0, 1: 1},
+        "series_l1": 1.0,
+        "series_l2": 1.0,
+    },
+    "fig3_f2": {
+        "assignment_flexibility": 9,
+        "assignments_if_time_inflexible": 3,
+        # Example 14 states 2; the Definition 8 formula with ef = 0 gives
+        # (2 + 1) · 1 = 3 (see EXPERIMENTS.md).
+        "assignments_if_energy_inflexible_printed": 2,
+        "assignments_if_energy_inflexible_per_definition": 3,
+    },
+    "fig4_assignment": {
+        "values": (2, 1, 3),
+        "start": 1,
+        "area_cells": {(1, 0), (1, 1), (2, 0), (3, 0), (3, 1), (3, 2)},
+    },
+    "fig5_f4": {
+        "union_area": 10,
+        "absolute_area_flexibility": 8,
+        "relative_area_flexibility": 4.0,
+    },
+    "fig6_f5": {
+        # Example 9 prints "10 − 2 = 8"; with cmin = 3 the union area implied
+        # by the figure is 11 and 11 − 3 = 8, so the final value matches.
+        "union_area": 11,
+        "absolute_area_flexibility": 8,
+        "relative_area_flexibility": 16.0 / 6.0,
+    },
+    "fig7_f6": {
+        "time_flexibility": 2,
+        "energy_flexibility": 10,
+        "assignment_flexibility": 240,
+        "assignments_if_time_inflexible": 80,
+        "assignments_if_energy_inflexible": 3,
+        "union_area": 24,
+        "absolute_area_flexibility_example15": 32,
+        "relative_area_flexibility_example15": 6.4,
+    },
+    "ex11": {
+        "zero_ef_product": 0,
+        "small_product": 8,
+        "large_product": 8,
+        "vector_l1": 6.0,
+        "vector_l2": 4.472,
+    },
+    "ex13": {
+        "series_l1": 1.0,
+        "series_l2": 1.0,
+    },
+}

@@ -1,0 +1,124 @@
+"""Reference profiles: renewable production and spot prices.
+
+The experiments need exogenous signals that the paper's setting takes from
+the real world — forecast wind production that schedules should follow and
+hourly spot prices that the market settlement uses.  Both are generated
+synthetically here from seeded random generators so every experiment is
+reproducible offline (see the substitution notes in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+from ..core.errors import WorkloadError
+from ..core.timeseries import TimeSeries
+
+__all__ = [
+    "wind_production_profile",
+    "solar_production_profile",
+    "baseline_demand_profile",
+    "spot_price_profile",
+]
+
+
+def _check_horizon(horizon: int) -> None:
+    if horizon < 1:
+        raise WorkloadError(f"horizon must be >= 1, got {horizon}")
+
+
+def wind_production_profile(
+    horizon: int,
+    peak: int = 20,
+    seed: int = 0,
+    gustiness: float = 0.35,
+    start: int = 0,
+) -> TimeSeries:
+    """A synthetic wind-production profile (positive = available supply).
+
+    The profile is a slowly drifting base level with random gusts, the shape
+    the TotalFlex use case cares about ("wind production will increase at
+    that time", Section 1).
+
+    Parameters
+    ----------
+    horizon:
+        Number of time units.
+    peak:
+        Approximate maximum production per time unit.
+    seed:
+        Seed of the random generator.
+    gustiness:
+        Relative amplitude of the random gust component (0 = smooth).
+    start:
+        Absolute time of the first value.
+    """
+    _check_horizon(horizon)
+    rng = random.Random(seed)
+    values = []
+    base = peak * 0.5
+    for index in range(horizon):
+        drift = peak * 0.3 * math.sin(2 * math.pi * index / max(horizon, 1))
+        gust = rng.uniform(-gustiness, gustiness) * peak
+        value = max(0, int(round(base + drift + gust)))
+        values.append(min(value, peak))
+    return TimeSeries(start, tuple(values))
+
+
+def solar_production_profile(
+    horizon: int, peak: int = 10, sunrise: int = 6, sunset: int = 20, start: int = 0
+) -> TimeSeries:
+    """A deterministic bell-shaped solar profile over a day-long horizon."""
+    _check_horizon(horizon)
+    if sunset <= sunrise:
+        raise WorkloadError("sunset must come after sunrise")
+    values = []
+    for index in range(horizon):
+        hour = (start + index) % 24
+        if sunrise <= hour <= sunset:
+            phase = (hour - sunrise) / (sunset - sunrise)
+            values.append(int(round(peak * math.sin(math.pi * phase))))
+        else:
+            values.append(0)
+    return TimeSeries(start, tuple(values))
+
+
+def baseline_demand_profile(
+    horizon: int, base: int = 8, evening_peak: int = 6, start: int = 0
+) -> TimeSeries:
+    """A household baseline demand profile with a morning and an evening peak."""
+    _check_horizon(horizon)
+    values = []
+    for index in range(horizon):
+        hour = (start + index) % 24
+        morning = evening_peak * 0.5 * math.exp(-((hour - 8) ** 2) / 8.0)
+        evening = evening_peak * math.exp(-((hour - 19) ** 2) / 8.0)
+        values.append(int(round(base + morning + evening)))
+    return TimeSeries(start, tuple(values))
+
+
+def spot_price_profile(
+    horizon: int,
+    base_price: float = 30.0,
+    amplitude: float = 15.0,
+    seed: int = 0,
+    start: int = 0,
+) -> list[float]:
+    """Synthetic hourly spot prices (currency per energy unit).
+
+    Prices follow the daily demand shape (cheap at night, expensive in the
+    evening peak) with mild random noise; the market settlement and the
+    flex-offer valuation code consume this list positionally from ``start``.
+    """
+    _check_horizon(horizon)
+    rng = random.Random(seed)
+    prices = []
+    for index in range(horizon):
+        hour = (start + index) % 24
+        daily = amplitude * math.exp(-((hour - 19) ** 2) / 18.0)
+        night_discount = -amplitude * 0.5 * math.exp(-((hour - 3) ** 2) / 10.0)
+        noise = rng.uniform(-0.05, 0.05) * base_price
+        prices.append(round(base_price + daily + night_discount + noise, 2))
+    return prices

@@ -1,0 +1,98 @@
+"""Named experiment scenarios.
+
+The paper's two application scenarios (aggregation-for-scheduling and
+flex-offer trading) plus the scaling sweeps need standard workloads that
+tests, examples and benchmarks all share.  Each scenario bundles a flex-offer
+population with the reference profiles it is evaluated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.flexoffer import FlexOffer
+from ..core.timeseries import TimeSeries
+from .generator import PopulationSpec, generate_population
+from .profiles import spot_price_profile, wind_production_profile
+
+__all__ = ["Scenario", "neighbourhood_scenario", "balancing_scenario", "scaling_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible experiment workload."""
+
+    #: Human-readable scenario name.
+    name: str
+    #: The prosumer flex-offers.
+    flex_offers: tuple[FlexOffer, ...]
+    #: Forecast renewable production the schedule should follow.
+    supply: TimeSeries
+    #: Hourly spot prices over the same horizon.
+    prices: tuple[float, ...]
+    #: Scheduling horizon in time units.
+    horizon: int
+
+    @property
+    def size(self) -> int:
+        """Number of flex-offers in the scenario."""
+        return len(self.flex_offers)
+
+
+def neighbourhood_scenario(
+    households: int = 20, seed: int = 7, horizon: int = 32
+) -> Scenario:
+    """A residential neighbourhood: EVs, wet appliances, heat pumps, fridges.
+
+    This is the Scenario 1 workload — many small consumption flex-offers that
+    an Aggregator would group and aggregate before scheduling them against
+    wind production.
+    """
+    spec = PopulationSpec(
+        counts={
+            "ev": households // 2,
+            "dishwasher": households // 2,
+            "washing_machine": households // 4,
+            "heat_pump": households // 4,
+            "refrigerator": households // 4,
+        },
+        seed=seed,
+        horizon=horizon,
+    )
+    flex_offers = tuple(generate_population(spec))
+    supply = wind_production_profile(horizon, peak=4 * max(1, households // 4), seed=seed)
+    prices = tuple(spot_price_profile(horizon, seed=seed))
+    return Scenario("neighbourhood", flex_offers, supply, prices, horizon)
+
+
+def balancing_scenario(units: int = 16, seed: int = 11, horizon: int = 32) -> Scenario:
+    """A balancing portfolio mixing consumption, production and storage.
+
+    This is the Scenario 2 workload used for balance-aware aggregation and
+    market trading: consumption flex-offers plus PV, wind and vehicle-to-grid
+    units, so aggregates are typically mixed flex-offers.
+    """
+    spec = PopulationSpec(
+        counts={
+            "ev": units // 4,
+            "heat_pump": units // 4,
+            "solar": units // 4,
+            "wind": units // 8,
+            "v2g": units // 8,
+        },
+        seed=seed,
+        horizon=horizon,
+    )
+    flex_offers = tuple(generate_population(spec))
+    supply = wind_production_profile(horizon, peak=3 * max(1, units // 4), seed=seed)
+    prices = tuple(spot_price_profile(horizon, seed=seed))
+    return Scenario("balancing", flex_offers, supply, prices, horizon)
+
+
+def scaling_scenario(size: int, seed: int = 3, horizon: int = 48) -> Scenario:
+    """A homogeneous EV fleet of configurable size for scaling sweeps."""
+    spec = PopulationSpec(counts={"ev": size}, seed=seed, horizon=horizon)
+    flex_offers = tuple(generate_population(spec))
+    supply = wind_production_profile(horizon, peak=max(4, size), seed=seed)
+    prices = tuple(spot_price_profile(horizon, seed=seed))
+    return Scenario(f"scaling-{size}", flex_offers, supply, prices, horizon)

@@ -1,0 +1,135 @@
+"""Tests for start-alignment aggregation and grouping strategies."""
+
+import pytest
+
+from repro.aggregation import (
+    AggregatedFlexOffer,
+    GroupingParameters,
+    aggregate_all,
+    aggregate_start_aligned,
+    group_all_together,
+    group_by_grid,
+    group_by_kind,
+    group_fixed_size,
+)
+from repro.core import AggregationError, EnergySlice, FlexOffer
+
+
+@pytest.fixture
+def two_evs():
+    return [
+        FlexOffer(2, 6, [(0, 3), (0, 3)], name="ev-a"),
+        FlexOffer(3, 5, [(1, 2), (1, 2), (1, 2)], name="ev-b"),
+    ]
+
+
+class TestStartAlignedAggregation:
+    def test_anchor_and_offsets(self, two_evs):
+        aggregated = aggregate_start_aligned(two_evs)
+        assert aggregated.flex_offer.earliest_start == 2
+        assert aggregated.member_offsets == (0, 1)
+
+    def test_profile_is_columnwise_minkowski_sum(self, two_evs):
+        aggregated = aggregate_start_aligned(two_evs)
+        # Columns: [0,3], [0,3]+[1,2], [1,2], [1,2]
+        assert aggregated.flex_offer.slices == (
+            EnergySlice(0, 3),
+            EnergySlice(1, 5),
+            EnergySlice(1, 2),
+            EnergySlice(1, 2),
+        )
+
+    def test_time_flexibility_is_member_minimum(self, two_evs):
+        aggregated = aggregate_start_aligned(two_evs)
+        assert aggregated.flex_offer.time_flexibility == 2
+
+    def test_total_constraints_are_summed(self, two_evs):
+        aggregated = aggregate_start_aligned(two_evs)
+        assert aggregated.flex_offer.cmin == 0 + 3
+        assert aggregated.flex_offer.cmax == 6 + 6
+
+    def test_energy_flexibility_is_summed(self, two_evs):
+        aggregated = aggregate_start_aligned(two_evs)
+        expected = sum(member.energy_flexibility for member in two_evs)
+        assert aggregated.flex_offer.energy_flexibility == expected
+
+    def test_single_member_aggregate_keeps_its_flexibility(self, fig1):
+        aggregated = aggregate_start_aligned([fig1])
+        assert aggregated.flex_offer.time_flexibility == fig1.time_flexibility
+        assert aggregated.flex_offer.energy_flexibility == fig1.energy_flexibility
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(AggregationError):
+            aggregate_start_aligned([])
+
+    def test_gap_columns_become_inflexible_zero_slices(self):
+        members = [
+            FlexOffer(0, 0, [(1, 2)], name="early"),
+            FlexOffer(3, 3, [(1, 2)], name="late"),
+        ]
+        aggregated = aggregate_start_aligned(members)
+        assert aggregated.flex_offer.slices[1] == EnergySlice(0, 0)
+        assert aggregated.flex_offer.slices[2] == EnergySlice(0, 0)
+
+    def test_custom_name_and_describe(self, two_evs):
+        aggregated = aggregate_start_aligned(two_evs, name="lot-1")
+        assert aggregated.flex_offer.name == "lot-1"
+        description = aggregated.describe()
+        assert description["members"] == ["ev-a", "ev-b"]
+        assert aggregated.size == 2
+
+    def test_member_start_mapping(self, two_evs):
+        aggregated = aggregate_start_aligned(two_evs)
+        assert aggregated.member_start(aggregate_start=4, index=1) == 5
+
+    def test_bookkeeping_length_mismatch_rejected(self, two_evs):
+        with pytest.raises(AggregationError):
+            AggregatedFlexOffer(two_evs[0], tuple(two_evs), (0,))
+
+    def test_aggregate_all_names_groups(self, two_evs):
+        aggregates = aggregate_all([two_evs, two_evs], prefix="lot")
+        assert [a.flex_offer.name for a in aggregates] == ["lot-0", "lot-1"]
+
+
+class TestGrouping:
+    def test_grid_grouping_respects_tolerances(self):
+        flex_offers = [
+            FlexOffer(0, 2, [(0, 1)], name="a"),
+            FlexOffer(1, 3, [(0, 1)], name="b"),
+            FlexOffer(10, 12, [(0, 1)], name="c"),
+        ]
+        groups = group_by_grid(flex_offers, GroupingParameters(4, 4))
+        names = [sorted(member.name for member in group) for group in groups]
+        assert ["a", "b"] in names and ["c"] in names
+
+    def test_grid_grouping_max_group_size(self):
+        flex_offers = [FlexOffer(0, 1, [(0, 1)], name=f"f{i}") for i in range(5)]
+        groups = group_by_grid(flex_offers, GroupingParameters(2, 2, max_group_size=2))
+        assert max(len(group) for group in groups) <= 2
+        assert sum(len(group) for group in groups) == 5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(AggregationError):
+            GroupingParameters(0, 1)
+        with pytest.raises(AggregationError):
+            GroupingParameters(1, 0)
+        with pytest.raises(AggregationError):
+            GroupingParameters(1, 1, max_group_size=-1)
+
+    def test_group_all_together(self, two_evs):
+        assert group_all_together(two_evs) == [two_evs]
+        assert group_all_together([]) == []
+
+    def test_group_fixed_size(self):
+        flex_offers = [FlexOffer(0, 1, [(0, 1)], name=f"f{i}") for i in range(5)]
+        groups = group_fixed_size(flex_offers, 2)
+        assert [len(group) for group in groups] == [2, 2, 1]
+        with pytest.raises(AggregationError):
+            group_fixed_size(flex_offers, 0)
+
+    def test_group_by_kind_separates_signs(self, fig1, fig7_f6):
+        production = FlexOffer(0, 1, [(-2, 0)], name="pv")
+        groups = group_by_kind([fig1, fig7_f6, production])
+        kinds = [{member.kind for member in group} for group in groups]
+        assert all(len(kind_set) == 1 for kind_set in kinds)
+        assert len(groups) == 3

@@ -1,0 +1,124 @@
+"""Tests for disaggregation, balance-aware aggregation and loss accounting."""
+
+import pytest
+
+from repro.aggregation import (
+    aggregate_start_aligned,
+    aggregation_loss,
+    balance_aggregate,
+    compare_strategies,
+    disaggregate,
+    expected_total_energy,
+    group_all_together,
+    group_by_grid,
+    aggregate_all,
+)
+from repro.core import Assignment, DisaggregationError, FlexOffer
+from repro.core.enumeration import enumerate_assignments
+
+
+@pytest.fixture
+def ev_pair():
+    return [
+        FlexOffer(2, 6, [(0, 3), (0, 3)], 2, 6, name="ev-a"),
+        FlexOffer(3, 5, [(1, 2), (1, 2), (1, 2)], name="ev-b"),
+    ]
+
+
+class TestDisaggregation:
+    def test_members_are_valid_and_shifted_consistently(self, ev_pair):
+        aggregated = aggregate_start_aligned(ev_pair)
+        aggregate_assignment = Assignment.latest_maximum(aggregated.flex_offer)
+        parts = disaggregate(aggregated, aggregate_assignment)
+        shift = aggregate_assignment.start_time - aggregated.flex_offer.earliest_start
+        assert len(parts) == 2
+        for part, member, offset in zip(parts, ev_pair, aggregated.member_offsets):
+            assert part.flex_offer == member
+            assert part.start_time == member.earliest_start + shift
+
+    def test_column_sums_match_aggregate(self, ev_pair):
+        aggregated = aggregate_start_aligned(ev_pair)
+        aggregate_assignment = Assignment.latest_maximum(aggregated.flex_offer)
+        parts = disaggregate(aggregated, aggregate_assignment)
+        combined = parts[0].series
+        for part in parts[1:]:
+            combined = combined + part.series
+        for time, value in aggregate_assignment.series.items():
+            assert combined[time] == value
+
+    def test_every_aggregate_assignment_disaggregates(self):
+        members = [
+            FlexOffer(0, 1, [(0, 2)], name="m1"),
+            FlexOffer(0, 2, [(1, 3)], name="m2"),
+        ]
+        aggregated = aggregate_start_aligned(members)
+        for aggregate_assignment in enumerate_assignments(aggregated.flex_offer):
+            parts = disaggregate(aggregated, aggregate_assignment)
+            assert sum(p.total_energy for p in parts) == aggregate_assignment.total_energy
+
+    def test_foreign_assignment_rejected(self, ev_pair, fig1):
+        aggregated = aggregate_start_aligned(ev_pair)
+        foreign = Assignment.earliest_minimum(fig1)
+        with pytest.raises(DisaggregationError):
+            disaggregate(aggregated, foreign)
+
+
+class TestBalanceAggregation:
+    def test_expected_total_energy_sign(self, fig1):
+        assert expected_total_energy(fig1) > 0
+        production = FlexOffer(0, 1, [(-4, -2)], name="pv")
+        assert expected_total_energy(production) < 0
+
+    def test_pairs_consumption_with_production(self):
+        consumers = [FlexOffer(0, 2, [(2, 4)], name=f"c{i}") for i in range(2)]
+        producers = [FlexOffer(0, 2, [(-4, -2)], name=f"p{i}") for i in range(2)]
+        result = balance_aggregate(consumers + producers, pair_size=1)
+        assert result.mixed_count >= 1
+        # Pairing one consumer with one producer keeps expected imbalance small.
+        paired_imbalance = result.total_expected_imbalance
+        unpaired = sum(abs(expected_total_energy(f)) for f in consumers + producers)
+        assert paired_imbalance < unpaired
+
+    def test_leftovers_are_still_aggregated(self):
+        consumers = [FlexOffer(0, 2, [(2, 4)], name=f"c{i}") for i in range(3)]
+        result = balance_aggregate(consumers, pair_size=2)
+        member_total = sum(aggregate.size for aggregate in result.aggregates)
+        assert member_total == 3
+
+
+class TestAggregationLoss:
+    def test_aggregation_never_gains_product_flexibility(self, small_neighbourhood):
+        originals = list(small_neighbourhood.flex_offers)
+        aggregates = aggregate_all(group_by_grid(originals))
+        report = aggregation_loss(originals, aggregates, ["product", "time", "energy"])
+        assert report.retained("product") <= 1.0 + 1e-9
+        assert report.retained("time") <= 1.0 + 1e-9
+        assert report.compression >= 1.0
+
+    def test_energy_flexibility_is_preserved_by_alignment(self, small_neighbourhood):
+        originals = list(small_neighbourhood.flex_offers)
+        aggregates = aggregate_all(group_by_grid(originals))
+        report = aggregation_loss(originals, aggregates, ["energy"])
+        assert report.retained("energy") == pytest.approx(1.0)
+
+    def test_grouped_aggregation_retains_more_than_one_big_group(
+        self, small_neighbourhood
+    ):
+        originals = list(small_neighbourhood.flex_offers)
+        strategies = {
+            "grouped": aggregate_all(group_by_grid(originals)),
+            "one-group": aggregate_all(group_all_together(originals)),
+        }
+        reports = compare_strategies(originals, strategies, ["time", "product"])
+        assert (
+            reports["grouped"].retained("time")
+            >= reports["one-group"].retained("time")
+        )
+
+    def test_report_accessors(self, small_neighbourhood):
+        originals = list(small_neighbourhood.flex_offers)
+        aggregates = aggregate_all(group_by_grid(originals))
+        report = aggregation_loss(originals, aggregates, ["product"])
+        assert report.loss("product") == pytest.approx(
+            report.per_measure["product"]["before"] - report.per_measure["product"]["after"]
+        )

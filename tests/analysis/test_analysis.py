@@ -1,0 +1,102 @@
+"""Tests for comparison matrices, statistics and text reporting."""
+
+import pytest
+
+from repro.aggregation import aggregate_all, aggregation_loss, group_by_grid
+from repro.analysis import (
+    format_comparison,
+    format_loss_report,
+    format_table,
+    measure_matrix,
+    measure_summary,
+    population_summary,
+    ranking_agreement,
+    summarise,
+)
+from repro.measures import compare_sets
+
+
+class TestMeasureMatrix:
+    def test_shape_and_labels(self, fig1, fig7_f6):
+        matrix = measure_matrix([fig1, fig7_f6], ["time", "product", "absolute_area"])
+        assert matrix.flexoffer_names == (fig1.name, fig7_f6.name)
+        assert matrix.measure_keys == ("time", "product", "absolute_area")
+
+    def test_unsupported_cells_are_none(self, fig1, fig7_f6):
+        matrix = measure_matrix([fig1, fig7_f6], ["absolute_area"])
+        assert matrix.value(fig1.name, "absolute_area") is not None
+        assert matrix.value(fig7_f6.name, "absolute_area") is None
+
+    def test_column_and_ranking(self, fig1, fig3_f2):
+        matrix = measure_matrix([fig1, fig3_f2], ["product"])
+        assert matrix.column("product")[fig1.name] == 60
+        assert matrix.ranking("product") == [fig1.name, fig3_f2.name]
+
+    def test_unnamed_flexoffers_get_generated_labels(self, fig1):
+        anonymous = fig1.with_name(None) if False else fig1  # keep named fixture intact
+        matrix = measure_matrix([anonymous], ["time"])
+        assert matrix.flexoffer_names[0] == fig1.name
+
+    def test_as_rows_for_export(self, fig1):
+        rows = measure_matrix([fig1], ["time", "energy"]).as_rows()
+        assert rows[0]["flex_offer"] == fig1.name
+        assert rows[0]["time"] == 5
+
+    def test_ranking_agreement_bounds(self, fig1, fig3_f2, fig5_f4):
+        matrix = measure_matrix([fig1, fig3_f2, fig5_f4], ["time", "product", "vector"])
+        agreement = ranking_agreement(matrix, "time", "vector")
+        assert 0.0 <= agreement <= 1.0
+        assert ranking_agreement(matrix, "time", "time") == 1.0
+
+    def test_ranking_agreement_single_offer_defaults_to_one(self, fig1):
+        matrix = measure_matrix([fig1], ["time", "product"])
+        assert ranking_agreement(matrix, "time", "product") == 1.0
+
+
+class TestStatistics:
+    def test_summarise_basic(self):
+        summary = summarise([1, 2, 3, 4])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1 and summary.maximum == 4
+        assert summary.as_dict()["count"] == 4
+
+    def test_summarise_empty(self):
+        summary = summarise([])
+        assert summary.count == 0 and summary.mean == 0
+
+    def test_population_summary_keys(self, small_neighbourhood):
+        summary = population_summary(list(small_neighbourhood.flex_offers))
+        assert set(summary) == {
+            "time_flexibility", "energy_flexibility", "duration", "expected_energy",
+        }
+        assert summary["duration"].minimum >= 1
+
+    def test_measure_summary_skips_unsupported(self, fig1, fig7_f6):
+        summary = measure_summary([fig1, fig7_f6], "absolute_area")
+        assert summary.count == 1  # the mixed flex-offer is skipped
+
+
+class TestReporting:
+    def test_format_table_renders_none_and_floats(self):
+        text = format_table(["a", "b"], [[1.23456, None], ["x", True]], title="T")
+        assert "T" in text
+        assert "1.235" in text
+        assert "-" in text
+        assert "Yes" in text
+
+    def test_format_comparison(self, fig1, fig3_f2):
+        comparison = compare_sets([fig1, fig3_f2], [fig1], ["product", "time"])
+        text = format_comparison(comparison, title="loss")
+        assert "product" in text and "retained" in text
+
+    def test_format_loss_report(self, small_neighbourhood):
+        originals = list(small_neighbourhood.flex_offers)
+        reports = {
+            "grouped": aggregation_loss(
+                originals, aggregate_all(group_by_grid(originals)), ["time", "product"]
+            )
+        }
+        text = format_loss_report(reports, ["time", "product"])
+        assert "grouped" in text
+        assert "retained[time]" in text

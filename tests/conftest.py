@@ -1,0 +1,73 @@
+"""Shared pytest fixtures: the paper's flex-offers and small populations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import FlexOffer
+from repro.workloads import (
+    balancing_scenario,
+    figure1_flexoffer,
+    figure2_flexoffer,
+    figure3_flexoffer,
+    figure5_flexoffer,
+    figure6_flexoffer,
+    figure7_flexoffer,
+    neighbourhood_scenario,
+)
+
+
+@pytest.fixture
+def fig1() -> FlexOffer:
+    """Figure 1 flex-offer (Examples 1–4)."""
+    return figure1_flexoffer()
+
+
+@pytest.fixture
+def fig2_f1() -> FlexOffer:
+    """Figure 2 flex-offer f1 (Example 5)."""
+    return figure2_flexoffer()
+
+
+@pytest.fixture
+def fig3_f2() -> FlexOffer:
+    """Figure 3 flex-offer f2 (Examples 6, 14)."""
+    return figure3_flexoffer()
+
+
+@pytest.fixture
+def fig5_f4() -> FlexOffer:
+    """Figure 5 flex-offer f4 (Examples 8, 10)."""
+    return figure5_flexoffer()
+
+
+@pytest.fixture
+def fig6_f5() -> FlexOffer:
+    """Figure 6 flex-offer f5 (Examples 9, 10)."""
+    return figure6_flexoffer()
+
+
+@pytest.fixture
+def fig7_f6() -> FlexOffer:
+    """Figure 7 mixed flex-offer f6 (Examples 14, 15)."""
+    return figure7_flexoffer()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random generator for device/workload tests."""
+    return random.Random(1234)
+
+
+@pytest.fixture(scope="session")
+def small_neighbourhood():
+    """A small neighbourhood scenario reused by integration-style tests."""
+    return neighbourhood_scenario(households=8, seed=5, horizon=32)
+
+
+@pytest.fixture(scope="session")
+def small_balancing():
+    """A small balancing scenario containing mixed flex-offers."""
+    return balancing_scenario(units=8, seed=9, horizon=32)

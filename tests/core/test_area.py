@@ -1,0 +1,78 @@
+"""Unit tests for repro.core.area (Definitions 9-10 geometry)."""
+
+import pytest
+
+from repro.core import (
+    Assignment,
+    FlexOffer,
+    TimeSeries,
+    assignment_area,
+    assignment_area_size,
+    enumerate_assignments,
+    flexoffer_area,
+    flexoffer_area_size,
+    flexoffer_column_extents,
+    series_area,
+    union_area_size,
+)
+
+
+class TestSeriesArea:
+    def test_example7_figure4(self):
+        area = series_area(TimeSeries(1, (2, 1, 3)))
+        assert area == {(1, 0), (1, 1), (2, 0), (3, 0), (3, 1), (3, 2)}
+
+    def test_zero_values_cover_nothing(self):
+        assert series_area(TimeSeries(0, (0, 0))) == set()
+
+    def test_negative_values_cover_cells_below_axis(self):
+        assert series_area(TimeSeries(2, (-2,))) == {(2, -1), (2, -2)}
+
+    def test_assignment_area_and_size(self, fig1):
+        a = Assignment(fig1, 2, (2, 3, 1, 2))
+        assert len(assignment_area(a)) == 8
+        assert assignment_area_size(a) == 8
+
+
+class TestFlexofferArea:
+    def test_figure5_union_area(self, fig5_f4):
+        assert flexoffer_area_size(fig5_f4) == 10
+
+    def test_figure6_union_area(self, fig6_f5):
+        assert flexoffer_area_size(fig6_f5) == 11
+
+    def test_figure7_union_area(self, fig7_f6):
+        assert flexoffer_area_size(fig7_f6) == 24
+
+    @pytest.mark.parametrize(
+        "fixture_name", ["fig2_f1", "fig3_f2", "fig5_f4", "fig6_f5", "fig7_f6"]
+    )
+    def test_fast_union_matches_explicit_enumeration(self, fixture_name, request):
+        flex_offer = request.getfixturevalue(fixture_name)
+        explicit = union_area_size(
+            [a.series for a in enumerate_assignments(flex_offer)]
+        )
+        assert flexoffer_area_size(flex_offer) == explicit
+
+    def test_total_constraints_shrink_the_area(self):
+        unconstrained = FlexOffer(0, 0, [(0, 5), (0, 5)])
+        constrained = FlexOffer(0, 0, [(0, 5), (0, 5)], 0, 4)
+        assert flexoffer_area_size(constrained) < flexoffer_area_size(unconstrained)
+        explicit = union_area_size(
+            [a.series for a in enumerate_assignments(constrained)]
+        )
+        assert flexoffer_area_size(constrained) == explicit
+
+    def test_flexoffer_area_cell_set_matches_size(self, fig6_f5):
+        cells = flexoffer_area(fig6_f5)
+        assert len(cells) == flexoffer_area_size(fig6_f5)
+
+    def test_column_extents_cover_whole_horizon(self, fig5_f4):
+        extents = flexoffer_column_extents(fig5_f4)
+        assert set(extents) == set(range(0, 5))
+        assert all(low == 0 and high == 2 for low, high in extents.values())
+
+    def test_column_extents_mixed_signs(self, fig7_f6):
+        extents = flexoffer_column_extents(fig7_f6)
+        # Column 1 can hold slice 1 (up to +2) and slice 2 (down to -4).
+        assert extents[1] == (-4, 2)

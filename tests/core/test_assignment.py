@@ -1,0 +1,102 @@
+"""Unit tests for repro.core.assignment."""
+
+import pytest
+
+from repro.core import (
+    Assignment,
+    FlexOffer,
+    InvalidAssignmentError,
+    assignment_violations,
+    validate_assignment,
+)
+
+
+class TestValidation:
+    def test_paper_assignment_fa1_is_valid(self, fig1):
+        # Section 2: {fa1} from t=2 to 5 = <2, 3, 1, 2> is a valid assignment.
+        assert assignment_violations(fig1, 2, (2, 3, 1, 2)) == []
+
+    def test_start_time_outside_interval(self, fig1):
+        violations = assignment_violations(fig1, 0, (2, 3, 1, 2))
+        assert any("start time" in v for v in violations)
+
+    def test_slice_value_outside_range(self, fig1):
+        violations = assignment_violations(fig1, 2, (4, 3, 1, 2))
+        assert any("slice 0" in v for v in violations)
+
+    def test_wrong_number_of_values(self, fig1):
+        violations = assignment_violations(fig1, 2, (2, 3))
+        assert any("slice values" in v for v in violations)
+
+    def test_total_constraint_violation(self):
+        f = FlexOffer(0, 0, [(0, 5), (0, 5)], 3, 6)
+        violations = assignment_violations(f, 0, (0, 0))
+        assert any("total energy" in v for v in violations)
+
+    def test_non_integer_start_reported(self, fig1):
+        violations = assignment_violations(fig1, 1.5, (2, 3, 1, 2))
+        assert violations and "start time" in violations[0]
+
+    def test_validate_assignment_raises(self, fig1):
+        with pytest.raises(InvalidAssignmentError):
+            validate_assignment(fig1, 0, (2, 3, 1, 2))
+        validate_assignment(fig1, 2, (2, 3, 1, 2))  # must not raise
+
+
+class TestAssignment:
+    def test_series_view(self, fig1):
+        a = Assignment(fig1, 2, (2, 3, 1, 2))
+        assert a.series.to_dict() == {2: 2, 3: 3, 4: 1, 5: 2}
+        assert a.total_energy == 8
+        assert a.end_time == 5
+        assert a.duration == 4
+
+    def test_energy_at(self, fig1):
+        a = Assignment(fig1, 2, (2, 3, 1, 2))
+        assert a.energy_at(3) == 3
+        assert a.energy_at(99) == 0
+
+    def test_invalid_assignment_rejected_on_construction(self, fig1):
+        with pytest.raises(InvalidAssignmentError):
+            Assignment(fig1, 9, (2, 3, 1, 2))
+
+    def test_shifted(self, fig1):
+        a = Assignment(fig1, 2, (2, 3, 1, 2))
+        assert a.shifted(1).start_time == 3
+        with pytest.raises(InvalidAssignmentError):
+            a.shifted(10)
+
+    def test_with_values(self, fig1):
+        a = Assignment(fig1, 2, (2, 3, 1, 2))
+        b = a.with_values((1, 2, 0, 0))
+        assert b.total_energy == 3
+        with pytest.raises(InvalidAssignmentError):
+            a.with_values((0, 0, 0, 0))  # below cmin = 3
+
+
+class TestCanonicalConstructors:
+    def test_earliest_minimum_without_total_constraint(self, fig1):
+        a = Assignment.earliest_minimum(fig1)
+        assert a.start_time == fig1.earliest_start
+        assert a.values == (1, 2, 0, 0)
+
+    def test_earliest_minimum_tops_up_to_cmin(self):
+        f = FlexOffer(0, 2, [(0, 4), (0, 4)], 5, 8)
+        a = Assignment.earliest_minimum(f)
+        assert a.total_energy == 5
+        assert a.start_time == 0
+
+    def test_latest_maximum_trims_down_to_cmax(self):
+        f = FlexOffer(0, 2, [(0, 4), (0, 4)], 0, 5)
+        a = Assignment.latest_maximum(f)
+        assert a.total_energy == 5
+        assert a.start_time == 2
+
+    def test_latest_maximum_without_total_constraint(self, fig1):
+        a = Assignment.latest_maximum(fig1)
+        assert a.values == (3, 4, 5, 3)
+        assert a.start_time == 6
+
+    def test_mixed_flexoffer_canonicals_are_valid(self, fig7_f6):
+        Assignment.earliest_minimum(fig7_f6)
+        Assignment.latest_maximum(fig7_f6)

@@ -1,0 +1,78 @@
+"""Unit tests for repro.core.enumeration."""
+
+import pytest
+
+from repro.core import (
+    FlexOffer,
+    count_assignments,
+    count_assignments_constrained,
+    count_profiles_constrained,
+    enumerate_assignments,
+    enumerate_profiles,
+    enumerate_start_times,
+)
+from repro.core.enumeration import count_assignments_fast
+
+
+class TestCounting:
+    def test_example6_figure3(self, fig3_f2):
+        assert count_assignments(fig3_f2) == 9
+
+    def test_example5_figure2(self, fig2_f1):
+        assert count_assignments(fig2_f1) == 4
+
+    def test_example14_figure7(self, fig7_f6):
+        assert count_assignments(fig7_f6) == 240
+
+    def test_example14_time_inflexible_variant(self, fig7_f6):
+        pinned = fig7_f6.without_time_flexibility()
+        assert count_assignments(pinned) == 80
+
+    def test_example14_energy_inflexible_variant(self, fig7_f6):
+        pinned = fig7_f6.without_energy_flexibility()
+        assert count_assignments(pinned) == 3
+
+    def test_count_ignores_total_constraints_by_definition(self):
+        f = FlexOffer(0, 0, [(0, 3), (0, 3)], 0, 1)
+        assert count_assignments(f) == 16
+        assert count_assignments_constrained(f) == 3  # totals 0, 1 via (0,0),(0,1),(1,0)
+
+    def test_constrained_count_matches_enumeration(self, fig1):
+        explicit = sum(1 for _ in enumerate_assignments(fig1))
+        assert count_assignments_constrained(fig1) == explicit
+
+    def test_count_profiles_constrained(self, fig2_f1):
+        assert count_profiles_constrained(fig2_f1) == 2
+
+    def test_fast_count_matches_formula(self, fig1, fig3_f2, fig7_f6):
+        for f in (fig1, fig3_f2, fig7_f6):
+            assert count_assignments_fast(f) == count_assignments(f)
+
+
+class TestEnumeration:
+    def test_start_times(self, fig1):
+        assert list(enumerate_start_times(fig1)) == [1, 2, 3, 4, 5, 6]
+
+    def test_profiles_respect_slice_ranges(self, fig3_f2):
+        profiles = list(enumerate_profiles(fig3_f2))
+        assert profiles == [(0,), (1,), (2,)]
+
+    def test_profiles_can_ignore_total_constraints(self):
+        f = FlexOffer(0, 0, [(0, 2)], 0, 1)
+        assert len(list(enumerate_profiles(f, respect_total_constraints=False))) == 3
+        assert len(list(enumerate_profiles(f, respect_total_constraints=True))) == 2
+
+    def test_enumerated_assignments_are_valid_and_unique(self, fig2_f1):
+        assignments = list(enumerate_assignments(fig2_f1))
+        assert len(assignments) == 4
+        signatures = {(a.start_time, a.values) for a in assignments}
+        assert len(signatures) == 4
+
+    def test_limit_caps_enumeration(self, fig1):
+        assert len(list(enumerate_assignments(fig1, limit=10))) == 10
+
+    def test_enumeration_matches_definition8_when_unconstrained(self, fig3_f2):
+        unconstrained = list(
+            enumerate_assignments(fig3_f2, respect_total_constraints=False)
+        )
+        assert len(unconstrained) == count_assignments(fig3_f2)

@@ -1,0 +1,162 @@
+"""Unit tests for repro.core.flexoffer."""
+
+import pytest
+
+from repro.core import EnergySlice, FlexOffer, FlexOfferKind, InvalidFlexOfferError
+
+
+class TestConstruction:
+    def test_paper_notation_constructor(self, fig1):
+        assert fig1.tes == 1
+        assert fig1.tls == 6
+        assert fig1.duration == 4
+
+    def test_defaults_total_constraints_to_slice_sums(self, fig1):
+        # Example 2: cmin = 3, cmax = 15 for the Figure 1 flex-offer.
+        assert fig1.cmin == 3
+        assert fig1.cmax == 15
+
+    def test_explicit_total_constraints(self):
+        f = FlexOffer(0, 1, [(0, 5)], 2, 4)
+        assert (f.cmin, f.cmax) == (2, 4)
+
+    def test_latest_before_earliest_rejected(self):
+        with pytest.raises(InvalidFlexOfferError):
+            FlexOffer(5, 3, [(0, 1)])
+
+    def test_negative_start_times_rejected(self):
+        with pytest.raises(InvalidFlexOfferError):
+            FlexOffer(-1, 2, [(0, 1)])
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(InvalidFlexOfferError):
+            FlexOffer(0, 1, [])
+
+    def test_total_constraints_outside_profile_bounds_rejected(self):
+        with pytest.raises(InvalidFlexOfferError):
+            FlexOffer(0, 1, [(0, 2)], -1, 2)
+        with pytest.raises(InvalidFlexOfferError):
+            FlexOffer(0, 1, [(0, 2)], 0, 3)
+
+    def test_crossed_total_constraints_rejected(self):
+        with pytest.raises(InvalidFlexOfferError):
+            FlexOffer(0, 1, [(0, 5)], 4, 2)
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(InvalidFlexOfferError):
+            FlexOffer(0, 1, [(0, 1)], name=42)
+
+    def test_inflexible_constructor(self):
+        f = FlexOffer.inflexible(3, [2, 2, 1])
+        assert f.time_flexibility == 0
+        assert f.energy_flexibility == 0
+        assert f.cmin == f.cmax == 5
+
+    def test_from_paper_notation(self):
+        f = FlexOffer.from_paper_notation((1, 6), [(1, 3), (2, 4), (0, 5), (0, 3)])
+        assert f.time_flexibility == 5
+
+
+class TestFlexibilityPrimitives:
+    def test_time_flexibility_example1(self, fig1):
+        assert fig1.time_flexibility == 5
+
+    def test_energy_flexibility_example2(self, fig1):
+        assert fig1.energy_flexibility == 12
+
+    def test_has_flags(self, fig1):
+        assert fig1.has_time_flexibility
+        assert fig1.has_energy_flexibility
+        pinned = FlexOffer.inflexible(0, [1])
+        assert not pinned.has_time_flexibility
+        assert not pinned.has_energy_flexibility
+
+
+class TestKinds:
+    def test_consumption(self, fig1):
+        assert fig1.kind is FlexOfferKind.CONSUMPTION
+        assert fig1.is_consumption
+
+    def test_production(self):
+        f = FlexOffer(0, 2, [(-3, 0), (-2, -1)])
+        assert f.kind is FlexOfferKind.PRODUCTION
+        assert f.is_production
+
+    def test_mixed(self, fig7_f6):
+        assert fig7_f6.kind is FlexOfferKind.MIXED
+        assert fig7_f6.is_mixed
+
+
+class TestCanonicalAssignments:
+    def test_minimum_assignment_definition5(self, fig1):
+        minimum = fig1.minimum_assignment()
+        assert minimum.start == fig1.earliest_start
+        assert minimum.values == (1, 2, 0, 0)
+
+    def test_maximum_assignment_definition6(self, fig1):
+        maximum = fig1.maximum_assignment()
+        assert maximum.start == fig1.latest_start
+        assert maximum.values == (3, 4, 5, 3)
+
+
+class TestEffectiveBounds:
+    def test_no_tightening_without_total_constraints(self, fig1):
+        assert fig1.effective_slice_bounds() == fig1.slices
+
+    def test_total_max_tightens_slice_maxima(self):
+        f = FlexOffer(0, 0, [(0, 5), (0, 5)], 0, 4)
+        bounds = f.effective_slice_bounds()
+        assert bounds == (EnergySlice(0, 4), EnergySlice(0, 4))
+
+    def test_total_min_tightens_slice_minima(self):
+        f = FlexOffer(0, 0, [(0, 5), (0, 5)], 8, 10)
+        bounds = f.effective_slice_bounds()
+        assert bounds == (EnergySlice(3, 5), EnergySlice(3, 5))
+
+
+class TestTransformations:
+    def test_shift(self, fig1):
+        shifted = fig1.shift(2)
+        assert (shifted.tes, shifted.tls) == (3, 8)
+        assert shifted.slices == fig1.slices
+
+    def test_without_time_flexibility(self, fig1):
+        pinned = fig1.without_time_flexibility(4)
+        assert pinned.time_flexibility == 0
+        assert pinned.tes == 4
+
+    def test_without_time_flexibility_rejects_outside_interval(self, fig1):
+        with pytest.raises(InvalidFlexOfferError):
+            fig1.without_time_flexibility(10)
+
+    def test_without_energy_flexibility(self, fig1):
+        pinned = fig1.without_energy_flexibility()
+        assert pinned.energy_flexibility == 0
+        assert pinned.time_flexibility == fig1.time_flexibility
+
+    def test_without_energy_flexibility_validates_profile(self, fig1):
+        with pytest.raises(InvalidFlexOfferError):
+            fig1.without_energy_flexibility([99, 0, 0, 0])
+        with pytest.raises(InvalidFlexOfferError):
+            fig1.without_energy_flexibility([1, 2])
+
+    def test_with_name(self, fig1):
+        assert fig1.with_name("renamed").name == "renamed"
+
+
+class TestConvenience:
+    def test_len_and_iteration(self, fig1):
+        assert len(fig1) == 4
+        assert list(fig1)[0] == EnergySlice(1, 3)
+
+    def test_time_horizon(self, fig1):
+        horizon = fig1.time_horizon()
+        assert horizon.start == 1
+        assert horizon.stop == 10  # latest start 6 + 4 slices
+
+    def test_slice_at(self, fig1):
+        assert fig1.slice_at(2) == EnergySlice(0, 5)
+
+    def test_str_contains_bounds(self, fig1):
+        text = str(fig1)
+        assert "cmin=3" in text and "cmax=15" in text

@@ -1,0 +1,94 @@
+"""Unit tests for repro.core.slices."""
+
+import pytest
+
+from repro.core import EnergySlice, InvalidSliceError, parse_slices
+
+
+class TestEnergySlice:
+    def test_width_and_count(self):
+        s = EnergySlice(1, 3)
+        assert s.width == 2
+        assert s.count == 3
+
+    def test_inflexible_slice(self):
+        s = EnergySlice(5, 5)
+        assert s.width == 0
+        assert s.count == 1
+        assert not s.is_flexible
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(InvalidSliceError):
+            EnergySlice(3, 1)
+
+    def test_non_integer_bounds_rejected(self):
+        with pytest.raises(InvalidSliceError):
+            EnergySlice(1.5, 2)
+        with pytest.raises(InvalidSliceError):
+            EnergySlice(True, 2)
+
+    def test_membership(self):
+        s = EnergySlice(-2, 4)
+        assert -2 in s
+        assert 4 in s
+        assert 5 not in s
+        assert "x" not in s
+
+    def test_iteration_yields_all_values(self):
+        assert list(EnergySlice(-1, 2)) == [-1, 0, 1, 2]
+
+    def test_sign_classification(self):
+        assert EnergySlice(0, 3).is_consumption
+        assert EnergySlice(-3, 0).is_production
+        assert EnergySlice(-1, 1).is_mixed
+        assert not EnergySlice(-1, 1).is_consumption
+
+    def test_midpoint(self):
+        assert EnergySlice(1, 4).midpoint == 2.5
+
+    def test_clamp(self):
+        s = EnergySlice(2, 5)
+        assert s.clamp(0) == 2
+        assert s.clamp(10) == 5
+        assert s.clamp(3.6) == 4
+
+    def test_minkowski_addition(self):
+        assert (EnergySlice(1, 3) + EnergySlice(-2, 2)) == EnergySlice(-1, 5)
+
+    def test_scale(self):
+        assert EnergySlice(1, 3).scale(2) == EnergySlice(2, 6)
+
+    def test_scale_rejects_non_positive_factor(self):
+        with pytest.raises(InvalidSliceError):
+            EnergySlice(1, 3).scale(0)
+
+    def test_intersection(self):
+        assert EnergySlice(0, 5).intersect(EnergySlice(3, 8)) == EnergySlice(3, 5)
+        assert EnergySlice(0, 2).intersect(EnergySlice(3, 8)) is None
+
+    def test_as_tuple(self):
+        assert EnergySlice(1, 2).as_tuple() == (1, 2)
+
+    def test_hashable_and_ordered(self):
+        assert len({EnergySlice(1, 2), EnergySlice(1, 2)}) == 1
+        assert EnergySlice(0, 1) < EnergySlice(1, 1)
+
+
+class TestParseSlices:
+    def test_pairs_and_ints_and_instances(self):
+        slices = parse_slices([(1, 3), 5, EnergySlice(-1, 0)])
+        assert slices == (EnergySlice(1, 3), EnergySlice(5, 5), EnergySlice(-1, 0))
+
+    def test_lists_accepted(self):
+        assert parse_slices([[0, 2]]) == (EnergySlice(0, 2),)
+
+    def test_bad_element_rejected(self):
+        with pytest.raises(InvalidSliceError):
+            parse_slices([(1, 2, 3)])
+        with pytest.raises(InvalidSliceError):
+            parse_slices(["oops"])
+        with pytest.raises(InvalidSliceError):
+            parse_slices([True])
+
+    def test_empty_input_gives_empty_tuple(self):
+        assert parse_slices([]) == ()

@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.timeseries."""
+
+import math
+
+import pytest
+
+from repro.core import InvalidTimeSeriesError, TimeSeries
+
+
+class TestConstruction:
+    def test_values_are_normalised_to_tuple(self):
+        series = TimeSeries(0, [1, 2, 3])
+        assert series.values == (1, 2, 3)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(InvalidTimeSeriesError):
+            TimeSeries(-1, (1,))
+
+    def test_non_integer_start_rejected(self):
+        with pytest.raises(InvalidTimeSeriesError):
+            TimeSeries(1.5, (1,))
+
+    def test_non_numeric_values_rejected(self):
+        with pytest.raises(InvalidTimeSeriesError):
+            TimeSeries(0, (1, "x"))
+
+    def test_empty_series_allowed(self):
+        series = TimeSeries(3, ())
+        assert len(series) == 0
+        assert series.end == 2  # start - 1 convention
+
+    def test_zeros_constructor(self):
+        assert TimeSeries.zeros(2, 3).values == (0, 0, 0)
+
+    def test_zeros_negative_duration_rejected(self):
+        with pytest.raises(InvalidTimeSeriesError):
+            TimeSeries.zeros(0, -1)
+
+
+class TestIndexing:
+    def test_absolute_time_indexing(self):
+        series = TimeSeries(2, (2, 3, 1, 2))
+        assert series[2] == 2
+        assert series[5] == 2
+
+    def test_outside_span_returns_zero(self):
+        series = TimeSeries(2, (2, 3))
+        assert series[0] == 0
+        assert series[10] == 0
+
+    def test_non_integer_index_rejected(self):
+        with pytest.raises(TypeError):
+            TimeSeries(0, (1,))["a"]
+
+    def test_items_and_to_dict(self):
+        series = TimeSeries(4, (7, 8))
+        assert list(series.items()) == [(4, 7), (5, 8)]
+        assert series.to_dict() == {4: 7, 5: 8}
+
+    def test_times_range(self):
+        assert list(TimeSeries(3, (1, 1)).times()) == [3, 4]
+
+
+class TestAggregates:
+    def test_total(self):
+        assert TimeSeries(0, (1, 2, 3)).total() == 6
+
+    def test_min_max(self):
+        series = TimeSeries(0, (-2, 5, 1))
+        assert series.minimum() == -2
+        assert series.maximum() == 5
+
+    def test_min_max_of_empty_series(self):
+        assert TimeSeries(0, ()).minimum() == 0
+        assert TimeSeries(0, ()).maximum() == 0
+
+    def test_is_zero(self):
+        assert TimeSeries(0, (0, 0)).is_zero()
+        assert not TimeSeries(0, (0, 1)).is_zero()
+
+
+class TestArithmetic:
+    def test_subtraction_aligns_and_zero_fills(self):
+        # Example 5 of the paper: max assignment at t=1, min assignment at t=0.
+        maximum = TimeSeries(1, (1,))
+        minimum = TimeSeries(0, (0,))
+        assert (maximum - minimum).to_dict() == {0: 0, 1: 1}
+
+    def test_addition_over_overlapping_spans(self):
+        a = TimeSeries(0, (1, 1))
+        b = TimeSeries(1, (2, 2))
+        assert (a + b).to_dict() == {0: 1, 1: 3, 2: 2}
+
+    def test_sum_of_many(self):
+        total = TimeSeries.sum_of([TimeSeries(0, (1,)), TimeSeries(2, (4,))])
+        assert total.to_dict() == {0: 1, 1: 0, 2: 4}
+
+    def test_sum_of_empty_collection(self):
+        assert TimeSeries.sum_of([]).values == ()
+
+    def test_negation_and_scale(self):
+        series = TimeSeries(0, (1, -2))
+        assert (-series).values == (-1, 2)
+        assert series.scale(3).values == (3, -6)
+
+    def test_shift(self):
+        assert TimeSeries(2, (5,)).shift(3).start == 5
+
+    def test_shift_below_zero_rejected(self):
+        with pytest.raises(InvalidTimeSeriesError):
+            TimeSeries(1, (5,)).shift(-2)
+
+    def test_trim_removes_leading_and_trailing_zeros(self):
+        series = TimeSeries(0, (0, 0, 3, 4, 0))
+        trimmed = series.trim()
+        assert trimmed.start == 2
+        assert trimmed.values == (3, 4)
+
+    def test_trim_all_zero_series(self):
+        assert TimeSeries(5, (0, 0)).trim().values == ()
+
+
+class TestNorms:
+    def test_manhattan_and_euclidean(self):
+        series = TimeSeries(0, (3, -4))
+        assert series.manhattan_norm() == 7
+        assert series.euclidean_norm() == 5
+
+    def test_generic_norm_matches_specialised(self):
+        series = TimeSeries(0, (1, -2, 2))
+        assert series.norm(1) == series.manhattan_norm()
+        assert series.norm(2) == pytest.approx(series.euclidean_norm())
+
+    def test_infinity_norm(self):
+        assert TimeSeries(0, (1, -7, 3)).norm(math.inf) == 7
+
+    def test_invalid_norm_order(self):
+        with pytest.raises(ValueError):
+            TimeSeries(0, (1,)).norm(0)
+
+
+class TestFromMapping:
+    def test_gaps_are_zero_filled(self):
+        series = TimeSeries.from_mapping({2: 5, 5: 1})
+        assert series.to_dict() == {2: 5, 3: 0, 4: 0, 5: 1}
+
+    def test_empty_mapping(self):
+        assert TimeSeries.from_mapping({}).values == ()

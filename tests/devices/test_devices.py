@@ -1,0 +1,138 @@
+"""Tests for every device model."""
+
+import random
+
+import pytest
+
+from repro.core import FlexOfferKind, WorkloadError
+from repro.devices import (
+    Dishwasher,
+    ElectricVehicle,
+    HeatPump,
+    Refrigerator,
+    SolarPanel,
+    VehicleToGrid,
+    WashingMachine,
+    WindTurbine,
+)
+
+
+ALL_DEVICE_CLASSES = [
+    ElectricVehicle,
+    HeatPump,
+    Dishwasher,
+    WashingMachine,
+    Refrigerator,
+    SolarPanel,
+    WindTurbine,
+    VehicleToGrid,
+]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("device_class", ALL_DEVICE_CLASSES)
+    def test_generated_flexoffers_are_valid_and_named(self, device_class, rng):
+        device = device_class()
+        flex_offers = device.generate_many(5, rng)
+        assert len(flex_offers) == 5
+        names = {f.name for f in flex_offers}
+        assert len(names) == 5  # unique names
+        for flex_offer in flex_offers:
+            assert flex_offer.duration >= 1
+            assert flex_offer.tes <= flex_offer.tls
+
+    @pytest.mark.parametrize("device_class", ALL_DEVICE_CLASSES)
+    def test_generation_is_reproducible_with_same_seed(self, device_class):
+        first = device_class().generate(random.Random(42))
+        second = device_class().generate(random.Random(42))
+        assert first.slices == second.slices
+        assert (first.tes, first.tls) == (second.tes, second.tls)
+
+    @pytest.mark.parametrize("device_class", ALL_DEVICE_CLASSES)
+    def test_explicit_plug_in_time_is_respected(self, device_class, rng):
+        flex_offer = device_class().generate(rng, plug_in_time=12)
+        assert flex_offer.earliest_start == 12
+
+    def test_generate_many_rejects_negative_count(self, rng):
+        with pytest.raises(WorkloadError):
+            ElectricVehicle().generate_many(-1, rng)
+
+
+class TestConsumptionDevices:
+    def test_ev_matches_use_case_shape(self, rng):
+        ev = ElectricVehicle(charger_power=4, min_duration=3, max_duration=3,
+                             min_acceptable_fraction=0.6)
+        flex_offer = ev.generate(rng, plug_in_time=23)
+        assert flex_offer.is_consumption
+        assert flex_offer.duration == 3
+        assert flex_offer.cmax == 12
+        assert flex_offer.cmin == round(12 * 0.6)
+
+    def test_ev_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            ElectricVehicle(charger_power=0)
+        with pytest.raises(WorkloadError):
+            ElectricVehicle(min_acceptable_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            ElectricVehicle(min_duration=3, max_duration=2)
+
+    def test_heat_pump_comfort_minimum(self, rng):
+        pump = HeatPump(low_power=1, high_power=3, comfort_fraction=0.7)
+        flex_offer = pump.generate(rng)
+        assert flex_offer.cmin >= flex_offer.duration * 1
+        assert flex_offer.cmin >= round(flex_offer.cmax * 0.7)
+
+    def test_dishwasher_is_time_flexible_energy_inflexible(self, rng):
+        flex_offer = Dishwasher().generate(rng)
+        assert flex_offer.energy_flexibility == 0
+        assert flex_offer.is_consumption
+
+    def test_washing_machine_has_heavier_programme(self):
+        assert sum(WashingMachine().programme) > sum(Dishwasher().programme)
+
+    def test_refrigerator_is_amount_flexible(self, rng):
+        flex_offer = Refrigerator().generate(rng)
+        assert flex_offer.energy_flexibility > 0
+        assert flex_offer.time_flexibility <= 1
+
+    def test_invalid_programme_rejected(self):
+        with pytest.raises(WorkloadError):
+            Dishwasher(programme=())
+        with pytest.raises(WorkloadError):
+            Dishwasher(programme=(-1, 2))
+
+
+class TestProductionAndStorageDevices:
+    def test_solar_panel_is_production(self, rng):
+        flex_offer = SolarPanel().generate(rng)
+        assert flex_offer.kind is FlexOfferKind.PRODUCTION
+        assert flex_offer.time_flexibility == 0
+
+    def test_non_curtailable_solar_keeps_minimum_feed_in(self, rng):
+        flex_offer = SolarPanel(curtailable=False).generate(rng)
+        assert all(s.amax < 0 for s in flex_offer.slices)
+
+    def test_wind_turbine_is_production(self, rng):
+        flex_offer = WindTurbine().generate(rng)
+        assert flex_offer.kind is FlexOfferKind.PRODUCTION
+
+    def test_v2g_is_mixed(self, rng):
+        flex_offer = VehicleToGrid().generate(rng)
+        assert flex_offer.kind is FlexOfferKind.MIXED
+
+    def test_v2g_net_energy_constraints_clipped_to_profile(self, rng):
+        device = VehicleToGrid(min_duration=1, max_duration=1,
+                               net_energy_min=-100, net_energy_max=100)
+        flex_offer = device.generate(rng)
+        assert flex_offer.cmin >= flex_offer.profile_minimum
+        assert flex_offer.cmax <= flex_offer.profile_maximum
+
+    def test_device_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            SolarPanel(peak_production=0)
+        with pytest.raises(WorkloadError):
+            WindTurbine(hours=0)
+        with pytest.raises(WorkloadError):
+            VehicleToGrid(charge_power=0, discharge_power=0)
+        with pytest.raises(WorkloadError):
+            VehicleToGrid(net_energy_min=5, net_energy_max=1)

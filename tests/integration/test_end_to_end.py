@@ -1,0 +1,144 @@
+"""Integration tests: the full Scenario 1 / Scenario 2 pipelines.
+
+These tests exercise the library the way the paper's two application
+scenarios describe: prosumers emit flex-offers, an Aggregator groups and
+aggregates them, flexibility losses are measured with the paper's measures,
+schedules track wind production, and the market settles the imbalance.
+"""
+
+import pytest
+
+from repro.aggregation import (
+    aggregate_all,
+    aggregation_loss,
+    balance_aggregate,
+    disaggregate,
+    group_by_grid,
+)
+from repro.core import Assignment
+from repro.market import (
+    Aggregator,
+    BalanceResponsibleParty,
+    FlexibilityPricer,
+    ImbalanceSettlement,
+    TradingSession,
+)
+from repro.measures import applicable_measures, evaluate_set
+from repro.scheduling import (
+    EarliestStartScheduler,
+    EvolutionaryScheduler,
+    GreedyImbalanceScheduler,
+    HillClimbingScheduler,
+    ImbalanceObjective,
+)
+
+
+class TestScenario1AggregationForScheduling:
+    def test_aggregation_reduces_count_and_measures_quantify_loss(
+        self, small_neighbourhood
+    ):
+        originals = list(small_neighbourhood.flex_offers)
+        aggregates = aggregate_all(group_by_grid(originals))
+        assert len(aggregates) <= len(originals)
+
+        report = aggregation_loss(originals, aggregates, ["time", "energy", "product"])
+        # Start-alignment aggregation preserves total energy flexibility and
+        # never gains time or product flexibility.
+        assert report.retained("energy") == pytest.approx(1.0)
+        assert report.retained("time") <= 1.0 + 1e-9
+        assert report.retained("product") <= 1.0 + 1e-9
+
+    def test_schedule_aggregates_then_disaggregate_to_members(
+        self, small_neighbourhood
+    ):
+        originals = list(small_neighbourhood.flex_offers)
+        aggregates = aggregate_all(group_by_grid(originals))
+        scheduler = GreedyImbalanceScheduler(
+            ImbalanceObjective("absolute", small_neighbourhood.supply)
+        )
+        schedule = scheduler.schedule(
+            [a.flex_offer for a in aggregates], small_neighbourhood.supply
+        )
+        total_members = 0
+        for aggregated, assignment in zip(aggregates, schedule):
+            parts = disaggregate(aggregated, assignment)
+            total_members += len(parts)
+            assert sum(p.total_energy for p in parts) == assignment.total_energy
+        assert total_members == len(originals)
+
+    def test_flexibility_correlates_with_scheduling_benefit(self, small_neighbourhood):
+        """More retained flexibility -> lower imbalance (the Scenario 1 thesis)."""
+        originals = list(small_neighbourhood.flex_offers)
+        supply = small_neighbourhood.supply
+        objective = ImbalanceObjective("absolute", supply)
+
+        baseline = EarliestStartScheduler().schedule(originals)
+        pinned = [f.without_time_flexibility().without_energy_flexibility() for f in originals]
+        flexible_schedule = GreedyImbalanceScheduler(objective).schedule(originals, supply)
+        pinned_schedule = GreedyImbalanceScheduler(objective).schedule(pinned, supply)
+
+        assert objective.of_schedule(flexible_schedule) <= objective.of_schedule(
+            pinned_schedule
+        )
+        assert objective.of_schedule(flexible_schedule) <= objective.of_schedule(baseline)
+
+    def test_all_schedulers_agree_flexibility_helps(self, small_neighbourhood):
+        originals = list(small_neighbourhood.flex_offers)
+        supply = small_neighbourhood.supply
+        objective = ImbalanceObjective("absolute", supply)
+        baseline_value = objective.of_schedule(
+            EarliestStartScheduler().schedule(originals)
+        )
+        for scheduler in (
+            GreedyImbalanceScheduler(objective),
+            HillClimbingScheduler(iterations=150, restarts=1, seed=2, objective=objective),
+            EvolutionaryScheduler(population_size=8, generations=10, seed=2, objective=objective),
+        ):
+            value = objective.of_schedule(scheduler.schedule(originals, supply))
+            assert value <= baseline_value
+
+
+class TestScenario2TradingAndBalancing:
+    def test_aggregator_to_market_pipeline(self, small_neighbourhood):
+        aggregator = Aggregator("agg")
+        aggregator.collect(small_neighbourhood.flex_offers)
+        lots = aggregator.aggregate()
+
+        session = TradingSession(
+            FlexibilityPricer(measure="product", energy_price=1.0, premium_per_unit=2.0),
+            budget=1e6,
+        )
+        accepted, rejected = session.clear(lots)
+        assert len(accepted) + len(rejected) == len(lots)
+        assert accepted  # a large budget buys at least one lot
+
+        brp = BalanceResponsibleParty("brp", small_neighbourhood.supply)
+        purchased = [bid.flex_offer for bid in accepted]
+        schedule = brp.schedule_flexibility(purchased)
+        settlement = ImbalanceSettlement(small_neighbourhood.prices)
+        result = settlement.settle(schedule, small_neighbourhood.supply)
+        assert result.imbalance_cost >= 0
+
+    def test_balancing_portfolio_uses_mixed_capable_measures(self, small_balancing):
+        flex_offers = list(small_balancing.flex_offers)
+        result = balance_aggregate(flex_offers, pair_size=2)
+        aggregate_offers = [a.flex_offer for a in result.aggregates]
+
+        # Mixed aggregates: area measures are excluded, vector/assignments remain.
+        measures = {m.key for m in applicable_measures(aggregate_offers)}
+        if result.mixed_count:
+            assert "absolute_area" not in measures
+        assert {"time", "energy", "vector", "assignments"}.issubset(measures)
+
+        report = evaluate_set(aggregate_offers)
+        assert report.size == len(aggregate_offers)
+        assert report.values["vector"] >= 0
+
+    def test_flexibility_reduces_imbalance_cost(self, small_neighbourhood):
+        originals = list(small_neighbourhood.flex_offers)
+        supply = small_neighbourhood.supply
+        settlement = ImbalanceSettlement(small_neighbourhood.prices)
+        baseline = EarliestStartScheduler().schedule(originals)
+        brp = BalanceResponsibleParty("brp", supply)
+        flexible = brp.schedule_flexibility(originals)
+        assert settlement.savings(baseline, flexible, supply) >= 0

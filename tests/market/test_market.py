@@ -1,0 +1,145 @@
+"""Tests for market actors, settlement and flexibility trading."""
+
+import pytest
+
+from repro.aggregation import aggregate_start_aligned
+from repro.core import FlexOffer, MarketError, TimeSeries
+from repro.market import (
+    Aggregator,
+    BalanceResponsibleParty,
+    Bid,
+    FlexibilityPricer,
+    ImbalanceSettlement,
+    Prosumer,
+    TradingSession,
+)
+from repro.scheduling import EarliestStartScheduler
+
+
+@pytest.fixture
+def household_offers():
+    return [
+        FlexOffer(0, 4, [(0, 3), (0, 3)], 2, 6, name="ev"),
+        FlexOffer(1, 5, [(1, 2), (1, 2)], name="fridge"),
+        FlexOffer(2, 6, [(2, 3), (1, 1)], name="dishwasher"),
+    ]
+
+
+class TestProsumer:
+    def test_submit_names_anonymous_flexoffers(self):
+        prosumer = Prosumer("house-1")
+        named = prosumer.submit(FlexOffer(0, 1, [(0, 1)]))
+        assert named.name == "house-1-fo0"
+        assert prosumer.offered_flexibility_count == 1
+
+    def test_submit_keeps_existing_name(self):
+        prosumer = Prosumer("house-1")
+        named = prosumer.submit(FlexOffer(0, 1, [(0, 1)], name="my-ev"))
+        assert named.name == "my-ev"
+
+
+class TestAggregatorActor:
+    def test_collect_and_aggregate(self, household_offers):
+        aggregator = Aggregator("agg")
+        assert aggregator.collect(household_offers) == 3
+        lots = aggregator.aggregate()
+        assert lots
+        assert sum(lot.size for lot in lots) == 3
+
+    def test_aggregate_without_collection_fails(self):
+        with pytest.raises(MarketError):
+            Aggregator("empty").aggregate()
+
+    def test_portfolio_flexibility_uses_measures(self, household_offers):
+        aggregator = Aggregator("agg")
+        aggregator.collect(household_offers)
+        values = aggregator.portfolio_flexibility(["time", "product"])
+        assert values["time"] == sum(f.time_flexibility for f in household_offers)
+
+
+class TestBalanceResponsibleParty:
+    def test_scheduling_reduces_imbalance(self, household_offers):
+        supply = TimeSeries(0, (4, 4, 3, 3, 2, 2, 1, 1))
+        brp = BalanceResponsibleParty("brp", supply)
+        flexible = brp.schedule_flexibility(household_offers)
+        baseline = EarliestStartScheduler().schedule(household_offers)
+        assert brp.imbalance_energy(flexible) <= brp.imbalance_energy(baseline)
+
+
+class TestSettlement:
+    def test_costs_scale_with_deviation(self):
+        settlement = ImbalanceSettlement((10.0, 20.0), penalty_factor=2.0)
+        load = TimeSeries(0, (3, 1))
+        position = TimeSeries(0, (1, 1))
+        result = settlement.settle_load(load, position)
+        assert result.imbalance_energy == 2
+        assert result.imbalance_cost == 2 * 10.0 * 2.0
+        assert result.average_price_paid == pytest.approx(20.0)
+
+    def test_balanced_schedule_costs_nothing(self):
+        settlement = ImbalanceSettlement((10.0,))
+        load = TimeSeries(0, (1, 1))
+        result = settlement.settle_load(load, load)
+        assert result.imbalance_cost == 0
+        assert result.average_price_paid == 0
+
+    def test_price_clamping_outside_horizon(self):
+        settlement = ImbalanceSettlement((10.0, 30.0), price_start=5)
+        assert settlement.price_at(0) == 10.0
+        assert settlement.price_at(100) == 30.0
+
+    def test_validation(self):
+        with pytest.raises(MarketError):
+            ImbalanceSettlement(())
+        with pytest.raises(MarketError):
+            ImbalanceSettlement((1.0,), penalty_factor=-1)
+
+    def test_savings_of_flexible_schedule(self, household_offers):
+        supply = TimeSeries(0, (4, 4, 3, 3, 2, 2, 1, 1))
+        settlement = ImbalanceSettlement(tuple([25.0] * 8))
+        baseline = EarliestStartScheduler().schedule(household_offers)
+        brp = BalanceResponsibleParty("brp", supply)
+        flexible = brp.schedule_flexibility(household_offers)
+        assert settlement.savings(baseline, flexible, supply) >= 0
+
+
+class TestTrading:
+    def test_pricer_rewards_flexibility(self):
+        pricer = FlexibilityPricer(measure="product", energy_price=1.0, premium_per_unit=1.0)
+        flexible = FlexOffer(0, 4, [(0, 4)], name="flexible")
+        rigid = FlexOffer(0, 0, [(2, 2)], name="rigid")
+        assert pricer.price(flexible).flexibility_premium > pricer.price(rigid).flexibility_premium
+
+    def test_pricer_rejects_unsupported_measure_flexoffer_combo(self, fig7_f6):
+        pricer = FlexibilityPricer(measure="absolute_area")
+        with pytest.raises(MarketError):
+            pricer.price(fig7_f6)
+
+    def test_bid_total_price(self):
+        bid = Bid(FlexOffer(0, 0, [(1, 1)]), energy_price=10.0, flexibility_premium=2.5)
+        assert bid.total_price == 12.5
+
+    def test_session_clears_within_budget(self, household_offers):
+        lots = [aggregate_start_aligned([f], name=f"lot-{f.name}") for f in household_offers]
+        session = TradingSession(FlexibilityPricer(energy_price=1.0), budget=30.0)
+        accepted, rejected = session.clear(lots)
+        assert sum(bid.total_price for bid in accepted) <= 30.0
+        assert len(accepted) + len(rejected) == len(lots)
+
+    def test_unlimited_budget_accepts_everything(self, household_offers):
+        session = TradingSession()
+        accepted, rejected = session.clear(household_offers)
+        assert len(accepted) == len(household_offers)
+        assert rejected == []
+
+    def test_most_flexible_lots_bought_first(self, household_offers):
+        session = TradingSession(
+            FlexibilityPricer(measure="product", energy_price=1.0, premium_per_unit=5.0),
+            budget=1e9,
+        )
+        accepted, _ = session.clear(household_offers)
+        ratios = [
+            bid.flexibility_premium / bid.total_price if bid.total_price else 0
+            for bid in accepted
+        ]
+        assert ratios == sorted(ratios, reverse=True)

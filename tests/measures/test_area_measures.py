@@ -1,0 +1,91 @@
+"""Unit tests for the absolute and relative area-based measures."""
+
+import pytest
+
+from repro.core import FlexOffer, MeasureError, UnsupportedFlexOfferError
+from repro.measures import (
+    AbsoluteAreaFlexibility,
+    MixedPolicy,
+    RelativeAreaFlexibility,
+    absolute_area_flexibility,
+    inflexible_area_baseline,
+    relative_area_flexibility,
+)
+from repro.measures.base import SetAggregation
+
+
+class TestAbsoluteArea:
+    def test_consumption_baseline_is_cmin(self, fig5_f4):
+        assert inflexible_area_baseline(fig5_f4) == 2
+
+    def test_production_baseline_is_abs_cmax(self):
+        f = FlexOffer(0, 2, [(-3, -1)])
+        assert inflexible_area_baseline(f) == 1
+        # union area: 3 columns x 3 cells each = 9, minus |cmax| = 1.
+        assert absolute_area_flexibility(f) == 8
+
+    def test_mixed_rejected_by_default(self, fig7_f6):
+        with pytest.raises(UnsupportedFlexOfferError):
+            absolute_area_flexibility(fig7_f6)
+
+    def test_mixed_paper_example_policy(self, fig7_f6):
+        assert absolute_area_flexibility(fig7_f6, MixedPolicy.PAPER_EXAMPLE) == 32
+
+    def test_mixed_raw_area_policy(self, fig7_f6):
+        assert absolute_area_flexibility(fig7_f6, MixedPolicy.RAW_AREA) == 24
+
+    def test_policy_accepts_strings(self, fig7_f6):
+        assert absolute_area_flexibility(fig7_f6, "paper-example") == 32
+
+    def test_class_value_and_supports(self, fig5_f4, fig7_f6):
+        measure = AbsoluteAreaFlexibility()
+        assert measure.value(fig5_f4) == 8
+        assert measure.supports(fig5_f4)
+        assert not measure.supports(fig7_f6)
+
+    def test_inflexible_flexoffer_has_zero_flexibility(self):
+        f = FlexOffer.inflexible(0, [3])
+        assert absolute_area_flexibility(f) == 0
+
+    def test_pure_time_flexibility_still_visible(self, fig5_f4):
+        """Unlike product flexibility, the area measure sees time-only flexibility."""
+        assert fig5_f4.energy_flexibility == 0
+        assert absolute_area_flexibility(fig5_f4) > 0
+
+    def test_set_value_sums(self, fig5_f4, fig6_f5):
+        assert AbsoluteAreaFlexibility().set_value([fig5_f4, fig6_f5]) == 16
+
+
+class TestRelativeArea:
+    def test_figure5_and_6_values(self, fig5_f4, fig6_f5):
+        assert relative_area_flexibility(fig5_f4) == pytest.approx(4.0)
+        assert relative_area_flexibility(fig6_f5) == pytest.approx(16 / 6)
+
+    def test_size_invariance(self):
+        """Scaling all energy amounts leaves the relative measure unchanged."""
+        small = FlexOffer(0, 4, [(2, 2)], 2, 2)
+        large = FlexOffer(0, 4, [(20, 20)], 20, 20)
+        # The absolute values differ by 10x, the relative values are equal.
+        assert absolute_area_flexibility(large) == 10 * absolute_area_flexibility(small)
+        assert relative_area_flexibility(large) == pytest.approx(
+            relative_area_flexibility(small)
+        )
+
+    def test_undefined_for_zero_denominator(self):
+        f = FlexOffer(0, 1, [(-1, 1)], 0, 0)
+        with pytest.raises(MeasureError):
+            relative_area_flexibility(f, MixedPolicy.PAPER_EXAMPLE)
+
+    def test_mixed_rejected_by_default(self, fig7_f6):
+        with pytest.raises(UnsupportedFlexOfferError):
+            relative_area_flexibility(fig7_f6)
+
+    def test_set_aggregation_is_mean(self, fig5_f4, fig6_f5):
+        measure = RelativeAreaFlexibility()
+        assert measure.set_aggregation is SetAggregation.MEAN
+        expected = (4.0 + 16 / 6) / 2
+        assert measure.set_value([fig5_f4, fig6_f5]) == pytest.approx(expected)
+
+    def test_describe_reports_policy(self):
+        measure = RelativeAreaFlexibility(MixedPolicy.PAPER_EXAMPLE)
+        assert measure.describe()["mixed_policy"] == "paper-example"

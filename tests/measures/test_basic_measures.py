@@ -1,0 +1,102 @@
+"""Unit tests for the time, energy, product and vector measures."""
+
+import math
+
+import pytest
+
+from repro.core import FlexOffer
+from repro.measures import (
+    EnergyFlexibility,
+    ProductFlexibility,
+    TimeFlexibility,
+    VectorFlexibility,
+    energy_flexibility,
+    legacy_product_flexibility,
+    product_flexibility,
+    profile_energy_flexibility,
+    time_flexibility,
+    vector_flexibility,
+    vector_flexibility_norm,
+)
+from repro.measures.time_measure import total_time_flexibility
+from repro.measures.energy_measure import total_energy_flexibility
+
+
+class TestTimeMeasure:
+    def test_class_and_function_agree(self, fig1):
+        assert TimeFlexibility().value(fig1) == time_flexibility(fig1) == 5
+
+    def test_zero_for_pinned_start(self):
+        assert time_flexibility(FlexOffer.inflexible(3, [1, 2])) == 0
+
+    def test_set_value_sums(self, fig1, fig3_f2):
+        assert TimeFlexibility().set_value([fig1, fig3_f2]) == 7
+        assert total_time_flexibility([fig1, fig3_f2]) == 7
+
+    def test_callable_protocol(self, fig1):
+        assert TimeFlexibility()(fig1) == 5
+
+
+class TestEnergyMeasure:
+    def test_class_and_function_agree(self, fig1):
+        assert EnergyFlexibility().value(fig1) == energy_flexibility(fig1) == 12
+
+    def test_uses_total_constraints_not_slice_sums(self):
+        f = FlexOffer(0, 0, [(0, 10)], 4, 6)
+        assert energy_flexibility(f) == 2
+        assert profile_energy_flexibility(f) == 10
+
+    def test_set_value_sums(self, fig1, fig2_f1):
+        assert EnergyFlexibility().set_value([fig1, fig2_f1]) == 13
+        assert total_energy_flexibility([fig1, fig2_f1]) == 13
+
+
+class TestProductMeasure:
+    def test_example3(self, fig1):
+        assert ProductFlexibility().value(fig1) == product_flexibility(fig1) == 60
+
+    def test_zero_when_either_dimension_inflexible(self, fig1):
+        assert product_flexibility(fig1.without_time_flexibility()) == 0
+        assert product_flexibility(fig1.without_energy_flexibility()) == 0
+
+    def test_legacy_variant_uses_slice_widths(self, fig1):
+        # Slice widths of Figure 1: 2 + 2 + 5 + 3 = 12, times tf = 5.
+        assert legacy_product_flexibility(fig1) == 60
+
+    def test_legacy_variant_ignores_total_constraints(self):
+        f = FlexOffer(0, 2, [(0, 10)], 4, 6)
+        assert product_flexibility(f) == 4
+        assert legacy_product_flexibility(f) == 20
+
+    def test_set_value_sums(self, fig1, fig3_f2):
+        assert ProductFlexibility().set_value([fig1, fig3_f2]) == 60 + 4
+
+
+class TestVectorMeasure:
+    def test_components(self, fig1):
+        assert vector_flexibility(fig1) == (5, 12)
+        assert VectorFlexibility().components(fig1) == (5, 12)
+
+    def test_norm_selection(self, fig1):
+        assert VectorFlexibility("l1").value(fig1) == 17
+        assert VectorFlexibility("manhattan").value(fig1) == 17
+        assert VectorFlexibility(2).value(fig1) == pytest.approx(13.0)
+        assert VectorFlexibility("max").value(fig1) == 12
+
+    def test_invalid_norm_rejected(self):
+        with pytest.raises(ValueError):
+            VectorFlexibility("l7-ish")
+        with pytest.raises(ValueError):
+            vector_flexibility_norm(FlexOffer.inflexible(0, [1]), -1)
+
+    def test_nonzero_when_one_dimension_is_inflexible(self, fig1):
+        pinned = fig1.without_energy_flexibility()
+        assert VectorFlexibility("l1").value(pinned) == 5
+        assert product_flexibility(pinned) == 0  # the contrast from Section 4
+
+    def test_describe_includes_norm(self):
+        assert VectorFlexibility("l1").describe()["norm_order"] == 1
+
+    def test_set_value_sums_norms(self, fig1, fig3_f2):
+        expected = math.hypot(5, 12) + math.hypot(2, 2)
+        assert VectorFlexibility().set_value([fig1, fig3_f2]) == pytest.approx(expected)

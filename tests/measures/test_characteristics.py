@@ -1,0 +1,105 @@
+"""Tests for the Table 1 characteristics machinery."""
+
+import pytest
+
+from repro.measures import (
+    PAPER_MEASURE_ORDER,
+    PAPER_TABLE_1,
+    characteristics_matrix,
+    characteristics_table,
+    format_characteristics_table,
+    get_measure,
+    matches_paper_table,
+    measure_keys,
+    registered_measures,
+)
+from repro.measures.base import MeasureCharacteristics
+
+
+class TestRegistry:
+    def test_all_eight_paper_measures_registered(self):
+        assert set(PAPER_MEASURE_ORDER).issubset(set(measure_keys()))
+
+    def test_get_measure_by_key(self):
+        assert get_measure("product").key == "product"
+
+    def test_get_measure_with_kwargs(self):
+        assert get_measure("vector", norm="l1").norm_order == 1
+
+    def test_unknown_key_raises(self):
+        from repro.core import MeasureError
+
+        with pytest.raises(MeasureError):
+            get_measure("does-not-exist")
+
+    def test_registry_returns_copy(self):
+        registry = registered_measures()
+        registry["bogus"] = None
+        assert "bogus" not in registered_measures()
+
+
+class TestTable1:
+    def test_every_row_matches_the_paper(self):
+        agreement = matches_paper_table()
+        assert all(agreement.values()), agreement
+
+    def test_matrix_rows_and_columns(self):
+        matrix = characteristics_matrix()
+        assert set(matrix) == set(PAPER_TABLE_1)
+        for row in matrix.values():
+            assert set(row) == set(PAPER_MEASURE_ORDER)
+
+    def test_specific_paper_cells(self):
+        matrix = characteristics_matrix()
+        assert matrix["Captures time & energy"]["product"] is True
+        assert matrix["Captures time"]["product"] is False
+        assert matrix["Captures energy"]["series"] is True
+        assert matrix["Captures time"]["series"] is False
+        assert matrix["Captures size"]["absolute_area"] is True
+        assert matrix["Captures Mixed flex-offers"]["absolute_area"] is False
+        assert matrix["Captures Mixed flex-offers"]["vector"] is True
+
+    def test_table_shape(self):
+        table = characteristics_table()
+        assert len(table) == 9  # header + 8 characteristic rows
+        assert len(table[0]) == 9  # label column + 8 measures
+        assert table[0][1:] == [
+            "Time", "Energy", "Product", "Vector", "Time-series",
+            "Assignments", "Abs. Area", "Rel. Area",
+        ]
+
+    def test_formatted_table_mentions_every_measure(self):
+        text = format_characteristics_table()
+        for label in ("Time", "Energy", "Product", "Vector", "Assignments"):
+            assert label in text
+        assert "Yes" in text and "No" in text
+
+    def test_subset_of_columns(self):
+        matrix = characteristics_matrix(["time", "product"])
+        assert set(matrix["Captures time"]) == {"time", "product"}
+
+
+class TestCharacteristicsDataclass:
+    def test_as_row_order_matches_labels(self):
+        characteristics = MeasureCharacteristics(
+            captures_time=True,
+            captures_energy=False,
+            captures_time_and_energy=False,
+            captures_size=False,
+        )
+        row = characteristics.as_row()
+        assert row[0] is True and row[1] is False
+        assert len(row) == len(MeasureCharacteristics.ROW_LABELS) == 8
+
+    def test_as_dict_contains_all_fields(self):
+        characteristics = MeasureCharacteristics(True, True, True, True)
+        assert set(characteristics.as_dict()) == {
+            "captures_time",
+            "captures_energy",
+            "captures_time_and_energy",
+            "captures_size",
+            "captures_positive",
+            "captures_negative",
+            "captures_mixed",
+            "single_value",
+        }

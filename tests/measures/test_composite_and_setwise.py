@@ -1,0 +1,122 @@
+"""Tests for composite (weighted) measures and the set-wise evaluation layer."""
+
+import pytest
+
+from repro.core import FlexOffer, MeasureError
+from repro.measures import (
+    ProductFlexibility,
+    VectorFlexibility,
+    WeightedFlexibility,
+    applicable_measures,
+    compare_sets,
+    evaluate_set,
+    get_measure,
+    rank_flexoffers,
+)
+from repro.measures.setwise import resolve_measures
+
+
+class TestWeightedFlexibility:
+    def test_weighted_value_is_linear_combination(self, fig1):
+        blend = WeightedFlexibility({"product": 0.5, "time": 0.5})
+        assert blend.value(fig1) == pytest.approx(0.5 * 60 + 0.5 * 5)
+
+    def test_weights_normalised_by_default(self, fig1):
+        blend = WeightedFlexibility({"product": 2, "time": 2})
+        assert blend.value(fig1) == pytest.approx(0.5 * 60 + 0.5 * 5)
+
+    def test_unnormalised_weights(self, fig1):
+        blend = WeightedFlexibility({"product": 2.0}, normalise_weights=False)
+        assert blend.value(fig1) == pytest.approx(120)
+
+    def test_instances_with_custom_norms(self, fig1):
+        blend = WeightedFlexibility([(VectorFlexibility("l1"), 1.0)])
+        assert blend.value(fig1) == 17
+
+    def test_breakdown_sums_to_value(self, fig1):
+        blend = WeightedFlexibility({"product": 0.7, "vector": 0.3})
+        breakdown = blend.breakdown(fig1)
+        assert sum(breakdown.values()) == pytest.approx(blend.value(fig1))
+
+    def test_characteristics_combine_components(self):
+        blend = WeightedFlexibility({"vector": 0.5, "relative_area": 0.5})
+        assert blend.characteristics.captures_size is True
+        assert blend.characteristics.captures_mixed is False  # area component
+
+        mixed_safe = WeightedFlexibility({"vector": 0.5, "assignments": 0.5})
+        assert mixed_safe.characteristics.captures_mixed is True
+
+    def test_empty_or_invalid_weights_rejected(self):
+        with pytest.raises(MeasureError):
+            WeightedFlexibility({})
+        with pytest.raises(MeasureError):
+            WeightedFlexibility({"product": -1.0})
+        with pytest.raises(MeasureError):
+            WeightedFlexibility({"product": 0.0})
+        with pytest.raises(MeasureError):
+            WeightedFlexibility([("not-a-measure", 1.0)])
+
+    def test_describe_lists_components(self):
+        blend = WeightedFlexibility({"product": 1.0})
+        assert blend.describe()["components"] == [{"measure": "product", "weight": 1.0}]
+
+
+class TestResolveMeasures:
+    def test_none_resolves_to_all_registered(self):
+        resolved = resolve_measures(None)
+        assert {measure.key for measure in resolved} >= {"time", "product", "vector"}
+
+    def test_mixed_specs(self):
+        resolved = resolve_measures(["time", ProductFlexibility()])
+        assert [measure.key for measure in resolved] == ["time", "product"]
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(MeasureError):
+            resolve_measures([42])
+
+
+class TestSetwise:
+    def test_evaluate_set_reports_all_supported_measures(self, fig1, fig3_f2):
+        report = evaluate_set([fig1, fig3_f2], ["time", "product", "absolute_area"])
+        assert report.size == 2
+        assert report.value("time") == 7
+        assert report.skipped == ()
+
+    def test_mixed_members_skip_area_measures(self, fig1, fig7_f6):
+        report = evaluate_set([fig1, fig7_f6])
+        assert "absolute_area" in report.skipped
+        assert "relative_area" in report.skipped
+        assert "vector" in report.values
+
+    def test_empty_set(self):
+        report = evaluate_set([], ["time"])
+        assert report.value("time") == 0.0
+
+    def test_applicable_measures_respects_sign_classes(self, fig1, fig7_f6):
+        keys = {m.key for m in applicable_measures([fig1, fig7_f6])}
+        assert "absolute_area" not in keys
+        assert "vector" in keys
+
+    def test_compare_sets_reports_loss_and_retention(self, fig1, fig3_f2):
+        comparison = compare_sets([fig1, fig3_f2], [fig1], ["product"])
+        stats = comparison["product"]
+        assert stats["before"] == 64
+        assert stats["after"] == 60
+        assert stats["loss"] == 4
+        assert stats["retained"] == pytest.approx(60 / 64)
+
+    def test_compare_sets_zero_before_counts_as_fully_retained(self):
+        inflexible = FlexOffer.inflexible(0, [1])
+        comparison = compare_sets([inflexible], [inflexible], ["product"])
+        assert comparison["product"]["retained"] == 1.0
+
+    def test_rank_flexoffers(self, fig1, fig3_f2, fig7_f6):
+        ranking = rank_flexoffers([fig1, fig3_f2, fig7_f6], "assignments")
+        names = [flex_offer.name for flex_offer, _ in ranking]
+        # fig1 has 6 starts x (3*3*6*4) profiles = 1296 assignments, fig7 has
+        # 240 and fig3 has 9, so the descending order is fig1, fig7, fig3.
+        assert names == [fig1.name, fig7_f6.name, fig3_f2.name]
+
+    def test_rank_excludes_unsupported(self, fig1, fig7_f6):
+        ranking = rank_flexoffers([fig1, fig7_f6], get_measure("absolute_area"))
+        assert [f.name for f, _ in ranking] == [fig1.name]

@@ -1,0 +1,128 @@
+"""Tests for the norm utilities and the measure framework itself."""
+
+import math
+
+import pytest
+
+from repro.core import FlexOffer, MeasureError
+from repro.measures import (
+    NORM_ALIASES,
+    euclidean,
+    lp_norm,
+    manhattan,
+    maximum,
+    resolve_norm_order,
+    vector_norm,
+)
+from repro.measures.base import (
+    FlexibilityMeasure,
+    MeasureCharacteristics,
+    SetAggregation,
+    register_measure,
+    registered_measures,
+)
+
+
+class TestNorms:
+    def test_manhattan_euclidean_maximum(self):
+        values = (3, -4, 0)
+        assert manhattan(values) == 7
+        assert euclidean(values) == 5
+        assert maximum(values) == 4
+
+    def test_lp_norm_general_order(self):
+        assert lp_norm((1, 1, 1, 1), 1) == 4
+        assert lp_norm((2, 2), 2) == pytest.approx(math.sqrt(8))
+        assert lp_norm((), 2) == 0.0
+
+    def test_lp_norm_infinity(self):
+        assert lp_norm((1, -9, 3), math.inf) == 9
+
+    def test_lp_norm_rejects_non_positive_order(self):
+        with pytest.raises(ValueError):
+            lp_norm((1,), 0)
+
+    def test_resolve_norm_order_aliases(self):
+        assert resolve_norm_order("l1") == 1
+        assert resolve_norm_order("Manhattan") == 1
+        assert resolve_norm_order("EUCLIDEAN") == 2
+        assert resolve_norm_order("max") == math.inf
+        assert resolve_norm_order(3) == 3
+        assert set(NORM_ALIASES) >= {"l1", "l2", "manhattan", "euclidean"}
+
+    def test_resolve_norm_order_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            resolve_norm_order("l99")
+        with pytest.raises(ValueError):
+            resolve_norm_order(-2)
+        with pytest.raises(ValueError):
+            resolve_norm_order(True)
+
+    def test_vector_norm_by_name_and_order(self):
+        assert vector_norm((3, 4), "l1") == 7
+        assert vector_norm((3, 4), 2) == 5
+
+
+class TestMeasureFramework:
+    def test_supports_derives_from_characteristics(self, fig1, fig7_f6):
+        production = FlexOffer(0, 1, [(-2, -1)])
+        for cls in registered_measures().values():
+            measure = cls()
+            assert measure.supports(fig1) == measure.characteristics.captures_positive
+            assert measure.supports(production) == measure.characteristics.captures_negative
+            assert measure.supports(fig7_f6) == measure.characteristics.captures_mixed
+
+    def test_describe_is_serialisable(self):
+        for cls in registered_measures().values():
+            description = cls().describe()
+            assert description["key"] == cls.key
+            assert description["label"] == cls.label
+            assert isinstance(description["characteristics"], dict)
+            assert description["set_aggregation"] in {"sum", "mean"}
+
+    def test_register_measure_rejects_duplicates_and_bad_classes(self):
+        existing = registered_measures()["time"]
+
+        class Clashing(FlexibilityMeasure):
+            key = "time"
+            label = "Clash"
+            characteristics = MeasureCharacteristics(True, False, False, False)
+
+            def value(self, flex_offer):
+                return 0.0
+
+        with pytest.raises(ValueError):
+            register_measure(Clashing)
+        # Re-registering the same class is idempotent.
+        assert register_measure(existing) is existing
+
+        class NoKey(FlexibilityMeasure):
+            key = ""
+            label = "NoKey"
+            characteristics = MeasureCharacteristics(True, False, False, False)
+
+            def value(self, flex_offer):
+                return 0.0
+
+        with pytest.raises(ValueError):
+            register_measure(NoKey)
+
+        with pytest.raises(TypeError):
+            register_measure(dict)
+
+    def test_set_aggregation_enum_values(self):
+        assert SetAggregation.SUM.value == "sum"
+        assert SetAggregation.MEAN.value == "mean"
+
+    def test_default_set_value_on_empty_iterable(self):
+        for cls in registered_measures().values():
+            measure = cls()
+            if cls.key == "assignments":
+                continue  # joint-count convention tested elsewhere
+            assert measure.set_value([]) == 0.0
+
+    def test_every_paper_measure_single_valued_on_fig1(self, fig1):
+        for key, cls in registered_measures().items():
+            value = cls().value(fig1)
+            assert isinstance(value, float)
+            assert value >= 0.0

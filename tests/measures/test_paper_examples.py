@@ -1,0 +1,135 @@
+"""End-to-end checks of every worked example in the paper (Examples 1-15).
+
+These tests are the reproduction core: each asserts the value the paper
+reports (or, where the paper's own numbers are internally inconsistent, the
+value implied by its definitions — see EXPERIMENTS.md for the list of
+discrepancies and how they were resolved).
+"""
+
+import pytest
+
+from repro.measures import (
+    MixedPolicy,
+    absolute_area_flexibility,
+    assignment_flexibility,
+    energy_flexibility,
+    product_flexibility,
+    relative_area_flexibility,
+    series_difference,
+    series_flexibility,
+    time_flexibility,
+    vector_flexibility,
+    vector_flexibility_norm,
+)
+from repro.workloads import (
+    example11_large_flexoffer,
+    example11_small_flexoffer,
+    example11_zero_energy_flexoffer,
+    example13_wide_time_flexoffer,
+)
+
+
+class TestExamples1To4Figure1:
+    def test_example1_time_flexibility(self, fig1):
+        assert time_flexibility(fig1) == 5
+
+    def test_example2_energy_flexibility(self, fig1):
+        assert energy_flexibility(fig1) == 12
+
+    def test_example3_product_flexibility(self, fig1):
+        assert product_flexibility(fig1) == 60
+
+    def test_example4_vector_components_follow_definition4(self, fig1):
+        # The paper prints <5, 10> in Example 4, but Definition 4 together
+        # with Example 2 (ef = 12) implies <5, 12>; we follow the definition.
+        assert vector_flexibility(fig1) == (5, 12)
+
+    def test_example4_vector_norms_follow_definition4(self, fig1):
+        assert vector_flexibility_norm(fig1, "l1") == 17
+        assert vector_flexibility_norm(fig1, "l2") == pytest.approx(13.0)
+
+
+class TestExample5Figure2:
+    def test_difference_series(self, fig2_f1):
+        assert series_difference(fig2_f1).to_dict() == {0: 0, 1: 1}
+
+    def test_series_flexibility_norms(self, fig2_f1):
+        assert series_flexibility(fig2_f1, "l1") == 1
+        assert series_flexibility(fig2_f1, "l2") == 1
+
+    def test_number_of_assignments(self, fig2_f1):
+        assert assignment_flexibility(fig2_f1) == 4
+
+
+class TestExample6Figure3:
+    def test_nine_assignments(self, fig3_f2):
+        assert assignment_flexibility(fig3_f2) == 9
+
+
+class TestExamples8To10Figures5And6:
+    def test_example8_absolute_area(self, fig5_f4):
+        assert absolute_area_flexibility(fig5_f4) == 8
+
+    def test_example9_absolute_area(self, fig6_f5):
+        assert absolute_area_flexibility(fig6_f5) == 8
+
+    def test_example10_relative_area_f4(self, fig5_f4):
+        assert relative_area_flexibility(fig5_f4) == pytest.approx(4.0)
+
+    def test_example10_relative_area_f5(self, fig6_f5):
+        assert relative_area_flexibility(fig6_f5) == pytest.approx(16 / 6)
+
+
+class TestExample11ProductLimitations:
+    def test_zero_energy_flexibility_collapses_product(self):
+        fx = example11_zero_energy_flexoffer()
+        assert time_flexibility(fx) == 6
+        assert energy_flexibility(fx) == 0
+        assert product_flexibility(fx) == 0
+
+    def test_size_blindness(self):
+        small = example11_small_flexoffer()
+        large = example11_large_flexoffer()
+        assert product_flexibility(small) == product_flexibility(large) == 8
+
+
+class TestExample12VectorLimitations:
+    def test_identical_norms_despite_100x_size_difference(self):
+        small = example11_small_flexoffer()
+        large = example11_large_flexoffer()
+        assert vector_flexibility_norm(small, "l1") == vector_flexibility_norm(large, "l1") == 6
+        assert vector_flexibility_norm(small, "l2") == pytest.approx(4.472, abs=1e-3)
+        assert vector_flexibility_norm(large, "l2") == pytest.approx(4.472, abs=1e-3)
+
+
+class TestExample13SeriesLimitations:
+    def test_time_flexibility_is_invisible_to_series_norms(self, fig2_f1):
+        wide = example13_wide_time_flexoffer()
+        assert time_flexibility(wide) == 10 * time_flexibility(fig2_f1)
+        assert series_flexibility(wide, "l1") == series_flexibility(fig2_f1, "l1") == 1
+        assert series_flexibility(wide, "l2") == series_flexibility(fig2_f1, "l2") == 1
+
+    def test_wide_difference_series_shape(self):
+        wide = example13_wide_time_flexoffer()
+        difference = series_difference(wide)
+        assert difference.to_dict() == {t: 0 for t in range(10)} | {10: 1}
+
+
+class TestExamples14And15Figure7:
+    def test_example14_assignment_counts(self, fig7_f6):
+        assert assignment_flexibility(fig7_f6) == 240
+        assert assignment_flexibility(fig7_f6.without_time_flexibility()) == 80
+        assert assignment_flexibility(fig7_f6.without_energy_flexibility()) == 3
+
+    def test_example15_mixed_area_values(self, fig7_f6):
+        assert (
+            absolute_area_flexibility(fig7_f6, MixedPolicy.PAPER_EXAMPLE) == 32
+        )
+        assert relative_area_flexibility(
+            fig7_f6, MixedPolicy.PAPER_EXAMPLE
+        ) == pytest.approx(6.4)
+
+    def test_example15_total_constraints(self, fig7_f6):
+        assert fig7_f6.cmin == -8
+        assert fig7_f6.cmax == 2
+        assert energy_flexibility(fig7_f6) == 10

@@ -1,0 +1,101 @@
+"""Unit tests for the time-series and assignment-count measures."""
+
+import math
+
+import pytest
+
+from repro.core import FlexOffer
+from repro.measures import (
+    AssignmentFlexibility,
+    SeriesFlexibility,
+    assignment_flexibility,
+    log_assignment_flexibility,
+    series_difference,
+    series_flexibility,
+    set_assignment_flexibility,
+)
+
+
+class TestSeriesMeasure:
+    def test_difference_spans_both_canonical_assignments(self, fig1):
+        difference = series_difference(fig1)
+        assert difference.start == fig1.earliest_start
+        assert difference.end == fig1.latest_start + fig1.duration - 1
+
+    def test_norms_on_figure1(self, fig1):
+        # max assignment <3,4,5,3> at t=6 minus min assignment <1,2,0,0> at t=1.
+        expected_l1 = (1 + 2) + (3 + 4 + 5 + 3)
+        assert series_flexibility(fig1, "l1") == expected_l1
+
+    def test_euclidean_norm_definition(self, fig2_f1):
+        assert SeriesFlexibility("euclidean").value(fig2_f1) == 1
+
+    def test_overlapping_canonical_assignments_cancel(self):
+        # With zero time flexibility the difference is just amax - amin per slice.
+        f = FlexOffer(3, 3, [(1, 4), (0, 2)])
+        assert series_difference(f).to_dict() == {3: 3, 4: 2}
+        assert series_flexibility(f, "l1") == 5
+
+    def test_production_flexoffer_supported(self):
+        f = FlexOffer(0, 1, [(-3, -1)])
+        assert series_flexibility(f, "l1") == pytest.approx(4)
+
+    def test_describe_and_difference_helper(self, fig2_f1):
+        measure = SeriesFlexibility("l1")
+        assert measure.describe()["norm_order"] == 1
+        assert measure.difference(fig2_f1).to_dict() == {0: 0, 1: 1}
+
+    def test_set_value_sums(self, fig2_f1):
+        assert SeriesFlexibility("l1").set_value([fig2_f1, fig2_f1]) == 2
+
+
+class TestAssignmentMeasure:
+    def test_default_follows_definition8(self, fig3_f2):
+        assert AssignmentFlexibility().value(fig3_f2) == 9
+
+    def test_constrained_variant_counts_valid_assignments_only(self):
+        f = FlexOffer(0, 1, [(0, 3)], 0, 1)
+        assert AssignmentFlexibility().value(f) == 8
+        assert AssignmentFlexibility(respect_total_constraints=True).value(f) == 4
+
+    def test_logarithmic_variant(self, fig7_f6):
+        assert AssignmentFlexibility(logarithmic=True).value(fig7_f6) == pytest.approx(
+            math.log(240)
+        )
+
+    def test_logarithmic_constrained_variant(self):
+        f = FlexOffer(0, 1, [(0, 3)], 0, 1)
+        value = AssignmentFlexibility(
+            respect_total_constraints=True, logarithmic=True
+        ).value(f)
+        assert value == pytest.approx(math.log(4))
+
+    def test_set_value_is_product_of_counts(self, fig2_f1, fig3_f2):
+        assert set_assignment_flexibility([fig2_f1, fig3_f2]) == 36
+        assert AssignmentFlexibility().set_value([fig2_f1, fig3_f2]) == 36
+
+    def test_set_value_logarithmic_is_sum_of_logs(self, fig2_f1, fig3_f2):
+        value = AssignmentFlexibility(logarithmic=True).set_value([fig2_f1, fig3_f2])
+        assert value == pytest.approx(math.log(4) + math.log(9))
+
+    def test_empty_set_conventions(self):
+        assert AssignmentFlexibility().set_value([]) == 1.0
+        assert AssignmentFlexibility(logarithmic=True).set_value([]) == 0.0
+
+    def test_energy_flexibility_has_exponential_impact(self):
+        """Section 4: assignments grow exponentially in energy, linearly in time."""
+        base = FlexOffer(0, 1, [(0, 1), (0, 1)])
+        more_time = FlexOffer(0, 3, [(0, 1), (0, 1)])
+        more_energy = FlexOffer(0, 1, [(0, 3), (0, 3)])
+        assert assignment_flexibility(more_time) == 2 * assignment_flexibility(base)
+        assert assignment_flexibility(more_energy) == 4 * assignment_flexibility(base)
+
+    def test_log_variant_matches_log_of_count(self, fig1):
+        assert log_assignment_flexibility(fig1) == pytest.approx(
+            math.log(assignment_flexibility(fig1))
+        )
+
+    def test_describe_reports_options(self):
+        description = AssignmentFlexibility(True, True).describe()
+        assert description["respect_total_constraints"] is True
+        assert description["logarithmic"] is True

@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) for the core invariants of the library.
+
+The strategies build arbitrary—but valid—flex-offers and check the structural
+invariants that the paper's definitions imply: measure non-negativity,
+consistency between the closed-form assignment count and explicit
+enumeration, exactness of the column-wise area computation, monotonicity of
+flexibility under tightening, and aggregation conservation laws.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation import aggregate_start_aligned, disaggregate
+from repro.core import (
+    Assignment,
+    DisaggregationError,
+    FlexOffer,
+    TimeSeries,
+    count_assignments,
+    count_assignments_constrained,
+    enumerate_assignments,
+    flexoffer_area_size,
+    union_area_size,
+)
+from repro.io import flexoffer_from_dict, flexoffer_to_dict
+from repro.measures import (
+    MixedPolicy,
+    absolute_area_flexibility,
+    assignment_flexibility,
+    energy_flexibility,
+    product_flexibility,
+    series_flexibility,
+    time_flexibility,
+    vector_flexibility_norm,
+)
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def small_flexoffers(
+    draw, max_slices: int = 3, allow_negative: bool = True, tight_totals: bool = True
+):
+    """Small flex-offers whose assignment sets stay enumerable.
+
+    ``tight_totals=False`` keeps the total constraints at their defaults (the
+    profile sums), the classic flex-offer setting in which start-aligned
+    aggregation is exactly disaggregatable.
+    """
+    earliest = draw(st.integers(min_value=0, max_value=5))
+    time_flex = draw(st.integers(min_value=0, max_value=3))
+    slice_count = draw(st.integers(min_value=1, max_value=max_slices))
+    low = -3 if allow_negative else 0
+    slices = []
+    for _ in range(slice_count):
+        amin = draw(st.integers(min_value=low, max_value=3))
+        width = draw(st.integers(min_value=0, max_value=3))
+        slices.append((amin, amin + width))
+    if not tight_totals:
+        return FlexOffer(earliest, earliest + time_flex, slices)
+    profile_min = sum(s[0] for s in slices)
+    profile_max = sum(s[1] for s in slices)
+    cmin = draw(st.integers(min_value=profile_min, max_value=profile_max))
+    cmax = draw(st.integers(min_value=cmin, max_value=profile_max))
+    return FlexOffer(earliest, earliest + time_flex, slices, cmin, cmax)
+
+
+consumption_flexoffers = small_flexoffers(allow_negative=False)
+
+
+# --------------------------------------------------------------------- #
+# Core model invariants
+# --------------------------------------------------------------------- #
+
+
+@given(small_flexoffers())
+@settings(max_examples=60, deadline=None)
+def test_basic_measures_are_non_negative(flex_offer):
+    assert time_flexibility(flex_offer) >= 0
+    assert energy_flexibility(flex_offer) >= 0
+    assert product_flexibility(flex_offer) >= 0
+    assert assignment_flexibility(flex_offer) >= 1
+    assert vector_flexibility_norm(flex_offer, "l2") >= 0
+    assert series_flexibility(flex_offer, "l1") >= 0
+
+
+@given(small_flexoffers())
+@settings(max_examples=40, deadline=None)
+def test_constrained_count_matches_explicit_enumeration(flex_offer):
+    explicit = sum(1 for _ in enumerate_assignments(flex_offer))
+    assert count_assignments_constrained(flex_offer) == explicit
+    assert explicit <= count_assignments(flex_offer)
+
+
+@given(small_flexoffers())
+@settings(max_examples=40, deadline=None)
+def test_area_union_matches_explicit_enumeration(flex_offer):
+    explicit = union_area_size([a.series for a in enumerate_assignments(flex_offer)])
+    assert flexoffer_area_size(flex_offer) == explicit
+
+
+@given(small_flexoffers())
+@settings(max_examples=60, deadline=None)
+def test_canonical_assignment_series_respect_slices(flex_offer):
+    minimum = flex_offer.minimum_assignment()
+    maximum = flex_offer.maximum_assignment()
+    assert minimum.start == flex_offer.earliest_start
+    assert maximum.start == flex_offer.latest_start
+    assert all(
+        low.amin <= value for low, value in zip(flex_offer.slices, minimum.values)
+    )
+    assert all(
+        value <= high.amax for high, value in zip(flex_offer.slices, maximum.values)
+    )
+
+
+@given(small_flexoffers())
+@settings(max_examples=60, deadline=None)
+def test_effective_bounds_are_contained_in_slices(flex_offer):
+    for original, effective in zip(flex_offer.slices, flex_offer.effective_slice_bounds()):
+        assert original.amin <= effective.amin <= effective.amax <= original.amax
+
+
+@given(small_flexoffers())
+@settings(max_examples=60, deadline=None)
+def test_pinning_time_or_energy_never_increases_flexibility(flex_offer):
+    pinned_time = flex_offer.without_time_flexibility()
+    pinned_energy = flex_offer.without_energy_flexibility()
+    assert time_flexibility(pinned_time) == 0
+    assert energy_flexibility(pinned_energy) == 0
+    assert assignment_flexibility(pinned_time) <= assignment_flexibility(flex_offer)
+    assert assignment_flexibility(pinned_energy) <= assignment_flexibility(flex_offer)
+
+
+@given(small_flexoffers())
+@settings(max_examples=60, deadline=None)
+def test_json_round_trip_is_identity(flex_offer):
+    assert flexoffer_from_dict(flexoffer_to_dict(flex_offer)) == flex_offer
+
+
+# --------------------------------------------------------------------- #
+# Measure-specific invariants
+# --------------------------------------------------------------------- #
+
+
+@given(consumption_flexoffers)
+@settings(max_examples=60, deadline=None)
+def test_absolute_area_is_non_negative_for_consumption(flex_offer):
+    assert absolute_area_flexibility(flex_offer) >= 0
+
+
+@given(small_flexoffers())
+@settings(max_examples=60, deadline=None)
+def test_vector_norm_ordering(flex_offer):
+    """L1 >= L2 >= Linf for any vector."""
+    l1 = vector_flexibility_norm(flex_offer, "l1")
+    l2 = vector_flexibility_norm(flex_offer, "l2")
+    linf = vector_flexibility_norm(flex_offer, "max")
+    assert l1 + 1e-9 >= l2 >= linf - 1e-9
+
+
+@given(small_flexoffers(), st.integers(min_value=0, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_measures_are_shift_invariant(flex_offer, delta):
+    """Shifting a flex-offer in time must not change any flexibility value."""
+    shifted = flex_offer.shift(delta)
+    assert time_flexibility(shifted) == time_flexibility(flex_offer)
+    assert energy_flexibility(shifted) == energy_flexibility(flex_offer)
+    assert product_flexibility(shifted) == product_flexibility(flex_offer)
+    assert assignment_flexibility(shifted) == assignment_flexibility(flex_offer)
+    assert series_flexibility(shifted, "l2") == series_flexibility(flex_offer, "l2")
+    if not flex_offer.is_mixed:
+        assert absolute_area_flexibility(shifted) == absolute_area_flexibility(flex_offer)
+
+
+@given(small_flexoffers())
+@settings(max_examples=40, deadline=None)
+def test_series_flexibility_l2_never_exceeds_l1(flex_offer):
+    assert series_flexibility(flex_offer, "l2") <= series_flexibility(flex_offer, "l1") + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# Aggregation invariants
+# --------------------------------------------------------------------- #
+
+
+@given(st.lists(small_flexoffers(max_slices=2), min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_aggregation_conservation_laws(members):
+    aggregated = aggregate_start_aligned(members)
+    aggregate = aggregated.flex_offer
+    assert aggregate.time_flexibility == min(m.time_flexibility for m in members)
+    assert aggregate.energy_flexibility == sum(m.energy_flexibility for m in members)
+    assert aggregate.cmin == sum(m.cmin for m in members)
+    assert aggregate.cmax == sum(m.cmax for m in members)
+
+
+@given(
+    st.lists(
+        small_flexoffers(max_slices=2, tight_totals=False), min_size=1, max_size=3
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_disaggregated_total_energy_matches_aggregate(members):
+    """Exact disaggregation in the classic setting (totals = profile sums)."""
+    aggregated = aggregate_start_aligned(members)
+    assignment = Assignment.latest_maximum(aggregated.flex_offer)
+    parts = disaggregate(aggregated, assignment)
+    assert len(parts) == len(members)
+    assert sum(p.total_energy for p in parts) == assignment.total_energy
+
+
+@given(st.lists(small_flexoffers(max_slices=2), min_size=1, max_size=3))
+@settings(max_examples=30, deadline=None)
+def test_disaggregation_with_tight_totals_is_exact_or_fails_loudly(members):
+    """Tight member total constraints couple columns of the aggregate.
+
+    Start-aligned aggregation cannot always express that coupling, so
+    disaggregation of a particular aggregate assignment may be infeasible —
+    in that case the library must raise, never return member assignments
+    that do not add up to the aggregate assignment.
+    """
+    aggregated = aggregate_start_aligned(members)
+    assignment = Assignment.latest_maximum(aggregated.flex_offer)
+    try:
+        parts = disaggregate(aggregated, assignment)
+    except DisaggregationError:
+        return
+    combined = parts[0].series
+    for part in parts[1:]:
+        combined = combined + part.series
+    for time, value in assignment.series.items():
+        assert combined[time] == value
+
+
+# --------------------------------------------------------------------- #
+# Time-series invariants
+# --------------------------------------------------------------------- #
+
+
+@given(
+    st.integers(min_value=0, max_value=5),
+    st.lists(st.integers(min_value=-5, max_value=5), max_size=6),
+    st.integers(min_value=0, max_value=5),
+    st.lists(st.integers(min_value=-5, max_value=5), max_size=6),
+)
+@settings(max_examples=80, deadline=None)
+def test_timeseries_addition_is_pointwise(start_a, values_a, start_b, values_b):
+    a = TimeSeries(start_a, tuple(values_a))
+    b = TimeSeries(start_b, tuple(values_b))
+    total = a + b
+    for time in range(0, 15):
+        assert total[time] == a[time] + b[time]
+    difference = a - b
+    for time in range(0, 15):
+        assert difference[time] == a[time] - b[time]

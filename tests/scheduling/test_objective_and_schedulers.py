@@ -1,0 +1,169 @@
+"""Tests for the scheduling objectives and all schedulers."""
+
+import random
+
+import pytest
+
+from repro.core import FlexOffer, SchedulingError, TimeSeries
+from repro.scheduling import (
+    EarliestStartScheduler,
+    EvolutionaryScheduler,
+    GreedyImbalanceScheduler,
+    HillClimbingScheduler,
+    ImbalanceObjective,
+    Schedule,
+    absolute_imbalance,
+    imbalance_series,
+    peak_load,
+    random_assignment,
+    squared_imbalance,
+)
+from repro.core.assignment import Assignment
+
+
+@pytest.fixture
+def small_fleet():
+    return [
+        FlexOffer(0, 4, [(0, 3), (0, 3)], 2, 6, name="ev-1"),
+        FlexOffer(1, 5, [(0, 2), (0, 2), (0, 2)], 2, 6, name="ev-2"),
+        FlexOffer(0, 6, [(1, 2)], name="fridge"),
+    ]
+
+
+@pytest.fixture
+def supply():
+    return TimeSeries(0, (4, 4, 3, 3, 2, 2, 1, 1, 0, 0))
+
+
+class TestObjective:
+    def test_imbalance_series_zero_reference(self):
+        load = TimeSeries(0, (1, 2))
+        assert imbalance_series(load, None) is load
+
+    def test_absolute_and_squared(self):
+        load = TimeSeries(0, (3, 0))
+        reference = TimeSeries(0, (1, 2))
+        assert absolute_imbalance(load, reference) == 4
+        assert squared_imbalance(load, reference) == 8
+
+    def test_peak_load(self):
+        assert peak_load(TimeSeries(0, (1, -7, 3))) == 7
+
+    def test_objective_validation(self):
+        with pytest.raises(ValueError):
+            ImbalanceObjective("cubed")
+
+    def test_improvement_over(self, small_fleet, supply):
+        objective = ImbalanceObjective("absolute", supply)
+        baseline = EarliestStartScheduler().schedule(small_fleet)
+        improvement = objective.improvement_over(baseline, baseline)
+        assert improvement == 0.0
+
+
+class TestSchedule:
+    def test_total_load_and_energy(self, small_fleet):
+        schedule = EarliestStartScheduler().schedule(small_fleet)
+        assert schedule.total_energy() == sum(a.total_energy for a in schedule)
+        assert schedule.total_load().total() == schedule.total_energy()
+
+    def test_assignment_lookup_by_name(self, small_fleet):
+        schedule = EarliestStartScheduler().schedule(small_fleet)
+        assert schedule.assignment_for("fridge").flex_offer.name == "fridge"
+        with pytest.raises(SchedulingError):
+            schedule.assignment_for("missing")
+
+    def test_replacing(self, small_fleet):
+        schedule = EarliestStartScheduler().schedule(small_fleet)
+        replacement = Assignment.latest_maximum(small_fleet[0])
+        updated = schedule.replacing(0, replacement)
+        assert updated.assignments[0] == replacement
+        assert schedule.assignments[0] != replacement  # original untouched
+
+
+class TestEarliestStartScheduler:
+    def test_every_flexoffer_gets_earliest_minimum(self, small_fleet):
+        schedule = EarliestStartScheduler().schedule(small_fleet)
+        assert len(schedule) == len(small_fleet)
+        for assignment, flex_offer in zip(schedule, small_fleet):
+            assert assignment.start_time == flex_offer.earliest_start
+            assert assignment.total_energy == max(
+                flex_offer.cmin, flex_offer.profile_minimum
+            )
+
+
+class TestGreedyImbalanceScheduler:
+    def test_improves_on_earliest_start_baseline(self, small_fleet, supply):
+        objective = ImbalanceObjective("absolute", supply)
+        baseline = EarliestStartScheduler().schedule(small_fleet)
+        greedy = GreedyImbalanceScheduler().schedule(small_fleet, supply)
+        assert objective.of_schedule(greedy) <= objective.of_schedule(baseline)
+
+    def test_assignments_are_valid(self, small_fleet, supply):
+        schedule = GreedyImbalanceScheduler().schedule(small_fleet, supply)
+        for assignment in schedule:
+            assert assignment.flex_offer in small_fleet
+
+    def test_empty_input(self, supply):
+        assert len(GreedyImbalanceScheduler().schedule([], supply)) == 0
+
+
+class TestRandomAssignment:
+    def test_respects_constraints(self, small_fleet):
+        rng = random.Random(0)
+        for flex_offer in small_fleet:
+            for _ in range(20):
+                assignment = random_assignment(flex_offer, rng)
+                assert flex_offer.cmin <= assignment.total_energy <= flex_offer.cmax
+
+
+class TestHillClimbingScheduler:
+    def test_never_worse_than_warm_start(self, small_fleet, supply):
+        objective = ImbalanceObjective("absolute", supply)
+        baseline = EarliestStartScheduler().schedule(small_fleet)
+        improved = HillClimbingScheduler(iterations=200, restarts=2, seed=1).schedule(
+            small_fleet, supply
+        )
+        assert objective.of_schedule(improved) <= objective.of_schedule(baseline)
+
+    def test_deterministic_for_fixed_seed(self, small_fleet, supply):
+        first = HillClimbingScheduler(iterations=50, seed=7).schedule(small_fleet, supply)
+        second = HillClimbingScheduler(iterations=50, seed=7).schedule(small_fleet, supply)
+        assert [a.values for a in first] == [a.values for a in second]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HillClimbingScheduler(iterations=0)
+        with pytest.raises(ValueError):
+            HillClimbingScheduler(restarts=0)
+
+    def test_empty_input(self, supply):
+        assert len(HillClimbingScheduler().schedule([], supply)) == 0
+
+
+class TestEvolutionaryScheduler:
+    def test_never_worse_than_earliest_start(self, small_fleet, supply):
+        objective = ImbalanceObjective("absolute", supply)
+        baseline = EarliestStartScheduler().schedule(small_fleet)
+        evolved = EvolutionaryScheduler(
+            population_size=10, generations=15, seed=3
+        ).schedule(small_fleet, supply)
+        assert objective.of_schedule(evolved) <= objective.of_schedule(baseline)
+
+    def test_deterministic_for_fixed_seed(self, small_fleet, supply):
+        config = dict(population_size=8, generations=10, seed=11)
+        first = EvolutionaryScheduler(**config).schedule(small_fleet, supply)
+        second = EvolutionaryScheduler(**config).schedule(small_fleet, supply)
+        assert [a.values for a in first] == [a.values for a in second]
+
+    def test_parameter_validation(self):
+        with pytest.raises(SchedulingError):
+            EvolutionaryScheduler(population_size=2)
+        with pytest.raises(SchedulingError):
+            EvolutionaryScheduler(generations=0)
+        with pytest.raises(SchedulingError):
+            EvolutionaryScheduler(mutation_rate=1.5)
+        with pytest.raises(SchedulingError):
+            EvolutionaryScheduler(elitism=100)
+
+    def test_empty_input(self, supply):
+        assert len(EvolutionaryScheduler().schedule([], supply)) == 0

@@ -1,0 +1,135 @@
+"""Tests for workload generation, profiles and scenarios."""
+
+import pytest
+
+from repro.core import WorkloadError
+from repro.workloads import (
+    PopulationSpec,
+    all_paper_flexoffers,
+    balancing_scenario,
+    baseline_demand_profile,
+    default_device_mix,
+    ev_use_case_flexoffer,
+    generate_population,
+    neighbourhood_scenario,
+    scaling_scenario,
+    solar_production_profile,
+    spot_price_profile,
+    wind_production_profile,
+)
+
+
+class TestPaperFixtures:
+    def test_all_paper_flexoffers_present(self):
+        fixtures = all_paper_flexoffers()
+        assert set(fixtures) == {
+            "fig1", "fig2_f1", "fig3_f2", "fig5_f4", "fig6_f5", "fig7_f6",
+            "ex11_zero_ef", "ex11_small", "ex11_large", "ex13_wide_tf",
+        }
+
+    def test_ev_use_case_matches_section1_story(self):
+        ev = ev_use_case_flexoffer()
+        assert ev.earliest_start == 23
+        assert ev.latest_start == 27  # 3:00 on the continued axis
+        assert ev.duration == 3
+        assert ev.cmin == 60 and ev.cmax == 100
+        assert ev.is_consumption
+
+    def test_ev_use_case_scaling_coefficient(self):
+        ev = ev_use_case_flexoffer(energy_unit_per_percent=2)
+        assert ev.cmin == 120 and ev.cmax == 200
+
+
+class TestPopulationGeneration:
+    def test_counts_are_respected(self):
+        spec = PopulationSpec(counts={"ev": 3, "solar": 2}, seed=1)
+        population = generate_population(spec)
+        assert len(population) == 5
+        assert spec.total == 5
+
+    def test_same_seed_same_population(self):
+        spec = PopulationSpec(counts={"ev": 4, "heat_pump": 2}, seed=9)
+        assert [
+            (f.tes, f.tls, f.slices) for f in generate_population(spec)
+        ] == [(f.tes, f.tls, f.slices) for f in generate_population(spec)]
+
+    def test_different_seed_changes_population(self):
+        base = PopulationSpec(counts={"ev": 6}, seed=1)
+        other = PopulationSpec(counts={"ev": 6}, seed=2)
+        assert [f.slices for f in generate_population(base)] != [
+            f.slices for f in generate_population(other)
+        ]
+
+    def test_horizon_folding_keeps_offers_inside_window(self):
+        spec = PopulationSpec(counts={"ev": 10, "dishwasher": 10}, seed=3, horizon=24)
+        for flex_offer in generate_population(spec):
+            assert flex_offer.latest_start + flex_offer.duration <= 24
+            assert flex_offer.earliest_start >= 0
+
+    def test_unknown_device_key_rejected(self):
+        with pytest.raises(WorkloadError):
+            PopulationSpec(counts={"toaster": 1})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            PopulationSpec(counts={"ev": -1})
+
+    def test_default_device_mix_has_all_keys(self):
+        assert set(default_device_mix()) == {
+            "ev", "heat_pump", "dishwasher", "washing_machine",
+            "refrigerator", "solar", "wind", "v2g",
+        }
+
+
+class TestProfiles:
+    def test_wind_profile_bounds_and_reproducibility(self):
+        profile = wind_production_profile(24, peak=10, seed=5)
+        assert len(profile) == 24
+        assert all(0 <= value <= 10 for value in profile)
+        assert profile.values == wind_production_profile(24, peak=10, seed=5).values
+
+    def test_solar_profile_dark_at_night(self):
+        profile = solar_production_profile(24, peak=8)
+        assert profile[0] == 0  # midnight
+        assert max(profile) > 0
+
+    def test_solar_profile_validation(self):
+        with pytest.raises(WorkloadError):
+            solar_production_profile(24, sunrise=20, sunset=6)
+
+    def test_demand_profile_has_evening_peak(self):
+        profile = baseline_demand_profile(24, base=5, evening_peak=6)
+        values = profile.to_dict()
+        assert values[19] > values[3]
+
+    def test_price_profile_length_and_positivity(self):
+        prices = spot_price_profile(24, seed=2)
+        assert len(prices) == 24
+        assert all(price > 0 for price in prices)
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(WorkloadError):
+            wind_production_profile(0)
+
+
+class TestScenarios:
+    def test_neighbourhood_scenario_is_consumption_only(self):
+        scenario = neighbourhood_scenario(households=8, seed=1, horizon=32)
+        assert scenario.size > 0
+        assert all(f.is_consumption for f in scenario.flex_offers)
+        assert len(scenario.prices) == scenario.horizon
+
+    def test_balancing_scenario_contains_production_or_mixed(self):
+        scenario = balancing_scenario(units=16, seed=2, horizon=32)
+        kinds = {f.kind.value for f in scenario.flex_offers}
+        assert "production" in kinds or "mixed" in kinds
+
+    def test_scaling_scenario_size(self):
+        scenario = scaling_scenario(12, seed=1)
+        assert scenario.size == 12
+        assert scenario.name == "scaling-12"
+
+    def test_scenarios_fit_their_horizon(self):
+        scenario = neighbourhood_scenario(households=10, seed=4, horizon=32)
+        for flex_offer in scenario.flex_offers:
+            assert flex_offer.latest_start + flex_offer.duration <= scenario.horizon
