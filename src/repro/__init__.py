@@ -62,6 +62,17 @@ from .measures import (
     vector_flexibility,
     vector_flexibility_norm,
 )
+from .stream import (
+    EngineSnapshot,
+    EventLog,
+    OfferArrived,
+    OfferAssigned,
+    OfferExpired,
+    StreamingEngine,
+    Tick,
+    population_events,
+    replay_population,
+)
 
 __version__ = "1.0.0"
 
@@ -111,4 +122,14 @@ __all__ = [
     "compare_sets",
     "characteristics_table",
     "format_characteristics_table",
+    # streaming engine
+    "StreamingEngine",
+    "EngineSnapshot",
+    "EventLog",
+    "OfferArrived",
+    "OfferExpired",
+    "OfferAssigned",
+    "Tick",
+    "population_events",
+    "replay_population",
 ]

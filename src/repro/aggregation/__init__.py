@@ -6,6 +6,7 @@ from .base import AggregatedFlexOffer, align_profiles
 from .disaggregation import disaggregate
 from .grouping import (
     GroupingParameters,
+    grid_key,
     group_all_together,
     group_by_grid,
     group_by_kind,
@@ -23,6 +24,7 @@ __all__ = [
     "expected_total_energy",
     "disaggregate",
     "GroupingParameters",
+    "grid_key",
     "group_by_grid",
     "group_all_together",
     "group_fixed_size",

@@ -21,6 +21,7 @@ from ..core.flexoffer import FlexOffer
 
 __all__ = [
     "GroupingParameters",
+    "grid_key",
     "group_by_grid",
     "group_all_together",
     "group_fixed_size",
@@ -60,7 +61,13 @@ class GroupingParameters:
             raise AggregationError("max_group_size must be >= 0")
 
 
-def _grid_key(flex_offer: FlexOffer, parameters: GroupingParameters) -> tuple[int, int]:
+def grid_key(flex_offer: FlexOffer, parameters: GroupingParameters) -> tuple[int, int]:
+    """The grid cell of a flex-offer under the grouping tolerances.
+
+    Exposed publicly so the streaming engine's online index buckets offers
+    into exactly the cells that :func:`group_by_grid` would — the batch and
+    incremental paths must agree cell for cell.
+    """
     return (
         flex_offer.earliest_start // parameters.earliest_start_tolerance,
         flex_offer.time_flexibility // parameters.time_flexibility_tolerance,
@@ -80,7 +87,7 @@ def group_by_grid(
     """
     buckets: dict[tuple[int, int], list[FlexOffer]] = {}
     for flex_offer in flex_offers:
-        buckets.setdefault(_grid_key(flex_offer, parameters), []).append(flex_offer)
+        buckets.setdefault(grid_key(flex_offer, parameters), []).append(flex_offer)
     groups: list[list[FlexOffer]] = []
     for key in sorted(buckets):
         members = buckets[key]

@@ -132,6 +132,16 @@ class FlexOffer:
         object.__setattr__(self, "total_energy_max", cmax)
         if self.name is not None and not isinstance(self.name, str):
             raise InvalidFlexOfferError(f"name must be a string, got {self.name!r}")
+        # Cache the derived quantities that the measures and the streaming
+        # engine query repeatedly.  The instance is frozen, so these can never
+        # go stale; caching them here turns the per-slice sums inside the
+        # measure hot path into plain attribute reads.
+        object.__setattr__(self, "_profile_minimum", profile_min)
+        object.__setattr__(self, "_profile_maximum", profile_max)
+        object.__setattr__(
+            self, "_time_flexibility", self.latest_start - self.earliest_start
+        )
+        object.__setattr__(self, "_energy_flexibility", cmax - cmin)
 
     # ------------------------------------------------------------------ #
     # Short aliases matching the paper's notation
@@ -167,12 +177,12 @@ class FlexOffer:
     @property
     def profile_minimum(self) -> int:
         """Sum of the per-slice minima (lower bound on any total energy)."""
-        return sum(s.amin for s in self.slices)
+        return self._profile_minimum  # type: ignore[attr-defined]
 
     @property
     def profile_maximum(self) -> int:
         """Sum of the per-slice maxima (upper bound on any total energy)."""
-        return sum(s.amax for s in self.slices)
+        return self._profile_maximum  # type: ignore[attr-defined]
 
     @property
     def earliest_end(self) -> int:
@@ -194,12 +204,12 @@ class FlexOffer:
     @property
     def time_flexibility(self) -> int:
         """``tf(f) = tls − tes`` (Section 3.1, Example 1)."""
-        return self.latest_start - self.earliest_start
+        return self._time_flexibility  # type: ignore[attr-defined]
 
     @property
     def energy_flexibility(self) -> int:
         """``ef(f) = cmax − cmin`` (Section 3.1, Example 2)."""
-        return self.cmax - self.cmin
+        return self._energy_flexibility  # type: ignore[attr-defined]
 
     @property
     def has_time_flexibility(self) -> bool:
@@ -259,8 +269,14 @@ class FlexOffer:
 
         The area-based flexibility measures (Definitions 9–10) and the
         schedulers use these effective bounds so they never consider energy
-        amounts that no valid assignment can produce.
+        amounts that no valid assignment can produce.  The result is computed
+        once per instance and cached (the instance is frozen, so the bounds
+        can never change); aggregation and the streaming engine may therefore
+        call this freely on every membership change.
         """
+        cached = self.__dict__.get("_effective_bounds")
+        if cached is not None:
+            return cached
         others_min = self.profile_minimum
         others_max = self.profile_maximum
         effective: list[EnergySlice] = []
@@ -274,7 +290,37 @@ class FlexOffer:
                     "total constraints leave no feasible value for a slice"
                 )
             effective.append(EnergySlice(low, high))
-        return tuple(effective)
+        bounds = tuple(effective)
+        object.__setattr__(self, "_effective_bounds", bounds)
+        return bounds
+
+    # ------------------------------------------------------------------ #
+    # Index keys
+    # ------------------------------------------------------------------ #
+    @property
+    def fingerprint(self) -> int:
+        """A cheap, name-independent structural key for in-process indexes.
+
+        Two flex-offers share a fingerprint iff their start-time interval,
+        profile and total constraints coincide (the ``name`` label is
+        deliberately ignored — it identifies the prosumer, not the offer's
+        shape).  Computed lazily and cached on the frozen instance; the
+        streaming grid index and the replay adapters use it to derive stable
+        offer identifiers without hashing the whole profile repeatedly.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = hash(
+                (
+                    self.earliest_start,
+                    self.latest_start,
+                    self.total_energy_min,
+                    self.total_energy_max,
+                    tuple((s.amin, s.amax) for s in self.slices),
+                )
+            ) & 0xFFFFFFFFFFFFFFFF
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     # ------------------------------------------------------------------ #
     # Canonical assignments (Definitions 5 and 6)

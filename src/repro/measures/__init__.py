@@ -58,6 +58,7 @@ from .setwise import (
     compare_sets,
     evaluate_set,
     rank_flexoffers,
+    resolve_measures,
 )
 from .time_measure import TimeFlexibility, time_flexibility
 from .vector import VectorFlexibility, vector_flexibility, vector_flexibility_norm
@@ -116,6 +117,7 @@ __all__ = [
     # set-wise tools
     "FlexibilitySetReport",
     "applicable_measures",
+    "resolve_measures",
     "evaluate_set",
     "compare_sets",
     "rank_flexoffers",

@@ -16,7 +16,7 @@ which this implementation follows (a sum would not count joint assignments).
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from typing import ClassVar
 
 from ..core.enumeration import count_assignments, count_assignments_constrained
@@ -116,16 +116,15 @@ class AssignmentFlexibility(FlexibilityMeasure):
             return log_assignment_flexibility(flex_offer)
         return float(count_assignments(flex_offer))
 
-    def set_value(self, flex_offers: Iterable[FlexOffer]) -> float:
+    def combine_values(self, values: Sequence[float]) -> float:
         """Joint assignment count of the set (product; log-sum when logarithmic)."""
-        flex_offers = list(flex_offers)
-        if not flex_offers:
+        if not values:
             return 1.0 if not self.logarithmic else 0.0
         if self.logarithmic:
-            return float(sum(self.value(flex_offer) for flex_offer in flex_offers))
+            return float(sum(values))
         product = 1.0
-        for flex_offer in flex_offers:
-            product *= self.value(flex_offer)
+        for value in values:
+            product *= value
         return product
 
     def describe(self) -> dict[str, object]:

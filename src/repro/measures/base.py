@@ -20,7 +20,7 @@ measures the paper proposes" without hard-coding the list in many places.
 from __future__ import annotations
 
 import abc
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, fields
 from enum import Enum
 from typing import ClassVar
@@ -110,19 +110,32 @@ class FlexibilityMeasure(abc.ABC):
     def value(self, flex_offer: FlexOffer) -> float:
         """The flexibility of a single flex-offer under this measure."""
 
-    def set_value(self, flex_offers: Iterable[FlexOffer]) -> float:
-        """The flexibility of a *set* of flex-offers.
+    def combine_values(self, values: Sequence[float]) -> float:
+        """Combine already-computed per-flex-offer values into a set value.
 
-        The default combines the per-flex-offer values according to
-        ``set_aggregation``.  An empty set has zero flexibility (and, for
-        averaging measures, zero is also returned rather than raising).
+        The default combines according to ``set_aggregation``; an empty set
+        has zero flexibility (and, for averaging measures, zero is also
+        returned rather than raising).  Measures with a non-additive set
+        semantics (the assignment measure multiplies counts) override this
+        hook rather than :meth:`set_value`, so that callers holding cached
+        per-offer values — notably the streaming engine — can reproduce
+        ``set_value`` exactly without re-evaluating each flex-offer.
         """
-        values = [self.value(flex_offer) for flex_offer in flex_offers]
         if not values:
             return 0.0
         if self.set_aggregation is SetAggregation.MEAN:
             return float(sum(values) / len(values))
         return float(sum(values))
+
+    def set_value(self, flex_offers: Iterable[FlexOffer]) -> float:
+        """The flexibility of a *set* of flex-offers.
+
+        Evaluates every flex-offer with :meth:`value` and combines the
+        results with :meth:`combine_values`.
+        """
+        return self.combine_values(
+            [self.value(flex_offer) for flex_offer in flex_offers]
+        )
 
     def __call__(self, flex_offer: FlexOffer) -> float:
         return self.value(flex_offer)

@@ -1,0 +1,369 @@
+"""The streaming flexibility engine.
+
+:class:`StreamingEngine` is the event-driven counterpart of the batch
+pipeline ``group_by_grid`` → ``aggregate_start_aligned`` → ``evaluate_set``.
+It consumes the event model of :mod:`repro.stream.events` and maintains,
+incrementally,
+
+* the live population (arrival order preserved),
+* the grid grouping (:class:`~repro.stream.grouping.OnlineGridIndex`),
+* one :class:`~repro.stream.aggregate.IncrementalAggregate` per grid cell,
+* the per-offer values of every configured flexibility measure (computed
+  once on arrival, never recomputed), and
+* optionally a :class:`~repro.stream.window.WindowTracker` sampling the
+  population-level set values on every :class:`~repro.stream.events.Tick`.
+
+The contract that makes the engine trustworthy is *batch equivalence*: after
+any event stream, :meth:`StreamingEngine.snapshot` returns exactly the
+groups, aggregates and :class:`~repro.measures.FlexibilitySetReport` that
+the batch pipeline produces on the surviving offers in arrival order.  All
+incremental state is integer sums / cached floats combined in the same order
+the batch path would combine them, so the equality is exact, not
+approximate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..aggregation.alignment import aggregate_start_aligned
+from ..aggregation.base import AggregatedFlexOffer
+from ..aggregation.grouping import GroupingParameters
+from ..core.flexoffer import FlexOffer
+from ..measures.base import FlexibilityMeasure
+from ..measures.setwise import FlexibilitySetReport, MeasureSpec, resolve_measures
+from .aggregate import IncrementalAggregate
+from .events import (
+    OfferArrived,
+    OfferAssigned,
+    OfferExpired,
+    StreamError,
+    StreamEvent,
+    Tick,
+)
+from .grouping import CellKey, OnlineGridIndex
+from .window import WindowTracker
+
+__all__ = ["EngineStats", "EngineSnapshot", "StreamingEngine"]
+
+#: Hook signature: ``hook(offer_id, flex_offer, event)``.
+EngineHook = Callable[[str, FlexOffer, StreamEvent], None]
+
+
+@dataclass
+class EngineStats:
+    """Running counters of everything the engine has processed."""
+
+    events: int = 0
+    arrived: int = 0
+    expired: int = 0
+    assigned: int = 0
+    ticks: int = 0
+    #: Sum of the ``price`` fields of the assignments that carried one.
+    revenue: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """A serialisable copy of the counters."""
+        return {
+            "events": self.events,
+            "arrived": self.arrived,
+            "expired": self.expired,
+            "assigned": self.assigned,
+            "ticks": self.ticks,
+            "revenue": self.revenue,
+        }
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """A consistent view of the engine's state after some prefix of events.
+
+    The fields are exactly the structures the batch pipeline produces — and
+    that :mod:`repro.analysis.comparison` and the examples already consume —
+    so a snapshot can be dropped into any existing batch analysis:
+
+    * ``live`` ≡ the surviving flex-offers in arrival order (the input the
+      batch pipeline would be run on),
+    * ``groups`` ≡ ``group_by_grid(live, parameters)``,
+    * ``aggregates`` ≡ ``aggregate_all(groups)``,
+    * ``report`` ≡ ``evaluate_set(live, measures)``.
+    """
+
+    #: Stream time of the last processed :class:`Tick` (``None`` before one).
+    time: Optional[int]
+    #: Surviving flex-offers in arrival order.
+    live: tuple[FlexOffer, ...]
+    #: The grid grouping of the live population.
+    groups: tuple[tuple[FlexOffer, ...], ...]
+    #: One aggregate per group, named ``aggregate-<index>``.
+    aggregates: tuple[AggregatedFlexOffer, ...]
+    #: Set-wise flexibility of the live population under every measure.
+    report: FlexibilitySetReport
+    #: Event counters at snapshot time.
+    stats: EngineStats
+    #: Per-measure sliding-window statistics (empty without a tracker).
+    window_summary: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of live flex-offers."""
+        return len(self.live)
+
+
+class StreamingEngine:
+    """Event-driven maintenance of grouping, aggregation and measures.
+
+    Parameters
+    ----------
+    parameters:
+        Grid tolerances, shared verbatim with the batch ``group_by_grid``.
+    measures:
+        Measure keys / instances to maintain (defaults to every registered
+        measure, like ``evaluate_set``).
+    window_capacity:
+        When positive, a :class:`WindowTracker` samples the population-level
+        value of every configured measure on each :class:`Tick`, retaining
+        this many samples per measure.
+    auto_expire:
+        When ``True``, a :class:`Tick` at time ``t`` expires every live
+        offer whose latest start precedes ``t`` (its start window has
+        lapsed and it can no longer be scheduled).
+    on_arrived, on_assigned, on_expired:
+        Optional hooks called *after* the engine's own state change, with
+        ``(offer_id, flex_offer, event)`` — the integration points for a
+        scheduler re-planning on churn or a market session observing fills.
+    """
+
+    def __init__(
+        self,
+        parameters: GroupingParameters = GroupingParameters(),
+        measures: Optional[Iterable[MeasureSpec]] = None,
+        window_capacity: int = 0,
+        auto_expire: bool = False,
+        on_arrived: Optional[EngineHook] = None,
+        on_assigned: Optional[EngineHook] = None,
+        on_expired: Optional[EngineHook] = None,
+    ) -> None:
+        self.parameters = parameters
+        self.measures: list[FlexibilityMeasure] = resolve_measures(measures)
+        self.auto_expire = auto_expire
+        self.on_arrived = on_arrived
+        self.on_assigned = on_assigned
+        self.on_expired = on_expired
+        self.stats = EngineStats()
+        self.time: Optional[int] = None
+        self.tracker: Optional[WindowTracker] = (
+            WindowTracker([measure.key for measure in self.measures], window_capacity)
+            if window_capacity
+            else None
+        )
+        self._index = OnlineGridIndex(parameters)
+        self._aggregates: dict[CellKey, IncrementalAggregate] = {}
+        #: offer id -> cached per-measure values (supported measures only).
+        self._values: dict[str, dict[str, float]] = {}
+        #: offer id -> measure keys that do not support the offer.
+        self._unsupported: dict[str, tuple[str, ...]] = {}
+        #: measure key -> number of live offers the measure does not support.
+        self._unsupported_counts: dict[str, int] = {
+            measure.key: 0 for measure in self.measures
+        }
+        #: (latest_start, offer_id) min-heap driving auto-expiry; entries for
+        #: offers that already left are invalidated lazily.
+        self._deadlines: list[tuple[int, str]] = []
+
+    # ------------------------------------------------------------------ #
+    # Event consumption
+    # ------------------------------------------------------------------ #
+    def apply(self, event: StreamEvent) -> None:
+        """Apply one event to the engine's state."""
+        if isinstance(event, OfferArrived):
+            self._apply_arrival(event)
+        elif isinstance(event, OfferExpired):
+            self._apply_expiry(event)
+        elif isinstance(event, OfferAssigned):
+            self._apply_assignment(event)
+        elif isinstance(event, Tick):
+            self._apply_tick(event)
+        else:
+            raise StreamError(f"unknown event type: {event!r}")
+        self.stats.events += 1
+
+    def replay(self, events: Iterable[StreamEvent]) -> "StreamingEngine":
+        """Apply a whole event stream in order; returns ``self`` for chaining."""
+        for event in events:
+            self.apply(event)
+        return self
+
+    def _apply_arrival(self, event: OfferArrived) -> None:
+        flex_offer = event.flex_offer
+        cell = self._index.insert(event.offer_id, flex_offer)
+        aggregate = self._aggregates.get(cell)
+        if aggregate is None:
+            aggregate = self._aggregates[cell] = IncrementalAggregate()
+        aggregate.add(event.offer_id, flex_offer)
+        cached: dict[str, float] = {}
+        unsupported: list[str] = []
+        for measure in self.measures:
+            if measure.supports(flex_offer):
+                cached[measure.key] = measure.value(flex_offer)
+            else:
+                unsupported.append(measure.key)
+                self._unsupported_counts[measure.key] += 1
+        self._values[event.offer_id] = cached
+        self._unsupported[event.offer_id] = tuple(unsupported)
+        if self.auto_expire:
+            heapq.heappush(
+                self._deadlines, (flex_offer.latest_start, event.offer_id)
+            )
+        self.stats.arrived += 1
+        if self.on_arrived is not None:
+            self.on_arrived(event.offer_id, flex_offer, event)
+
+    def _evict(self, offer_id: str) -> FlexOffer:
+        """Shared removal path of expiry and assignment."""
+        cell, flex_offer = self._index.evict(offer_id)
+        aggregate = self._aggregates[cell]
+        aggregate.remove(offer_id)
+        if not len(aggregate):
+            del self._aggregates[cell]
+        del self._values[offer_id]
+        for key in self._unsupported.pop(offer_id):
+            self._unsupported_counts[key] -= 1
+        return flex_offer
+
+    def _apply_expiry(self, event: OfferExpired) -> None:
+        flex_offer = self._evict(event.offer_id)
+        self.stats.expired += 1
+        if self.on_expired is not None:
+            self.on_expired(event.offer_id, flex_offer, event)
+
+    def _apply_assignment(self, event: OfferAssigned) -> None:
+        flex_offer = self._evict(event.offer_id)
+        self.stats.assigned += 1
+        if event.price is not None:
+            self.stats.revenue += event.price
+        if self.on_assigned is not None:
+            self.on_assigned(event.offer_id, flex_offer, event)
+
+    def _apply_tick(self, event: Tick) -> None:
+        if self.time is not None and event.time < self.time:
+            raise StreamError(
+                f"time must be non-decreasing: tick {event.time} after {self.time}"
+            )
+        self.time = event.time
+        self.stats.ticks += 1
+        if self.auto_expire:
+            self._expire_lapsed(event)
+        if self.tracker is not None:
+            self.tracker.sample(event.time, self._population_values()[0])
+
+    def _expire_lapsed(self, event: Tick) -> None:
+        """Expire every live offer whose start window lapsed before ``event.time``."""
+        while self._deadlines and self._deadlines[0][0] < event.time:
+            deadline, offer_id = heapq.heappop(self._deadlines)
+            if offer_id not in self._index:
+                continue  # already assigned or explicitly expired
+            if self._index.get(offer_id).latest_start != deadline:
+                continue  # stale entry: the id was reused by a later arrival
+            flex_offer = self._evict(offer_id)
+            self.stats.expired += 1
+            if self.on_expired is not None:
+                self.on_expired(offer_id, flex_offer, event)
+
+    # ------------------------------------------------------------------ #
+    # State access
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of live flex-offers."""
+        return len(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, offer_id: str) -> bool:
+        return offer_id in self._index
+
+    def live_ids(self) -> list[str]:
+        """Ids of the live offers, in arrival order."""
+        return list(self._index)
+
+    def live_offers(self) -> list[FlexOffer]:
+        """The surviving flex-offers in arrival order.
+
+        This is exactly the population the batch pipeline would be run on —
+        the equivalence tests feed it straight into ``group_by_grid`` /
+        ``evaluate_set``.
+        """
+        return [self._index.get(offer_id) for offer_id in self._index]
+
+    def _population_values(self) -> tuple[dict[str, float], list[str]]:
+        """``(values, skipped)`` of the live population, batch-identical.
+
+        Per-offer values were cached on arrival; only the O(population)
+        combination step runs here, in arrival order, so the result equals
+        ``evaluate_set(self.live_offers(), self.measures)`` exactly.
+        """
+        live_ids = self.live_ids()
+        values: dict[str, float] = {}
+        skipped: list[str] = []
+        for measure in self.measures:
+            if self._unsupported_counts[measure.key]:
+                skipped.append(measure.key)
+                continue
+            values[measure.key] = measure.combine_values(
+                [self._values[offer_id][measure.key] for offer_id in live_ids]
+            )
+        return values, skipped
+
+    def report(self) -> FlexibilitySetReport:
+        """Set-wise flexibility of the live population under every measure."""
+        values, skipped = self._population_values()
+        return FlexibilitySetReport(self.size, values, tuple(skipped))
+
+    def aggregates(self, prefix: str = "aggregate") -> list[AggregatedFlexOffer]:
+        """One aggregate per live group, equal to the batch ``aggregate_all``.
+
+        Groups that cover a whole grid cell are materialised from their
+        incrementally maintained :class:`IncrementalAggregate`; chunks of an
+        oversized cell are aggregated through the batch path (chunk
+        boundaries shift on every eviction, so there is no incremental
+        state worth keeping for them).  The chunking itself lives solely in
+        :meth:`OnlineGridIndex.group_items`, shared with :meth:`snapshot`.
+        """
+        aggregates: list[AggregatedFlexOffer] = []
+        for index, items in enumerate(self._index.group_items()):
+            first_id = items[0][0]
+            cell_aggregate = self._aggregates[self._index.cell_of(first_id)]
+            if len(items) == len(cell_aggregate):
+                aggregates.append(cell_aggregate.aggregated(name=f"{prefix}-{index}"))
+            else:
+                aggregates.append(
+                    aggregate_start_aligned(
+                        [flex_offer for _, flex_offer in items],
+                        name=f"{prefix}-{index}",
+                    )
+                )
+        return aggregates
+
+    def snapshot(self, prefix: str = "aggregate") -> EngineSnapshot:
+        """A consistent batch-equivalent view of the current state."""
+        groups = tuple(tuple(group) for group in self._index.groups())
+        return EngineSnapshot(
+            time=self.time,
+            live=tuple(self.live_offers()),
+            groups=groups,
+            aggregates=tuple(self.aggregates(prefix)),
+            report=self.report(),
+            stats=EngineStats(**self.stats.as_dict()),
+            window_summary=self.tracker.summary() if self.tracker else {},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingEngine({self.size} live, {self._index.cell_count} cells, "
+            f"{self.stats.events} events)"
+        )

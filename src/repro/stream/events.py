@@ -1,0 +1,154 @@
+"""Typed event model of the streaming flexibility engine.
+
+The engine consumes an ordered stream of four event kinds mirroring the
+life-cycle of a flex-offer in the Aggregator's book (Scenario 1/2 of the
+paper): a prosumer *emits* an offer (:class:`OfferArrived`), the offer's
+start-time window *lapses* unused (:class:`OfferExpired`), the market or a
+scheduler *commits* it (:class:`OfferAssigned`), and wall-clock *ticks*
+(:class:`Tick`) drive the time-based bookkeeping (auto-expiry, sliding-window
+sampling).
+
+:class:`EventLog` is the ordered, append-only log those events live in:
+every appended event receives a monotonically increasing sequence number, so
+any two consumers replaying the same log observe the same state — the
+equivalence guarantee between the streaming and the batch pipeline is stated
+over exactly this ordering.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import FlexError
+from ..core.flexoffer import FlexOffer
+
+__all__ = [
+    "StreamError",
+    "StreamEvent",
+    "OfferArrived",
+    "OfferExpired",
+    "OfferAssigned",
+    "Tick",
+    "EventLog",
+]
+
+
+class StreamError(FlexError):
+    """Raised on invalid events or inconsistent event streams."""
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """Base class of every streaming event."""
+
+
+@dataclass(frozen=True)
+class OfferArrived(StreamEvent):
+    """A new flex-offer entered the live population.
+
+    ``offer_id`` identifies the offer for the rest of its life-cycle; two
+    structurally identical offers from different prosumers carry different
+    ids (use :func:`repro.stream.replay.offer_identifier` to derive stable
+    ids from a batch population).
+    """
+
+    offer_id: str
+    flex_offer: FlexOffer
+
+    def __post_init__(self) -> None:
+        if not self.offer_id:
+            raise StreamError("OfferArrived needs a non-empty offer_id")
+        if not isinstance(self.flex_offer, FlexOffer):
+            raise StreamError(
+                f"OfferArrived needs a FlexOffer, got {self.flex_offer!r}"
+            )
+
+
+@dataclass(frozen=True)
+class OfferExpired(StreamEvent):
+    """A live flex-offer left the population unused (its window lapsed)."""
+
+    offer_id: str
+
+    def __post_init__(self) -> None:
+        if not self.offer_id:
+            raise StreamError("OfferExpired needs a non-empty offer_id")
+
+
+@dataclass(frozen=True)
+class OfferAssigned(StreamEvent):
+    """A live flex-offer was committed (scheduled or sold) and leaves the pool.
+
+    ``start_time`` optionally records the start the scheduler fixed;
+    ``price`` optionally records the clearing price of the market lot the
+    offer was part of.
+    """
+
+    offer_id: str
+    start_time: Optional[int] = None
+    price: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.offer_id:
+            raise StreamError("OfferAssigned needs a non-empty offer_id")
+
+
+@dataclass(frozen=True)
+class Tick(StreamEvent):
+    """Wall-clock advanced to ``time`` (absolute time units, non-decreasing)."""
+
+    time: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.time, int) or isinstance(self.time, bool):
+            raise StreamError(f"Tick time must be an int, got {self.time!r}")
+
+
+class EventLog:
+    """An ordered, append-only event log with monotonic sequence numbers.
+
+    The log is the unit of replay: ``engine.replay(log)`` and
+    ``engine.replay(log.since(n))`` both yield deterministic state because
+    iteration always returns events in append order.
+    """
+
+    def __init__(self, events: Iterable[StreamEvent] = ()) -> None:
+        self._events: list[StreamEvent] = []
+        self.extend(events)
+
+    def append(self, event: StreamEvent) -> int:
+        """Append one event; returns its sequence number."""
+        if not isinstance(event, StreamEvent):
+            raise StreamError(f"not a StreamEvent: {event!r}")
+        self._events.append(event)
+        return len(self._events) - 1
+
+    def extend(self, events: Iterable[StreamEvent]) -> None:
+        """Append many events in order."""
+        for event in events:
+            self.append(event)
+
+    def since(self, sequence: int) -> list[StreamEvent]:
+        """All events with sequence number ``>= sequence`` (for catch-up)."""
+        if sequence < 0:
+            raise StreamError(f"sequence must be non-negative, got {sequence}")
+        return self._events[sequence:]
+
+    @property
+    def next_sequence(self) -> int:
+        """The sequence number the next appended event will receive."""
+        return len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, sequence: int) -> StreamEvent:
+        return self._events[sequence]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventLog({len(self._events)} events)"

@@ -1,0 +1,158 @@
+"""Adapters that turn existing batch scenarios into event streams.
+
+Every workload the library already ships — synthetic populations from
+:mod:`repro.workloads.generator`, the named scenarios, market clearing
+rounds from :mod:`repro.market.trading` — is a *batch* artefact: a list of
+flex-offers, or a list of accepted bids.  The streaming engine consumes
+*events*, so this module provides the bridges:
+
+* :func:`offer_identifier` / :func:`population_events` — deterministic ids
+  and arrival streams for any flex-offer sequence (and therefore for any
+  ``generate_population`` / scenario output);
+* :func:`churn_events` — a reproducible arrival/expiry interleaving over a
+  population, for soak tests and throughput benchmarks;
+* :func:`market_events` — replays a :class:`~repro.market.trading.TradingSession`
+  clearing round as arrivals followed by :class:`OfferAssigned` events (with
+  clearing prices) for the accepted lots;
+* :func:`replay_population` — one-call convenience: build an engine, stream
+  a population through it, return the engine ready for snapshots.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from typing import Optional, Union
+
+from ..aggregation.base import AggregatedFlexOffer
+from ..core.flexoffer import FlexOffer
+from ..market.trading import TradingSession
+from .engine import StreamingEngine
+from .events import EventLog, OfferArrived, OfferAssigned, OfferExpired, StreamError, Tick
+
+__all__ = [
+    "offer_identifier",
+    "population_events",
+    "churn_events",
+    "market_events",
+    "replay_population",
+]
+
+
+def offer_identifier(flex_offer: FlexOffer, index: int) -> str:
+    """A stable, unique id for the ``index``-th offer of a batch population.
+
+    The position makes the id unique even when a population contains
+    structurally identical offers; the fingerprint ties it to the offer's
+    shape so mismatched (id, offer) pairs are easy to spot in logs.
+    """
+    return f"offer-{index:06d}-{flex_offer.fingerprint:016x}"
+
+
+def population_events(
+    flex_offers: Sequence[FlexOffer], start_index: int = 0
+) -> EventLog:
+    """An arrival-only event stream for a batch population.
+
+    Replaying this log through a fresh engine and snapshotting reproduces
+    the batch pipeline on ``flex_offers`` exactly — the simplest form of the
+    batch-equivalence guarantee.
+    """
+    log = EventLog()
+    for offset, flex_offer in enumerate(flex_offers):
+        log.append(
+            OfferArrived(offer_identifier(flex_offer, start_index + offset), flex_offer)
+        )
+    return log
+
+
+def churn_events(
+    flex_offers: Sequence[FlexOffer],
+    survive_fraction: float = 0.5,
+    seed: int = 0,
+    tick_every: int = 0,
+) -> EventLog:
+    """A reproducible arrival/expiry interleaving over a population.
+
+    Each offer arrives once (population order); a seeded random subset of
+    ``1 - survive_fraction`` of them later expires, each expiry woven in at
+    a random point after its arrival.  With ``tick_every > 0`` a
+    :class:`Tick` is emitted every that-many events (time = event index),
+    driving window sampling during the replay.
+
+    The survivors of the stream are exactly the offers without an expiry
+    event, so the batch reference for equivalence checks is trivially
+    recoverable from the log itself.
+    """
+    if not 0.0 <= survive_fraction <= 1.0:
+        raise StreamError(
+            f"survive_fraction must be in [0, 1], got {survive_fraction}"
+        )
+    rng = random.Random(seed)
+    horizon = float(len(flex_offers))
+    # Weave by priority: arrival ``i`` gets priority ``i``; its expiry (if
+    # any) a priority drawn uniformly from ``[i, horizon]`` with a tiebreak
+    # that sorts it strictly after the arrival.  Sorting then yields a
+    # random legal interleaving (every expiry after its own arrival).
+    weave: list[tuple[float, int, Union[OfferArrived, OfferExpired]]] = []
+    for index, flex_offer in enumerate(flex_offers):
+        offer_id = offer_identifier(flex_offer, index)
+        weave.append((float(index), 0, OfferArrived(offer_id, flex_offer)))
+        if rng.random() >= survive_fraction:
+            weave.append((rng.uniform(index, horizon), 1, OfferExpired(offer_id)))
+    weave.sort(key=lambda entry: (entry[0], entry[1]))
+    log = EventLog()
+    for index, (_, _, event) in enumerate(weave):
+        if tick_every and index and index % tick_every == 0:
+            log.append(Tick(index))
+        log.append(event)
+    return log
+
+
+def market_events(
+    session: TradingSession,
+    lots: Sequence[Union[FlexOffer, AggregatedFlexOffer]],
+    start_index: int = 0,
+) -> EventLog:
+    """Replay one market clearing round as an event stream.
+
+    Every lot arrives (aggregates are unwrapped to their aggregate
+    flex-offer, exactly as :meth:`TradingSession.offer_lots` does), the
+    session clears, and each *accepted* bid becomes an
+    :class:`OfferAssigned` carrying its clearing price.  Rejected lots stay
+    live — they remain the Aggregator's to re-offer in the next round.
+    """
+    flex_offers = [
+        lot.flex_offer if isinstance(lot, AggregatedFlexOffer) else lot for lot in lots
+    ]
+    # Ids are positional (a lot list may contain the same object twice);
+    # bids are mapped back by consuming positions per object identity.
+    pending: dict[int, list[str]] = {}
+    log = EventLog()
+    for offset, flex_offer in enumerate(flex_offers):
+        offer_id = offer_identifier(flex_offer, start_index + offset)
+        pending.setdefault(id(flex_offer), []).append(offer_id)
+        log.append(OfferArrived(offer_id, flex_offer))
+    accepted, _rejected = session.clear(lots)
+    for bid in accepted:
+        log.append(
+            OfferAssigned(
+                pending[id(bid.flex_offer)].pop(0), price=bid.total_price
+            )
+        )
+    return log
+
+
+def replay_population(
+    flex_offers: Sequence[FlexOffer],
+    engine: Optional[StreamingEngine] = None,
+    **engine_kwargs: object,
+) -> StreamingEngine:
+    """Stream a batch population through an engine and return it.
+
+    ``engine_kwargs`` are forwarded to :class:`StreamingEngine` when no
+    engine is given (``parameters=...``, ``measures=...``, ...).
+    """
+    if engine is None:
+        engine = StreamingEngine(**engine_kwargs)  # type: ignore[arg-type]
+    return engine.replay(population_events(flex_offers))

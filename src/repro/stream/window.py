@@ -1,0 +1,230 @@
+"""Sliding-window tracking of population-level flexibility measures.
+
+The streaming engine's population changes continuously, so a single point
+value of a set-wise measure says little about how much flexibility the
+Aggregator *has been* holding — the operational questions ("what was the
+mean vector flexibility over the last hour?", "what is the p90 assignment
+count we can promise the market?") are windowed.  This module provides the
+storage and the statistics:
+
+* :class:`RingBuffer` — fixed-capacity circular storage; pushing the
+  ``capacity + 1``-th sample overwrites the oldest one in O(1) with no
+  re-allocation, so sampling every tick stays cheap no matter how long the
+  engine runs;
+* :class:`MeasureWindow` — a ring buffer of ``(time, value)`` samples of one
+  measure with total / mean / min / max / nearest-rank percentile over the
+  retained window;
+* :class:`WindowTracker` — one window per tracked measure key, fed from the
+  :class:`~repro.measures.FlexibilitySetReport` the engine computes on every
+  :class:`~repro.stream.events.Tick`.
+
+Any :class:`~repro.measures.FlexibilityMeasure` can be tracked — the tracker
+keys windows by ``measure.key`` and reads whatever set values the engine's
+report contains, so custom measures registered with the measure registry are
+windowed exactly like the paper's eight.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Iterable, Iterator
+from typing import Optional
+
+from .events import StreamError
+
+__all__ = ["RingBuffer", "MeasureWindow", "WindowTracker"]
+
+
+class RingBuffer:
+    """Fixed-capacity circular buffer with O(1) push and oldest-first iteration.
+
+    A thin validated facade over ``collections.deque(maxlen=capacity)`` —
+    the stdlib already implements the ring semantics (overwrite-oldest on
+    push, oldest-first iteration) in C.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, capacity: int) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 1:
+            raise StreamError(f"capacity must be a positive int, got {capacity!r}")
+        self._items: deque[object] = deque(maxlen=capacity)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained items."""
+        return self._items.maxlen  # type: ignore[return-value]
+
+    @property
+    def full(self) -> bool:
+        """Whether the next push will evict the oldest item."""
+        return len(self._items) == self._items.maxlen
+
+    def push(self, item: object) -> None:
+        """Append an item, evicting the oldest one when full."""
+        self._items.append(item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._items)
+
+    def items(self) -> list[object]:
+        """The retained items, oldest first."""
+        return list(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RingBuffer({len(self._items)}/{self.capacity})"
+
+
+class MeasureWindow:
+    """A sliding window of ``(time, value)`` samples of one set-wise measure."""
+
+    def __init__(self, capacity: int) -> None:
+        self._buffer = RingBuffer(capacity)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained samples."""
+        return self._buffer.capacity
+
+    def record(self, time: int, value: float) -> None:
+        """Record one population-level sample taken at ``time``."""
+        self._buffer.push((time, float(value)))
+
+    def samples(self) -> list[tuple[int, float]]:
+        """The retained ``(time, value)`` samples, oldest first."""
+        return self._buffer.items()  # type: ignore[return-value]
+
+    def values(self) -> list[float]:
+        """The retained values, oldest first."""
+        return [value for _, value in self._buffer]  # type: ignore[misc]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------ #
+    # Window statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def last(self) -> Optional[float]:
+        """The most recent sample value (``None`` when empty)."""
+        values = self.values()
+        return values[-1] if values else None
+
+    def total(self) -> float:
+        """Sum of the retained values."""
+        return float(sum(self.values()))
+
+    def mean(self) -> float:
+        """Mean of the retained values; 0.0 for an empty window."""
+        values = self.values()
+        if not values:
+            return 0.0
+        return float(sum(values) / len(values))
+
+    def minimum(self) -> float:
+        """Smallest retained value."""
+        values = self.values()
+        if not values:
+            raise StreamError("an empty window has no minimum")
+        return min(values)
+
+    def maximum(self) -> float:
+        """Largest retained value."""
+        values = self.values()
+        if not values:
+            raise StreamError("an empty window has no maximum")
+        return max(values)
+
+    @staticmethod
+    def _nearest_rank(ordered: list[float], q: float) -> float:
+        rank = max(1, math.ceil(q * len(ordered) / 100))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the retained values, ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise StreamError(f"percentile must be in [0, 100], got {q}")
+        values = sorted(self.values())
+        if not values:
+            raise StreamError("an empty window has no percentiles")
+        return self._nearest_rank(values, q)
+
+    def summary(self) -> dict[str, float]:
+        """A serialisable statistics block over the retained window."""
+        values = self.values()
+        if not values:
+            return {"count": 0}
+        ordered = sorted(values)
+        count = len(values)
+        return {
+            "count": float(count),
+            "last": values[-1],
+            "total": float(sum(values)),
+            "mean": float(sum(values) / count),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": self._nearest_rank(ordered, 50),
+            "p90": self._nearest_rank(ordered, 90),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MeasureWindow({len(self)}/{self.capacity} samples)"
+
+
+class WindowTracker:
+    """One sliding window per tracked measure, fed from engine reports.
+
+    Parameters
+    ----------
+    measure_keys:
+        The measure keys to track (e.g. ``["time", "vector"]``); windows are
+        created eagerly so :meth:`window` never KeyErrors for a tracked key.
+    capacity:
+        Samples retained per measure window.
+    """
+
+    def __init__(self, measure_keys: Iterable[str], capacity: int = 64) -> None:
+        self._windows: dict[str, MeasureWindow] = {
+            key: MeasureWindow(capacity) for key in measure_keys
+        }
+        if not self._windows:
+            raise StreamError("WindowTracker needs at least one measure key")
+        self.capacity = capacity
+
+    @property
+    def measure_keys(self) -> list[str]:
+        """The tracked measure keys."""
+        return list(self._windows)
+
+    def window(self, measure_key: str) -> MeasureWindow:
+        """The window of one tracked measure."""
+        try:
+            return self._windows[measure_key]
+        except KeyError:
+            raise StreamError(
+                f"measure {measure_key!r} is not tracked; tracked: "
+                f"{sorted(self._windows)}"
+            ) from None
+
+    def sample(self, time: int, values: dict[str, float]) -> None:
+        """Record one population-level sample per tracked measure.
+
+        ``values`` is the ``values`` mapping of a
+        :class:`~repro.measures.FlexibilitySetReport`; tracked measures the
+        report skipped (unsupported on the current population) are simply
+        not sampled this round.
+        """
+        for key, window in self._windows.items():
+            if key in values:
+                window.record(time, values[key])
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """``{measure_key: window statistics}`` for every tracked measure."""
+        return {key: window.summary() for key, window in self._windows.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WindowTracker({sorted(self._windows)})"

@@ -1,0 +1,149 @@
+"""Property-based tests of the streaming engine's batch equivalence.
+
+The load-bearing invariant of :mod:`repro.stream`: after an *arbitrary*
+legal interleaving of arrivals and expiries, the engine's groups, aggregates
+and set-wise measure report equal the batch ``group_by_grid`` →
+``aggregate_all`` → ``evaluate_set`` pipeline applied to the surviving
+offers in arrival order.  Hypothesis drives random small flex-offers through
+random event interleavings (including pathological ones like
+arrive–expire–rearrive churn) so the incremental bookkeeping — sparse column
+sums, lazy extreme repair, cached measure values, unsupported counts — is
+exercised across removal orders no hand-written test would pick.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation import (
+    GroupingParameters,
+    aggregate_all,
+    aggregate_start_aligned,
+    group_by_grid,
+)
+from repro.core import FlexOffer
+from repro.measures import evaluate_set
+from repro.stream import (
+    IncrementalAggregate,
+    OfferArrived,
+    OfferExpired,
+    StreamingEngine,
+)
+
+MEASURES = ["time", "energy", "product", "vector", "assignments"]
+
+
+@st.composite
+def stream_flexoffers(draw):
+    """Small flex-offers, mixed signs allowed, cheap enough to enumerate."""
+    earliest = draw(st.integers(min_value=0, max_value=6))
+    time_flex = draw(st.integers(min_value=0, max_value=4))
+    slice_count = draw(st.integers(min_value=1, max_value=3))
+    slices = []
+    for _ in range(slice_count):
+        low = draw(st.integers(min_value=-2, max_value=2))
+        high = draw(st.integers(min_value=low, max_value=low + 3))
+        slices.append((low, high))
+    return FlexOffer(earliest, earliest + time_flex, slices)
+
+
+@st.composite
+def interleavings(draw, min_offers=1, max_offers=8):
+    """A legal arrival/expiry interleaving plus its surviving offers.
+
+    Offers arrive in index order; a random subset expires, each expiry woven
+    in at a random position after its arrival.  Returns ``(events,
+    survivors)`` with survivors in arrival order — the batch reference.
+    """
+    offers = draw(
+        st.lists(stream_flexoffers(), min_size=min_offers, max_size=max_offers)
+    )
+    events = []
+    survivors = []
+    for index, flex_offer in enumerate(offers):
+        offer_id = f"f{index}"
+        events.append(OfferArrived(offer_id, flex_offer))
+        if draw(st.booleans()):
+            # Weave the expiry in at a random later position.
+            position = draw(st.integers(min_value=len(events), max_value=len(events)))
+            events.insert(position, OfferExpired(offer_id))
+        else:
+            survivors.append(flex_offer)
+    # Shuffle expiries backwards while keeping them after their arrivals.
+    for position in range(len(events)):
+        event = events[position]
+        if isinstance(event, OfferExpired):
+            arrival = next(
+                index
+                for index, candidate in enumerate(events)
+                if isinstance(candidate, OfferArrived)
+                and candidate.offer_id == event.offer_id
+            )
+            target = draw(st.integers(min_value=arrival + 1, max_value=position))
+            events.insert(target, events.pop(position))
+    return events, survivors
+
+
+@st.composite
+def grouping_parameters(draw):
+    return GroupingParameters(
+        earliest_start_tolerance=draw(st.integers(min_value=1, max_value=4)),
+        time_flexibility_tolerance=draw(st.integers(min_value=1, max_value=4)),
+        max_group_size=draw(st.integers(min_value=0, max_value=3)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(interleavings(), grouping_parameters())
+def test_streaming_state_equals_batch_pipeline(interleaving, parameters):
+    """Engine after any interleaving ≡ batch pipeline on the survivors."""
+    events, survivors = interleaving
+    engine = StreamingEngine(parameters=parameters, measures=MEASURES)
+    engine.replay(events)
+
+    assert engine.live_offers() == survivors
+
+    snapshot = engine.snapshot()
+    batch_groups = group_by_grid(survivors, parameters)
+    assert [list(group) for group in snapshot.groups] == batch_groups
+    assert list(snapshot.aggregates) == aggregate_all(batch_groups)
+    assert snapshot.report == evaluate_set(survivors, MEASURES)
+
+
+@settings(max_examples=60, deadline=None)
+@given(interleavings(min_offers=2, max_offers=6))
+def test_rearrival_after_expiry_is_clean(interleaving):
+    """Expiring everything and re-adding it reproduces a fresh batch state."""
+    events, survivors = interleaving
+    engine = StreamingEngine(measures=MEASURES)
+    engine.replay(events)
+    for offer_id in list(engine.live_ids()):
+        engine.apply(OfferExpired(offer_id))
+    assert engine.size == 0
+    for index, flex_offer in enumerate(survivors):
+        engine.apply(OfferArrived(f"again{index}", flex_offer))
+    assert engine.report() == evaluate_set(survivors, MEASURES)
+    assert [list(g) for g in engine.snapshot().groups] == group_by_grid(
+        survivors, engine.parameters
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(stream_flexoffers(), min_size=1, max_size=6),
+    st.data(),
+)
+def test_incremental_aggregate_matches_batch_under_random_removals(offers, data):
+    """IncrementalAggregate ≡ aggregate_start_aligned at every removal step."""
+    aggregate = IncrementalAggregate()
+    live = {}
+    for index, flex_offer in enumerate(offers):
+        offer_id = f"f{index}"
+        aggregate.add(offer_id, flex_offer)
+        live[offer_id] = flex_offer
+    while len(live) > 1:
+        victim = data.draw(st.sampled_from(sorted(live)))
+        aggregate.remove(victim)
+        del live[victim]
+        assert aggregate.aggregated() == aggregate_start_aligned(list(live.values()))

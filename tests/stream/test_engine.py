@@ -1,0 +1,253 @@
+"""Tests of the streaming engine: batch equivalence, life-cycle, windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation import (
+    GroupingParameters,
+    aggregate_all,
+    group_by_grid,
+)
+from repro.core import FlexOffer
+from repro.market import FlexibilityPricer, TradingSession
+from repro.measures import evaluate_set
+from repro.stream import (
+    OfferArrived,
+    OfferAssigned,
+    OfferExpired,
+    StreamError,
+    StreamingEngine,
+    Tick,
+    churn_events,
+    market_events,
+    offer_identifier,
+    population_events,
+    replay_population,
+)
+from repro.workloads import balancing_scenario, neighbourhood_scenario
+
+MEASURES = ["time", "energy", "product", "vector"]
+
+
+def assert_batch_equivalent(engine, survivors, parameters, measures=None):
+    """The core guarantee: snapshot ≡ batch pipeline on the survivors."""
+    snapshot = engine.snapshot()
+    assert list(snapshot.live) == list(survivors)
+    batch_groups = group_by_grid(survivors, parameters)
+    assert [list(group) for group in snapshot.groups] == batch_groups
+    assert list(snapshot.aggregates) == aggregate_all(batch_groups)
+    assert snapshot.report == evaluate_set(survivors, measures)
+
+
+class TestBatchEquivalence:
+    def test_population_replay_equals_batch(self):
+        scenario = neighbourhood_scenario(households=10, seed=7, horizon=32)
+        parameters = GroupingParameters()
+        engine = replay_population(scenario.flex_offers, parameters=parameters)
+        assert_batch_equivalent(engine, list(scenario.flex_offers), parameters)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_churn_replay_equals_batch_on_survivors(self, seed):
+        scenario = neighbourhood_scenario(households=12, seed=7, horizon=32)
+        parameters = GroupingParameters(2, 2, 3)
+        log = churn_events(scenario.flex_offers, survive_fraction=0.5, seed=seed)
+        engine = StreamingEngine(parameters=parameters).replay(log)
+        expired = {
+            event.offer_id for event in log if isinstance(event, OfferExpired)
+        }
+        survivors = [
+            event.flex_offer
+            for event in log
+            if isinstance(event, OfferArrived) and event.offer_id not in expired
+        ]
+        assert_batch_equivalent(engine, survivors, parameters)
+
+    def test_mixed_population_skips_measures_like_batch(self):
+        # The balancing scenario contains production and mixed flex-offers,
+        # so some measures are unsupported — skipped must match batch.
+        scenario = balancing_scenario(units=12, seed=11, horizon=32)
+        parameters = GroupingParameters()
+        engine = replay_population(scenario.flex_offers, parameters=parameters)
+        batch = evaluate_set(list(scenario.flex_offers))
+        report = engine.report()
+        assert report == batch
+        # Skipped measures become available again once the offending
+        # offers leave the population.
+        log = population_events(scenario.flex_offers)
+        engine2 = StreamingEngine(parameters=parameters).replay(log)
+        unsupported_ids = [
+            event.offer_id
+            for event in log
+            if any(
+                not measure.supports(event.flex_offer)
+                for measure in engine2.measures
+            )
+        ]
+        for offer_id in unsupported_ids:
+            engine2.apply(OfferExpired(offer_id))
+        survivors = [
+            event.flex_offer
+            for event in log
+            if event.offer_id not in set(unsupported_ids)
+        ]
+        assert engine2.report() == evaluate_set(survivors)
+        assert engine2.report().skipped == ()
+
+    def test_empty_engine_matches_empty_batch(self):
+        engine = StreamingEngine(measures=MEASURES)
+        assert engine.report() == evaluate_set([], MEASURES)
+        assert engine.snapshot().groups == ()
+        assert engine.snapshot().aggregates == ()
+
+
+class TestLifecycle:
+    def offer(self, name, tes=0):
+        return FlexOffer(tes, tes + 2, [(1, 3), (0, 2)], name=name)
+
+    def test_assignment_removes_and_accrues_revenue(self):
+        engine = StreamingEngine(measures=MEASURES)
+        engine.apply(OfferArrived("a", self.offer("a")))
+        engine.apply(OfferArrived("b", self.offer("b")))
+        engine.apply(OfferAssigned("a", start_time=1, price=42.0))
+        assert engine.live_ids() == ["b"]
+        assert engine.stats.assigned == 1
+        assert engine.stats.revenue == 42.0
+
+    def test_double_removal_rejected(self):
+        engine = StreamingEngine(measures=MEASURES)
+        engine.apply(OfferArrived("a", self.offer("a")))
+        engine.apply(OfferExpired("a"))
+        with pytest.raises(StreamError):
+            engine.apply(OfferExpired("a"))
+
+    def test_duplicate_arrival_rejected(self):
+        engine = StreamingEngine(measures=MEASURES)
+        engine.apply(OfferArrived("a", self.offer("a")))
+        with pytest.raises(StreamError):
+            engine.apply(OfferArrived("a", self.offer("a2")))
+
+    def test_time_must_be_monotonic(self):
+        engine = StreamingEngine(measures=MEASURES)
+        engine.apply(Tick(5))
+        engine.apply(Tick(5))  # equal is fine
+        with pytest.raises(StreamError):
+            engine.apply(Tick(4))
+
+    def test_auto_expiry_on_tick(self):
+        engine = StreamingEngine(measures=MEASURES, auto_expire=True)
+        engine.apply(OfferArrived("early", self.offer("early", tes=0)))  # tls=2
+        engine.apply(OfferArrived("late", self.offer("late", tes=8)))  # tls=10
+        engine.apply(Tick(2))
+        assert engine.live_ids() == ["early", "late"]  # tls=2 can still start at 2
+        engine.apply(Tick(3))
+        assert engine.live_ids() == ["late"]
+        assert engine.stats.expired == 1
+
+    def test_auto_expiry_ignores_stale_deadline_of_reused_id(self):
+        # Regression: an id reused by a later arrival must not inherit the
+        # previous occupant's (earlier) deadline.
+        engine = StreamingEngine(measures=MEASURES, auto_expire=True)
+        engine.apply(OfferArrived("x", self.offer("x1", tes=0)))  # tls=2
+        engine.apply(OfferExpired("x"))
+        engine.apply(OfferArrived("x", self.offer("x2", tes=50)))  # tls=52
+        engine.apply(Tick(10))
+        assert engine.live_ids() == ["x"]
+        assert engine.stats.expired == 1  # only the explicit expiry
+        engine.apply(Tick(53))
+        assert engine.live_ids() == []
+        assert engine.stats.expired == 2
+
+    def test_auto_expiry_skips_already_removed(self):
+        engine = StreamingEngine(measures=MEASURES, auto_expire=True)
+        engine.apply(OfferArrived("a", self.offer("a", tes=0)))
+        engine.apply(OfferAssigned("a"))
+        engine.apply(Tick(100))  # stale deadline must not raise
+        assert engine.stats.expired == 0
+
+    def test_hooks_fire_after_state_change(self):
+        seen = []
+
+        def on_assigned(offer_id, flex_offer, event):
+            seen.append((offer_id, flex_offer.name, event.price))
+
+        engine = StreamingEngine(measures=MEASURES, on_assigned=on_assigned)
+        engine.apply(OfferArrived("a", self.offer("a")))
+        engine.apply(OfferAssigned("a", price=7.0))
+        assert seen == [("a", "a", 7.0)]
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(StreamError):
+            StreamingEngine(measures=MEASURES).apply("not an event")
+
+
+class TestWindowSampling:
+    def test_tick_samples_population_values(self):
+        scenario = neighbourhood_scenario(households=6, seed=7, horizon=32)
+        engine = StreamingEngine(measures=MEASURES, window_capacity=32)
+        for sequence, event in enumerate(population_events(scenario.flex_offers)):
+            engine.apply(event)
+            engine.apply(Tick(sequence))
+        window = engine.tracker.window("time")
+        assert len(window) == scenario.size
+        # The last sample equals the batch set value of the full population.
+        batch = evaluate_set(list(scenario.flex_offers), MEASURES)
+        assert window.last == batch.values["time"]
+        summary = engine.snapshot().window_summary
+        assert summary["time"]["count"] == float(scenario.size)
+
+    def test_no_tracker_without_capacity(self):
+        engine = StreamingEngine(measures=MEASURES)
+        assert engine.tracker is None
+        assert engine.snapshot().window_summary == {}
+
+
+class TestMarketReplay:
+    def test_market_events_assign_accepted_lots(self):
+        scenario = neighbourhood_scenario(households=8, seed=7, horizon=32)
+        parameters = GroupingParameters()
+        groups = group_by_grid(list(scenario.flex_offers), parameters)
+        lots = aggregate_all(groups)
+        session = TradingSession(
+            pricer=FlexibilityPricer(measure="vector"), budget=5000.0
+        )
+        log = market_events(session, lots)
+        engine = StreamingEngine(parameters=parameters).replay(log)
+        accepted, rejected = TradingSession(
+            pricer=FlexibilityPricer(measure="vector"), budget=5000.0
+        ).clear(lots)
+        assert engine.stats.assigned == len(accepted)
+        assert engine.size == len(rejected)
+        assert engine.stats.revenue == pytest.approx(
+            sum(bid.total_price for bid in accepted)
+        )
+        # The still-live lots are exactly the rejected ones.
+        live_names = {flex_offer.name for flex_offer in engine.live_offers()}
+        assert live_names == {bid.flex_offer.name for bid in rejected}
+
+    def test_market_events_handle_duplicate_lot_objects(self):
+        # Regression: the same lot object offered twice must get two distinct
+        # offer ids and replay cleanly.
+        lot = FlexOffer(0, 2, [(1, 3), (0, 2)], name="dup")
+        session = TradingSession(pricer=FlexibilityPricer(measure="time"))
+        log = market_events(session, [lot, lot])
+        arrivals = [event for event in log if isinstance(event, OfferArrived)]
+        assert len({event.offer_id for event in arrivals}) == 2
+        engine = StreamingEngine(measures=["time"]).replay(log)
+        assert engine.stats.assigned == 2  # unlimited budget buys both
+        assert engine.size == 0
+
+
+class TestIdentifiers:
+    def test_offer_identifier_stable_and_position_unique(self):
+        flex_offer = FlexOffer(1, 6, [(1, 3)], name="x")
+        twin = FlexOffer(1, 6, [(1, 3)], name="x")
+        assert offer_identifier(flex_offer, 3) == offer_identifier(twin, 3)
+        assert offer_identifier(flex_offer, 3) != offer_identifier(flex_offer, 4)
+
+    def test_fingerprint_ignores_name(self):
+        named = FlexOffer(1, 6, [(1, 3)], name="x")
+        anonymous = FlexOffer(1, 6, [(1, 3)])
+        assert named.fingerprint == anonymous.fingerprint
+        different = FlexOffer(1, 7, [(1, 3)])
+        assert named.fingerprint != different.fingerprint

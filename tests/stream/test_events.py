@@ -1,0 +1,83 @@
+"""Tests of the streaming event model and the append-only event log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FlexOffer
+from repro.stream import (
+    EventLog,
+    OfferArrived,
+    OfferAssigned,
+    OfferExpired,
+    StreamError,
+    Tick,
+)
+
+FO = FlexOffer(1, 6, [(1, 3), (2, 4)], name="f")
+
+
+class TestEventValidation:
+    def test_arrival_carries_offer(self):
+        event = OfferArrived("a", FO)
+        assert event.offer_id == "a"
+        assert event.flex_offer is FO
+
+    def test_arrival_rejects_empty_id(self):
+        with pytest.raises(StreamError):
+            OfferArrived("", FO)
+
+    def test_arrival_rejects_non_flexoffer(self):
+        with pytest.raises(StreamError):
+            OfferArrived("a", "not a flex-offer")
+
+    def test_expiry_and_assignment_reject_empty_id(self):
+        with pytest.raises(StreamError):
+            OfferExpired("")
+        with pytest.raises(StreamError):
+            OfferAssigned("")
+
+    def test_assignment_optional_fields(self):
+        event = OfferAssigned("a", start_time=3, price=12.5)
+        assert event.start_time == 3
+        assert event.price == 12.5
+
+    def test_tick_rejects_non_int_time(self):
+        with pytest.raises(StreamError):
+            Tick("noon")
+        with pytest.raises(StreamError):
+            Tick(True)
+
+    def test_events_are_frozen(self):
+        event = OfferExpired("a")
+        with pytest.raises(Exception):
+            event.offer_id = "b"
+
+
+class TestEventLog:
+    def test_append_returns_sequence_numbers(self):
+        log = EventLog()
+        assert log.append(OfferArrived("a", FO)) == 0
+        assert log.append(OfferExpired("a")) == 1
+        assert log.next_sequence == 2
+
+    def test_iteration_preserves_append_order(self):
+        events = [OfferArrived("a", FO), Tick(1), OfferExpired("a")]
+        log = EventLog(events)
+        assert list(log) == events
+        assert len(log) == 3
+        assert log[1] == Tick(1)
+
+    def test_since_returns_suffix(self):
+        events = [OfferArrived("a", FO), Tick(1), OfferExpired("a")]
+        log = EventLog(events)
+        assert log.since(1) == events[1:]
+        assert log.since(3) == []
+
+    def test_since_rejects_negative(self):
+        with pytest.raises(StreamError):
+            EventLog().since(-1)
+
+    def test_append_rejects_non_events(self):
+        with pytest.raises(StreamError):
+            EventLog().append("not an event")

@@ -1,0 +1,111 @@
+"""Tests of the ring buffer and the sliding-window measure statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream import MeasureWindow, RingBuffer, StreamError, WindowTracker
+
+
+class TestRingBuffer:
+    def test_fills_then_overwrites_oldest(self):
+        buffer = RingBuffer(3)
+        for value in (1, 2, 3):
+            buffer.push(value)
+        assert buffer.items() == [1, 2, 3]
+        assert buffer.full
+        buffer.push(4)
+        buffer.push(5)
+        assert buffer.items() == [3, 4, 5]
+        assert len(buffer) == 3
+
+    def test_partial_fill(self):
+        buffer = RingBuffer(4)
+        buffer.push("x")
+        assert buffer.items() == ["x"]
+        assert not buffer.full
+
+    def test_capacity_validation(self):
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(StreamError):
+                RingBuffer(bad)
+
+
+class TestMeasureWindow:
+    def build(self, values, capacity=8):
+        window = MeasureWindow(capacity)
+        for time, value in enumerate(values):
+            window.record(time, value)
+        return window
+
+    def test_statistics(self):
+        window = self.build([4.0, 1.0, 3.0, 2.0])
+        assert window.last == 2.0
+        assert window.total() == 10.0
+        assert window.mean() == 2.5
+        assert window.minimum() == 1.0
+        assert window.maximum() == 4.0
+        assert window.percentile(0) == 1.0
+        assert window.percentile(50) == 2.0
+        assert window.percentile(100) == 4.0
+
+    def test_percentile_nearest_rank(self):
+        window = self.build([10.0, 20.0, 30.0, 40.0, 50.0])
+        assert window.percentile(90) == 50.0
+        assert window.percentile(40) == 20.0
+        assert window.percentile(41) == 30.0
+
+    def test_percentile_fractional_rank_rounds_up(self):
+        # Regression: ceil must apply to the exact q*n/100, not to a
+        # truncated intermediate (33.4% of 3 samples -> rank 2).
+        window = self.build([1.0, 2.0, 3.0])
+        assert window.percentile(33.4) == 2.0
+        assert window.percentile(66.8) == 3.0
+        assert window.percentile(33.0) == 1.0
+
+    def test_sliding_eviction_changes_statistics(self):
+        window = self.build([100.0, 1.0, 2.0, 3.0], capacity=3)
+        assert window.maximum() == 3.0  # the 100.0 sample slid out
+        assert window.samples() == [(1, 1.0), (2, 2.0), (3, 3.0)]
+
+    def test_empty_window_guards(self):
+        window = MeasureWindow(4)
+        assert window.last is None
+        assert window.mean() == 0.0
+        assert window.summary() == {"count": 0}
+        with pytest.raises(StreamError):
+            window.minimum()
+        with pytest.raises(StreamError):
+            window.percentile(50)
+        with pytest.raises(StreamError):
+            self.build([1.0]).percentile(101)
+
+    def test_summary_block(self):
+        summary = self.build([1.0, 2.0, 3.0]).summary()
+        assert summary["count"] == 3.0
+        assert summary["mean"] == 2.0
+        assert summary["p50"] == 2.0
+        assert summary["p90"] == 3.0
+
+
+class TestWindowTracker:
+    def test_samples_only_present_measures(self):
+        tracker = WindowTracker(["time", "vector"], capacity=4)
+        tracker.sample(0, {"time": 5.0, "vector": 2.0, "energy": 9.0})
+        tracker.sample(1, {"time": 6.0})  # vector skipped this round
+        assert tracker.window("time").values() == [5.0, 6.0]
+        assert tracker.window("vector").values() == [2.0]
+
+    def test_unknown_window_rejected(self):
+        tracker = WindowTracker(["time"])
+        with pytest.raises(StreamError):
+            tracker.window("ghost")
+        with pytest.raises(StreamError):
+            WindowTracker([])
+
+    def test_summary_keyed_by_measure(self):
+        tracker = WindowTracker(["time"], capacity=2)
+        tracker.sample(0, {"time": 1.0})
+        summary = tracker.summary()
+        assert set(summary) == {"time"}
+        assert summary["time"]["count"] == 1.0
