@@ -17,6 +17,13 @@ Quickstart
 24
 """
 
+from .backend import (
+    NUMPY_AVAILABLE,
+    available_backends,
+    get_backend,
+    set_default_backend,
+    use_backend,
+)
 from .core import (
     Assignment,
     EnergySlice,
@@ -78,6 +85,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # compute backends
+    "NUMPY_AVAILABLE",
+    "available_backends",
+    "get_backend",
+    "set_default_backend",
+    "use_backend",
     # core model
     "TimeSeries",
     "EnergySlice",

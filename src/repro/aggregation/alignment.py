@@ -23,7 +23,7 @@ from typing import Optional
 from ..core.errors import AggregationError
 from ..core.flexoffer import FlexOffer
 from ..core.slices import EnergySlice
-from .base import AggregatedFlexOffer, align_profiles
+from .base import AggregatedFlexOffer
 
 __all__ = ["aggregate_start_aligned", "aggregate_all"]
 
@@ -57,29 +57,13 @@ def aggregate_start_aligned(
     a column amount that no combination of valid member assignments can
     deliver — this is what keeps aggregate assignments disaggregatable.
     """
+    from ..backend.dispatch import get_backend
+
     members = tuple(members)
     if not members:
         raise AggregationError("cannot aggregate an empty set of flex-offers")
-    effective_members = tuple(
-        FlexOffer(
-            member.earliest_start,
-            member.latest_start,
-            member.effective_slice_bounds(),
-            member.total_energy_min,
-            member.total_energy_max,
-            member.name,
-        )
-        for member in members
-    )
-    anchor, offsets, columns = align_profiles(effective_members)
-    aggregated_slices = []
-    for column in columns:
-        if column:
-            amin = sum(energy_slice.amin for energy_slice in column)
-            amax = sum(energy_slice.amax for energy_slice in column)
-        else:
-            amin = amax = 0
-        aggregated_slices.append(EnergySlice(amin, amax))
+    anchor, offsets, column_bounds = get_backend().aggregate_columns(members)
+    aggregated_slices = [EnergySlice(amin, amax) for amin, amax in column_bounds]
     common_time_flexibility = min(member.time_flexibility for member in members)
     total_min = sum(member.cmin for member in members)
     total_max = sum(member.cmax for member in members)

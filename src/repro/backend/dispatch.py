@@ -1,0 +1,273 @@
+"""Compute-backend dispatch: registry, selection and the backend contract.
+
+The measures, aggregation, assignment and streaming code all reduce to the
+same handful of bulk operations over a population of flex-offers (per-offer
+measure values, set combination, aligned column sums, feasible extreme
+profiles, assignment feasibility).  :class:`ComputeBackend` names those
+operations; concrete backends implement them either with the original
+per-object Python code (``reference``) or with packed NumPy arrays
+(``numpy``).  Callers never pick an implementation directly — they ask
+:func:`get_backend` for the active one, which resolves, in order,
+
+1. an explicit ``name`` argument,
+2. the backend activated by the innermost :func:`use_backend` context,
+3. the process default set via :func:`set_default_backend`,
+4. the ``REPRO_BACKEND`` environment variable,
+5. the ``reference`` backend.
+
+Every backend must be *observationally equivalent* to the reference backend:
+identical values on integer paths, identical within 1e-9 on float paths, and
+the same :class:`~repro.core.errors.MeasureError` family raised on the same
+inputs.  ``tests/backend/test_conformance.py`` pins that contract with
+differential hypothesis properties.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from collections.abc import Sequence
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, ClassVar, Optional
+
+from ..core.errors import BackendError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.flexoffer import FlexOffer
+    from ..measures.base import FlexibilityMeasure
+
+__all__ = [
+    "ComputeBackend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "set_default_backend",
+    "use_backend",
+    "ENV_VAR",
+]
+
+#: Environment variable naming the default backend for the process.
+ENV_VAR = "REPRO_BACKEND"
+
+
+class ComputeBackend(abc.ABC):
+    """The bulk operations a compute backend must provide.
+
+    The granularity is deliberately coarse — whole populations, not single
+    flex-offers — because that is where a vectorizing backend can win; the
+    per-object entry points (``measure.value``, ``Assignment``) never
+    dispatch.
+    """
+
+    #: Stable backend identifier used by the registry and ``REPRO_BACKEND``.
+    name: ClassVar[str] = ""
+
+    # ------------------------------------------------------------------ #
+    # Measures
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def measure_values(
+        self, measure: "FlexibilityMeasure", flex_offers: Sequence["FlexOffer"]
+    ) -> list[float]:
+        """Per-offer values of one measure, in population order."""
+
+    def measure_set_value(
+        self, measure: "FlexibilityMeasure", flex_offers: Sequence["FlexOffer"]
+    ) -> float:
+        """Set value of one measure: per-offer values + ``combine_values``."""
+        return measure.combine_values(self.measure_values(measure, flex_offers))
+
+    @staticmethod
+    def _overrides_set_value(measure: "FlexibilityMeasure") -> bool:
+        """Whether a measure subclass replaced the default ``set_value``.
+
+        ``evaluate_population`` implementations may only inline the
+        per-offer-values + ``combine_values`` decomposition for the default
+        ``set_value``; a measure that overrides the method (a public
+        extension point) must be evaluated through its own override.
+        """
+        from ..measures.base import FlexibilityMeasure
+
+        return type(measure).set_value is not FlexibilityMeasure.set_value
+
+    @staticmethod
+    def _overrides_supports(measure: "FlexibilityMeasure") -> bool:
+        """Whether a measure subclass replaced the default ``supports``.
+
+        The default derives applicability from the measure's characteristics
+        and sign class, which a vectorizing backend may evaluate from packed
+        masks; an overridden ``supports`` (also a public extension point)
+        must be consulted per offer instead.
+        """
+        from ..measures.base import FlexibilityMeasure
+
+        return type(measure).supports is not FlexibilityMeasure.supports
+
+    @abc.abstractmethod
+    def evaluate_population(
+        self,
+        measures: Sequence["FlexibilityMeasure"],
+        flex_offers: Sequence["FlexOffer"],
+        skip_unsupported: bool = True,
+    ) -> tuple[dict[str, float], list[str]]:
+        """``({measure_key: set_value}, [skipped keys])`` for a population.
+
+        A measure is skipped when it does not support every offer in the
+        population and ``skip_unsupported`` is true — the exact semantics of
+        :func:`repro.measures.setwise.evaluate_set`, which delegates here.
+        """
+
+    @abc.abstractmethod
+    def per_offer_values(
+        self,
+        measures: Sequence["FlexibilityMeasure"],
+        flex_offers: Sequence["FlexOffer"],
+    ) -> list[dict[str, float]]:
+        """For each offer, ``{measure_key: value}`` over the measures that
+        support it — the bulk form of the streaming engine's arrival cache."""
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def aggregate_columns(
+        self, members: Sequence["FlexOffer"]
+    ) -> tuple[int, list[int], list[tuple[int, int]]]:
+        """Start-aligned column sums over the members' effective bounds.
+
+        Returns ``(anchor, member_offsets, [(amin, amax) per column])`` where
+        the anchor is the minimum earliest start and uncovered columns sum to
+        ``(0, 0)`` — the inner loop of
+        :func:`repro.aggregation.aggregate_start_aligned`.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Assignments
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def feasible_profiles(
+        self, flex_offers: Sequence["FlexOffer"], target: str
+    ) -> list[tuple[int, ...]]:
+        """Greedy minimal-total (``"min"``) or maximal-total (``"max"``)
+        profiles satisfying each offer's total constraints, in profile order
+        — the bulk form of the extreme-assignment constructors."""
+
+    @abc.abstractmethod
+    def assignment_feasibility(
+        self,
+        flex_offers: Sequence["FlexOffer"],
+        starts: Sequence[int],
+        values: Sequence[Sequence[int]],
+    ) -> list[bool]:
+        """Whether each ``(start, values)`` pair is a valid Definition 2
+        assignment of its flex-offer."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+# ---------------------------------------------------------------------- #
+# Registry and selection
+# ---------------------------------------------------------------------- #
+_REGISTRY: dict[str, ComputeBackend] = {}
+_bootstrapped = False
+_default_name: Optional[str] = None
+_active_name: ContextVar[Optional[str]] = ContextVar("repro_backend", default=None)
+
+
+def register_backend(backend: ComputeBackend, overwrite: bool = False) -> ComputeBackend:
+    """Register a backend instance under its ``name``.
+
+    Registering a *different class* under an existing name raises unless
+    ``overwrite`` is set, so a typo cannot silently shadow the reference
+    implementation; re-registering the same class replaces the stored
+    instance (the bundled backends are stateless, making that idempotent).
+    """
+    if not isinstance(backend, ComputeBackend):
+        raise BackendError(f"{backend!r} is not a ComputeBackend instance")
+    if not backend.name:
+        raise BackendError(f"backend {type(backend).__name__} must define a name")
+    if backend.name in _REGISTRY and not overwrite:
+        existing = _REGISTRY[backend.name]
+        if type(existing) is not type(backend):
+            raise BackendError(
+                f"backend name {backend.name!r} already registered by "
+                f"{type(existing).__name__}"
+            )
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def _ensure_registered() -> None:
+    """Import the bundled backends once, registering what the host supports.
+
+    Guarded by an explicit flag, not by registry emptiness: the reference
+    backend registers as a side effect of ``import repro.backend``, which
+    must not stop the lazily imported NumPy backend from ever loading.
+    """
+    global _bootstrapped
+    if _bootstrapped:
+        return
+    _bootstrapped = True
+    from . import reference  # noqa: F401  (registers on import)
+
+    try:
+        from . import numpy_backend  # noqa: F401  (registers when NumPy exists)
+    except ImportError:  # pragma: no cover - exercised only without numpy
+        pass
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of every registered backend (``reference`` always included)."""
+    _ensure_registered()
+    return tuple(_REGISTRY)
+
+
+def _resolve(name: Optional[str]) -> ComputeBackend:
+    _ensure_registered()
+    resolved = (
+        name
+        or _active_name.get()
+        or _default_name
+        or os.environ.get(ENV_VAR)
+        or "reference"
+    )
+    try:
+        return _REGISTRY[resolved]
+    except KeyError:
+        raise BackendError(
+            f"unknown compute backend {resolved!r}; available: "
+            f"{sorted(_REGISTRY)} (is the backend's dependency installed?)"
+        ) from None
+
+
+def get_backend(name: Optional[str] = None) -> ComputeBackend:
+    """The active compute backend (or the one registered under ``name``)."""
+    return _resolve(name)
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide default backend."""
+    global _default_name
+    if name is not None:
+        _resolve(name)  # validate eagerly so misconfiguration fails here
+    _default_name = name
+
+
+@contextmanager
+def use_backend(name: str):
+    """Context manager activating a backend for the dynamic extent.
+
+    Nested uses stack; the previous selection is restored on exit.  Yields
+    the activated backend instance::
+
+        with use_backend("numpy") as backend:
+            report = evaluate_set(population)   # vectorized
+    """
+    backend = _resolve(name)
+    token = _active_name.set(backend.name)
+    try:
+        yield backend
+    finally:
+        _active_name.reset(token)

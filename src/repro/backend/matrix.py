@@ -1,0 +1,280 @@
+"""Packed NumPy representation of a flex-offer population.
+
+A :class:`~repro.core.flexoffer.FlexOffer` population is *ragged*: every
+offer has its own profile length.  :class:`ProfileMatrix` packs the whole
+population into flat ``int64`` arrays plus an ``offsets`` index (the CSR
+idiom), so per-slice quantities live in one contiguous ``amin``/``amax``
+pair and per-offer reductions become single ``ufunc.reduceat`` calls:
+
+* ``offsets[i]:offsets[i+1]`` is offer ``i``'s slice range inside the packed
+  arrays;
+* ``owner`` maps a packed position back to its offer index, ``within`` to
+  its slice index — the two gather/scatter keys every vectorized hot path
+  uses.
+
+Derived quantities (profile sums, effective per-slice bounds under the total
+constraints, sign-class masks) are computed lazily and cached; all of them
+are exact integer arithmetic, which is what lets the NumPy backend match the
+reference implementation bit-for-bit on integer paths.
+
+This module imports NumPy at module level and is therefore only imported by
+the NumPy backend; everything else in the library must keep working when the
+import fails.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from functools import cached_property
+
+import numpy as np
+
+from ..core.flexoffer import FlexOffer
+
+__all__ = ["ProfileMatrix", "VALUE_LIMIT", "SLICE_LIMIT", "DENSE_CELL_LIMIT"]
+
+_INT64 = np.int64
+
+#: Magnitude cap on every packed scalar (bounds, constraints, times) and
+#: length cap on a single profile.  Individual values fitting ``int64`` is
+#: not enough: derived *sums* (profile totals, aligned column sums, running
+#: assignment totals) must stay exactly representable too.  With elements
+#: bounded by 2^40 and profiles by 2^20 slices, every per-offer sum stays
+#: below 2^61 — comfortably inside ``int64`` — so the NumPy backend can
+#: promise bit-exact integer arithmetic; anything larger raises
+#: ``OverflowError`` at construction and falls back to the reference
+#: backend's Python big integers.
+VALUE_LIMIT = 1 << 40
+SLICE_LIMIT = 1 << 20
+
+#: Cell cap for dense padded matrices (the series-difference and area-extent
+#: kernels).  The kernels materialise up to ~5 transient arrays of this
+#: shape (pads, extents, powers), so the cap is sized such that the total
+#: stays in the hundreds of MB; populations beyond it are evaluated through
+#: the scalar loops, which only need O(per-offer width) memory.
+DENSE_CELL_LIMIT = 10_000_000
+
+
+class ProfileMatrix:
+    """A flex-offer population as packed ``(amin, amax)`` arrays.
+
+    Parameters
+    ----------
+    flex_offers:
+        The population, in evaluation order.  Order is preserved everywhere:
+        row ``i`` of every per-offer array describes ``offers[i]``.
+
+    Raises
+    ------
+    OverflowError
+        When any bound or constraint does not fit ``int64`` (the library's
+        scalar model allows arbitrary Python integers); callers fall back to
+        the reference backend in that case.
+    """
+
+    def __init__(self, flex_offers: Iterable[FlexOffer]) -> None:
+        offers = tuple(flex_offers)
+        self.offers: tuple[FlexOffer, ...] = offers
+        n = len(offers)
+        self.size = n
+        # Single pass over the population: the Python-level attribute reads
+        # dominate construction cost, so every per-offer and per-slice field
+        # is collected in one sweep before handing over to NumPy.
+        tes: list[int] = []
+        tls: list[int] = []
+        cmin: list[int] = []
+        cmax: list[int] = []
+        durations: list[int] = []
+        amin: list[int] = []
+        amax: list[int] = []
+        for flex_offer in offers:
+            tes.append(flex_offer.earliest_start)
+            tls.append(flex_offer.latest_start)
+            cmin.append(flex_offer.total_energy_min)
+            cmax.append(flex_offer.total_energy_max)
+            slices = flex_offer.slices
+            durations.append(len(slices))
+            for energy_slice in slices:
+                amin.append(energy_slice.amin)
+                amax.append(energy_slice.amax)
+        self.tes = np.array(tes, dtype=_INT64)
+        self.tls = np.array(tls, dtype=_INT64)
+        self.cmin = np.array(cmin, dtype=_INT64)
+        self.cmax = np.array(cmax, dtype=_INT64)
+        self.durations = np.array(durations, dtype=_INT64)
+        self.offsets = np.zeros(n + 1, dtype=_INT64)
+        np.cumsum(self.durations, out=self.offsets[1:])
+        self.amin = np.array(amin, dtype=_INT64)
+        self.amax = np.array(amax, dtype=_INT64)
+        self._check_representable()
+
+    def _check_representable(self) -> None:
+        """Reject populations whose *derived sums* could leave ``int64``."""
+        if self.size == 0:
+            return
+        for values in (self.tes, self.tls, self.cmin, self.cmax, self.amin, self.amax):
+            if values.size and int(np.abs(values).max()) > VALUE_LIMIT:
+                raise OverflowError(
+                    f"flex-offer magnitudes beyond {VALUE_LIMIT} are not "
+                    "packable without risking inexact int64 sums"
+                )
+        if int(self.durations.max()) > SLICE_LIMIT:
+            raise OverflowError(
+                f"profiles longer than {SLICE_LIMIT} slices are not packable "
+                "without risking inexact int64 sums"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Packed indexing helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def starts(self) -> np.ndarray:
+        """Segment start indices (``offsets`` without the trailing total)."""
+        return self.offsets[:-1]
+
+    @cached_property
+    def owner(self) -> np.ndarray:
+        """Offer index of every packed slice position."""
+        return np.repeat(np.arange(self.size, dtype=_INT64), self.durations)
+
+    @cached_property
+    def within(self) -> np.ndarray:
+        """Slice index (0-based, per offer) of every packed position."""
+        total = int(self.offsets[-1]) if self.size else 0
+        return np.arange(total, dtype=_INT64) - np.repeat(
+            self.starts, self.durations
+        )
+
+    def _reduce(self, ufunc: np.ufunc, values: np.ndarray) -> np.ndarray:
+        """Per-offer reduction of a packed array (empty-safe)."""
+        if self.size == 0:
+            return np.zeros(0, dtype=values.dtype)
+        return ufunc.reduceat(values, self.starts)
+
+    # ------------------------------------------------------------------ #
+    # Per-offer derived quantities
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def profile_min(self) -> np.ndarray:
+        """Sum of the per-slice minima per offer."""
+        return self._reduce(np.add, self.amin)
+
+    @cached_property
+    def profile_max(self) -> np.ndarray:
+        """Sum of the per-slice maxima per offer."""
+        return self._reduce(np.add, self.amax)
+
+    @cached_property
+    def time_flexibility(self) -> np.ndarray:
+        """``tls − tes`` per offer."""
+        return self.tls - self.tes
+
+    @cached_property
+    def energy_flexibility(self) -> np.ndarray:
+        """``cmax − cmin`` per offer."""
+        return self.cmax - self.cmin
+
+    # ------------------------------------------------------------------ #
+    # Effective bounds under the total constraints
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def effective_amin(self) -> np.ndarray:
+        """Packed effective slice minima (``FlexOffer.effective_slice_bounds``)."""
+        rest_max = self.profile_max[self.owner] - self.amax
+        return np.maximum(self.amin, self.cmin[self.owner] - rest_max)
+
+    @cached_property
+    def effective_amax(self) -> np.ndarray:
+        """Packed effective slice maxima."""
+        rest_min = self.profile_min[self.owner] - self.amin
+        return np.minimum(self.amax, self.cmax[self.owner] - rest_min)
+
+    # ------------------------------------------------------------------ #
+    # Sign classification (Section 2)
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def is_consumption(self) -> np.ndarray:
+        """Per-offer mask: every slice non-negative (checked first, like
+        :attr:`FlexOffer.kind` — an all-zero offer classifies as consumption)."""
+        return self._reduce(np.minimum, self.amin) >= 0
+
+    @cached_property
+    def is_production(self) -> np.ndarray:
+        """Per-offer mask: not consumption and every slice non-positive."""
+        return ~self.is_consumption & (self._reduce(np.maximum, self.amax) <= 0)
+
+    @cached_property
+    def is_mixed(self) -> np.ndarray:
+        """Per-offer mask: neither pure consumption nor pure production."""
+        return ~self.is_consumption & ~self.is_production
+
+    # ------------------------------------------------------------------ #
+    # Area geometry (Definitions 9–10)
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def area_sizes(self) -> list[int]:
+        """Union-of-areas size per offer (``flexoffer_area_size``, batch).
+
+        Per-column extents are accumulated across the start shifts with one
+        masked ``maximum``/``minimum`` sweep per shift, each covering every
+        offer simultaneously; all arithmetic is integer, so the results
+        equal the scalar path exactly.  Populations whose padded column
+        space would exceed :data:`DENSE_CELL_LIMIT` cells are evaluated
+        through the scalar loop instead.  Cached — the absolute and relative
+        area measures both need the sizes during one ``evaluate_set`` pass.
+        """
+        from ..core.area import flexoffer_area_size
+
+        if self.size == 0:
+            return []
+        duration_max = int(self.durations.max())
+        shift_max = int(self.time_flexibility.max())
+        width = duration_max + shift_max
+        # Beyond 2^21 columns a single offer's area (width × extent, extents
+        # bounded by 2·VALUE_LIMIT) could leave the exactly-representable
+        # int64 range, so those populations take the big-integer scalar loop
+        # alongside the dense-matrix memory cap.
+        if self.size * width > DENSE_CELL_LIMIT or width > (1 << 21):
+            return [flexoffer_area_size(flex_offer) for flex_offer in self.offers]
+        # Per-offer padded profile of the column contributions: the padding
+        # value 0 is neutral (an uncovered column spans no cells either way).
+        high_pad = np.zeros((self.size, duration_max), dtype=_INT64)
+        low_pad = np.zeros((self.size, duration_max), dtype=_INT64)
+        high_pad[self.owner, self.within] = np.maximum(self.effective_amax, 0)
+        low_pad[self.owner, self.within] = np.minimum(self.effective_amin, 0)
+        extent_high = np.zeros((self.size, width), dtype=_INT64)
+        extent_low = np.zeros((self.size, width), dtype=_INT64)
+        time_flex = self.time_flexibility
+        for shift in range(shift_max + 1):
+            active = (time_flex >= shift)[:, None]
+            window_high = extent_high[:, shift : shift + duration_max]
+            np.maximum(window_high, high_pad, out=window_high, where=active)
+            window_low = extent_low[:, shift : shift + duration_max]
+            np.minimum(window_low, low_pad, out=window_low, where=active)
+        return (extent_high.sum(axis=1) - extent_low.sum(axis=1)).tolist()
+
+    # ------------------------------------------------------------------ #
+    # Selection
+    # ------------------------------------------------------------------ #
+    def take(self, indices: Sequence[int]) -> "ProfileMatrix":
+        """A new matrix over the offers at ``indices`` (order preserved).
+
+        Used when a measure supports only part of the population; rebuilt
+        from the retained offers — simple, and the subset case is rare
+        enough that cleverer packed gathering is not worth its surface.
+        """
+        return ProfileMatrix([self.offers[int(i)] for i in indices])
+
+    def profiles(self, packed: np.ndarray) -> list[tuple[int, ...]]:
+        """Split a packed per-slice array back into per-offer tuples."""
+        bounds = self.offsets.tolist()
+        values = packed.tolist()
+        return [
+            tuple(values[bounds[i] : bounds[i + 1]]) for i in range(self.size)
+        ]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProfileMatrix({self.size} offers, {int(self.offsets[-1])} slices)"

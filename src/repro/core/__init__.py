@@ -9,13 +9,21 @@ from .area import (
     GridCell,
     assignment_area,
     assignment_area_size,
+    batch_flexoffer_area_sizes,
     flexoffer_area,
     flexoffer_area_size,
     flexoffer_column_extents,
     series_area,
     union_area_size,
 )
-from .assignment import Assignment, assignment_violations, validate_assignment
+from .assignment import (
+    Assignment,
+    assignment_violations,
+    batch_assignment_feasibility,
+    batch_extreme_assignments,
+    batch_feasible_profiles,
+    validate_assignment,
+)
 from .enumeration import (
     count_assignments,
     count_assignments_constrained,
@@ -26,6 +34,7 @@ from .enumeration import (
 )
 from .errors import (
     AggregationError,
+    BackendError,
     DisaggregationError,
     FlexError,
     InvalidAssignmentError,
@@ -56,6 +65,9 @@ __all__ = [
     "Assignment",
     "assignment_violations",
     "validate_assignment",
+    "batch_feasible_profiles",
+    "batch_assignment_feasibility",
+    "batch_extreme_assignments",
     # enumeration
     "count_assignments",
     "count_assignments_constrained",
@@ -71,6 +83,7 @@ __all__ = [
     "flexoffer_area",
     "flexoffer_area_size",
     "flexoffer_column_extents",
+    "batch_flexoffer_area_sizes",
     "union_area_size",
     # errors
     "FlexError",
@@ -80,6 +93,7 @@ __all__ = [
     "InvalidTimeSeriesError",
     "MeasureError",
     "UnsupportedFlexOfferError",
+    "BackendError",
     "AggregationError",
     "DisaggregationError",
     "SchedulingError",

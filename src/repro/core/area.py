@@ -34,6 +34,7 @@ __all__ = [
     "flexoffer_area",
     "flexoffer_area_size",
     "flexoffer_column_extents",
+    "batch_flexoffer_area_sizes",
 ]
 
 #: A grid cell identified by its lower-left corner ``(time, energy)``.
@@ -110,6 +111,17 @@ def flexoffer_area_size(flex_offer: FlexOffer) -> int:
     return sum(
         high - low for low, high in flexoffer_column_extents(flex_offer).values()
     )
+
+
+def batch_flexoffer_area_sizes(matrix) -> list[int]:
+    """Union-of-areas sizes for a whole packed population at once.
+
+    Vectorized counterpart of :func:`flexoffer_area_size` over a
+    :class:`repro.backend.ProfileMatrix`; the kernel itself lives with the
+    packed representation (:attr:`ProfileMatrix.area_sizes`, cached there)
+    so this dependency-free module stays importable without NumPy.
+    """
+    return matrix.area_sizes
 
 
 def flexoffer_area(flex_offer: FlexOffer) -> set[GridCell]:

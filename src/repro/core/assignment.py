@@ -17,7 +17,14 @@ from .errors import InvalidAssignmentError
 from .flexoffer import FlexOffer
 from .timeseries import TimeSeries
 
-__all__ = ["Assignment", "validate_assignment", "assignment_violations"]
+__all__ = [
+    "Assignment",
+    "validate_assignment",
+    "assignment_violations",
+    "batch_feasible_profiles",
+    "batch_assignment_feasibility",
+    "batch_extreme_assignments",
+]
 
 
 def assignment_violations(
@@ -181,6 +188,67 @@ class Assignment:
             f"Assignment{label}(start={self.start_time}, "
             f"values={list(self.values)}, total={self.total_energy})"
         )
+
+
+def batch_feasible_profiles(
+    flex_offers: Sequence[FlexOffer], target: str = "min"
+) -> list[tuple[int, ...]]:
+    """Extreme feasible profiles for a whole population at once.
+
+    ``target="min"`` returns each offer's minimal-total profile (the values
+    of :meth:`Assignment.earliest_minimum`), ``"max"`` the maximal-total
+    profile (:meth:`Assignment.latest_maximum`).  Dispatches to the active
+    compute backend, so the NumPy backend evaluates the greedy top-up /
+    trim-down for every offer in a handful of array operations.
+    """
+    from ..backend.dispatch import get_backend
+
+    if target not in ("min", "max"):
+        raise ValueError(f"unknown target {target!r}")
+    return get_backend().feasible_profiles(list(flex_offers), target)
+
+
+def batch_assignment_feasibility(
+    flex_offers: Sequence[FlexOffer],
+    starts: Sequence[int],
+    values: Sequence[Sequence[int]],
+) -> list[bool]:
+    """Definition 2 validity of one candidate assignment per flex-offer.
+
+    Equivalent to ``[not assignment_violations(f, s, v) for ...]`` but
+    evaluated through the active compute backend — the bulk form schedulers
+    and market clearing use to screen candidate schedules.
+    """
+    from ..backend.dispatch import get_backend
+
+    flex_offers = list(flex_offers)
+    if not len(flex_offers) == len(starts) == len(values):
+        raise InvalidAssignmentError(
+            f"mismatched batch lengths: {len(flex_offers)} flex-offers, "
+            f"{len(starts)} start times, {len(values)} profiles"
+        )
+    return get_backend().assignment_feasibility(flex_offers, starts, values)
+
+
+def batch_extreme_assignments(
+    flex_offers: Sequence[FlexOffer],
+) -> list[tuple["Assignment", "Assignment"]]:
+    """The (earliest-minimum, latest-maximum) assignment pair per offer.
+
+    The two extreme members of ``L(f)`` for every offer, with the profile
+    arithmetic done in bulk by the active backend; only the final
+    :class:`Assignment` construction (validation included) stays per-object.
+    """
+    flex_offers = list(flex_offers)
+    minima = batch_feasible_profiles(flex_offers, "min")
+    maxima = batch_feasible_profiles(flex_offers, "max")
+    return [
+        (
+            Assignment(flex_offer, flex_offer.earliest_start, low),
+            Assignment(flex_offer, flex_offer.latest_start, high),
+        )
+        for flex_offer, low, high in zip(flex_offers, minima, maxima)
+    ]
 
 
 def _feasible_profile(flex_offer: FlexOffer, target: str) -> tuple[int, ...]:

@@ -15,6 +15,7 @@ __all__ = [
     "InvalidTimeSeriesError",
     "MeasureError",
     "UnsupportedFlexOfferError",
+    "BackendError",
     "AggregationError",
     "DisaggregationError",
     "SchedulingError",
@@ -64,6 +65,14 @@ class UnsupportedFlexOfferError(MeasureError, TypeError):
     The canonical example is applying the absolute or relative area-based
     flexibility measure to a *mixed* flex-offer (Section 4 of the paper)
     without explicitly opting in to the Example 15 convention.
+    """
+
+
+class BackendError(FlexError, ValueError):
+    """A compute backend is unknown, unavailable or misconfigured.
+
+    Raised by :mod:`repro.backend` when a backend name does not resolve —
+    e.g. ``REPRO_BACKEND=numpy`` in an environment without NumPy installed.
     """
 
 

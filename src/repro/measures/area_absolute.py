@@ -22,10 +22,11 @@ Section 4 of the paper restricts the measure by sign class:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from enum import Enum
 from typing import ClassVar, Union
 
-from ..core.area import flexoffer_area_size
+from ..core.area import batch_flexoffer_area_sizes, flexoffer_area_size
 from ..core.errors import UnsupportedFlexOfferError
 from ..core.flexoffer import FlexOffer, FlexOfferKind
 from .base import FlexibilityMeasure, MeasureCharacteristics, register_measure
@@ -67,11 +68,7 @@ def inflexible_area_baseline(
         return flex_offer.cmin
     if mixed_policy is MixedPolicy.RAW_AREA:
         return 0
-    raise UnsupportedFlexOfferError(
-        "the absolute area-based flexibility measure is not defined for mixed "
-        "flex-offers (Section 4 of the paper); pass "
-        "mixed_policy=MixedPolicy.PAPER_EXAMPLE to apply the Example 15 convention"
-    )
+    raise _mixed_unsupported_error("absolute area-based")
 
 
 def absolute_area_flexibility(
@@ -90,6 +87,81 @@ def absolute_area_flexibility(
     policy = MixedPolicy(mixed_policy)
     area = flexoffer_area_size(flex_offer)
     return area - inflexible_area_baseline(flex_offer, policy)
+
+
+def _mixed_unsupported_error(
+    measure_name: str, offenders: Sequence[str] = ()
+) -> UnsupportedFlexOfferError:
+    """The (single) 'not defined for mixed flex-offers' error of Section 4."""
+    detail = (
+        f"; offending members: {', '.join(offenders)}" if offenders else ""
+    )
+    return UnsupportedFlexOfferError(
+        f"the {measure_name} flexibility measure is not defined for mixed "
+        f"flex-offers (Section 4 of the paper){detail} — pass "
+        "mixed_policy=MixedPolicy.PAPER_EXAMPLE to apply the Example 15 "
+        "convention"
+    )
+
+
+def _validate_set_signs(
+    flex_offers: Sequence[FlexOffer], mixed_policy: MixedPolicy, measure_name: str
+) -> None:
+    """Reject a set containing mixed flex-offers before any evaluation.
+
+    Evaluating a set lazily raises only once the first mixed member is
+    *reached*, by which point part of the set (and, for iterator callers,
+    part of the input stream) has already been consumed — so the area-based
+    measures validate the whole set up front via this helper.
+    """
+    if mixed_policy is not MixedPolicy.FORBID:
+        return
+    offenders = [
+        flex_offer.name or f"#{index}"
+        for index, flex_offer in enumerate(flex_offers)
+        if flex_offer.is_mixed
+    ]
+    if offenders:
+        raise _mixed_unsupported_error(measure_name, offenders)
+
+
+def _batch_absolute_values(
+    matrix: object,
+    mixed_policy: MixedPolicy,
+    measure_name: str = "absolute area-based",
+) -> list[int]:
+    """Vectorized Definition 10 values (exact integers) for a population.
+
+    Shared by the absolute and relative area measures' ``batch_values``
+    hooks; raises exactly like the scalar path when the population contains
+    mixed flex-offers under the forbidding policy.
+    """
+    import numpy as np
+
+    if matrix.size == 0:
+        return []
+    mixed = matrix.is_mixed
+    if mixed_policy is MixedPolicy.FORBID and bool(mixed.any()):
+        offenders = [
+            flex_offer.name or f"#{index}"
+            for index, flex_offer in enumerate(matrix.offers)
+            if mixed[index]
+        ]
+        raise _mixed_unsupported_error(measure_name, offenders)
+    mixed_baseline = (
+        matrix.cmin if mixed_policy is not MixedPolicy.RAW_AREA else np.zeros_like(matrix.cmin)
+    )
+    baseline = np.where(
+        matrix.is_consumption,
+        matrix.cmin,
+        np.where(matrix.is_production, np.abs(matrix.cmax), mixed_baseline),
+    )
+    # Python-int subtraction on purpose: the scalar fallback inside
+    # ``area_sizes`` may return areas beyond int64 (big integers), which the
+    # reference path handles exactly — packing them back into an array would
+    # raise OverflowError instead of matching it.
+    areas = batch_flexoffer_area_sizes(matrix)
+    return [area - base for area, base in zip(areas, baseline.tolist())]
 
 
 @register_measure
@@ -124,6 +196,15 @@ class AbsoluteAreaFlexibility(FlexibilityMeasure):
 
     def value(self, flex_offer: FlexOffer) -> float:
         return float(absolute_area_flexibility(flex_offer, self.mixed_policy))
+
+    def batch_values(self, matrix: object) -> list[float]:
+        return [
+            float(value)
+            for value in _batch_absolute_values(matrix, self.mixed_policy)
+        ]
+
+    def validate_set(self, flex_offers: Sequence[FlexOffer]) -> None:
+        _validate_set_signs(flex_offers, self.mixed_policy, "absolute area-based")
 
     def describe(self) -> dict[str, object]:
         description = super().describe()

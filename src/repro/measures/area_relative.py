@@ -18,11 +18,17 @@ which is what :meth:`RelativeAreaFlexibility.set_value` does.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from typing import ClassVar, Union
 
 from ..core.errors import MeasureError
 from ..core.flexoffer import FlexOffer
-from .area_absolute import MixedPolicy, absolute_area_flexibility
+from .area_absolute import (
+    MixedPolicy,
+    _batch_absolute_values,
+    _validate_set_signs,
+    absolute_area_flexibility,
+)
 from .base import (
     FlexibilityMeasure,
     MeasureCharacteristics,
@@ -93,6 +99,32 @@ class RelativeAreaFlexibility(FlexibilityMeasure):
 
     def value(self, flex_offer: FlexOffer) -> float:
         return relative_area_flexibility(flex_offer, self.mixed_policy)
+
+    def batch_values(self, matrix: object) -> list[float]:
+        if matrix.size == 0:
+            return []
+        denominators = (abs(matrix.cmin) + abs(matrix.cmax)).tolist()
+        forbid = self.mixed_policy is MixedPolicy.FORBID
+        for offer, denominator, is_mixed in zip(
+            matrix.offers, denominators, matrix.is_mixed.tolist()
+        ):
+            if denominator == 0 or (forbid and is_mixed):
+                # Delegate to the scalar function so the *first* offending
+                # offer (in population order) raises exactly the reference
+                # path's exception class and message.
+                relative_area_flexibility(offer, self.mixed_policy)
+                raise AssertionError("scalar path accepted a rejected offer")
+        absolute = _batch_absolute_values(
+            matrix, self.mixed_policy, "relative area-based"
+        )
+        # Same float expression as the scalar path: 2.0 * int / int.
+        return [
+            2.0 * value / denominator
+            for value, denominator in zip(absolute, denominators)
+        ]
+
+    def validate_set(self, flex_offers: Sequence[FlexOffer]) -> None:
+        _validate_set_signs(flex_offers, self.mixed_policy, "relative area-based")
 
     def describe(self) -> dict[str, object]:
         description = super().describe()

@@ -116,6 +116,28 @@ class AssignmentFlexibility(FlexibilityMeasure):
             return log_assignment_flexibility(flex_offer)
         return float(count_assignments(flex_offer))
 
+    def batch_values(self, matrix: object) -> list[float]:
+        import numpy as np
+
+        if self.respect_total_constraints or self.logarithmic:
+            # The constrained count is a per-offer dynamic program and the
+            # logarithmic variant a guarded log-sum; both stay scalar.
+            return super().batch_values(matrix)
+        if matrix.size == 0:
+            return []
+        counts = matrix.amax - matrix.amin + 1
+        start_choices = matrix.time_flexibility + 1
+        # Definition 8 counts explode combinatorially; beyond 2^52 the int64
+        # product (and its float64 image) would stop being exact, so those
+        # populations fall back to the scalar path's Python big integers.
+        log2_total = matrix._reduce(
+            np.add, np.log2(counts.astype(np.float64))
+        ) + np.log2(start_choices.astype(np.float64))
+        if float(log2_total.max()) > 52.0:
+            return super().batch_values(matrix)
+        products = matrix._reduce(np.multiply, counts) * start_choices
+        return [float(count) for count in products.tolist()]
+
     def combine_values(self, values: Sequence[float]) -> float:
         """Joint assignment count of the set (product; log-sum when logarithmic)."""
         if not values:

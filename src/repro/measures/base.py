@@ -127,15 +127,42 @@ class FlexibilityMeasure(abc.ABC):
             return float(sum(values) / len(values))
         return float(sum(values))
 
+    def batch_values(self, matrix: object) -> list[float]:
+        """Per-offer values over a packed population (vectorization hook).
+
+        ``matrix`` is a :class:`repro.backend.ProfileMatrix`; the NumPy
+        compute backend calls this hook so measures can vectorize their
+        arithmetic over the packed ``(amin, amax)`` arrays.  The default
+        falls back to the scalar :meth:`value` loop, so the registry keeps
+        working for any measure that does not opt in.  Overrides must return
+        exactly what the scalar loop would (same values, same exception
+        family on bad inputs) — the conformance suite enforces this.
+        """
+        return [self.value(flex_offer) for flex_offer in matrix.offers]
+
+    def validate_set(self, flex_offers: Sequence[FlexOffer]) -> None:
+        """Hook: reject a whole set *before* any member is evaluated.
+
+        Called by :meth:`set_value` on the fully materialised set so that
+        measures which cannot evaluate certain members (the area-based
+        measures on mixed flex-offers) fail up front instead of mid-
+        iteration, after part of the work is already done.  The default
+        accepts everything.
+        """
+
     def set_value(self, flex_offers: Iterable[FlexOffer]) -> float:
         """The flexibility of a *set* of flex-offers.
 
-        Evaluates every flex-offer with :meth:`value` and combines the
-        results with :meth:`combine_values`.
+        The set is materialised and validated up front (so a caller's
+        iterator is never left half-consumed by a mid-iteration failure),
+        then evaluated through the active compute backend — per-offer values
+        combined with :meth:`combine_values`.
         """
-        return self.combine_values(
-            [self.value(flex_offer) for flex_offer in flex_offers]
-        )
+        from ..backend.dispatch import get_backend
+
+        flex_offers = list(flex_offers)
+        self.validate_set(flex_offers)
+        return get_backend().measure_set_value(self, flex_offers)
 
     def __call__(self, flex_offer: FlexOffer) -> float:
         return self.value(flex_offer)

@@ -120,6 +120,19 @@ class WeightedFlexibility(FlexibilityMeasure):
     def value(self, flex_offer: FlexOffer) -> float:
         return sum(weight * measure.value(flex_offer) for measure, weight in self.terms)
 
+    def batch_values(self, matrix: object) -> list[float]:
+        # Accumulate component batches in term order, mirroring the scalar
+        # sum's left fold so the floating-point result is identical.
+        totals = [0.0] * matrix.size
+        for measure, weight in self.terms:
+            for index, value in enumerate(measure.batch_values(matrix)):
+                totals[index] += weight * value
+        return totals
+
+    def validate_set(self, flex_offers) -> None:
+        for measure, _ in self.terms:
+            measure.validate_set(flex_offers)
+
     def components(self) -> tuple[MeasureWeight, ...]:
         """The ``(measure, weight)`` terms of the combination."""
         return self.terms

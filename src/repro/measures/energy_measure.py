@@ -39,6 +39,9 @@ class EnergyFlexibility(FlexibilityMeasure):
     def value(self, flex_offer: FlexOffer) -> float:
         return float(flex_offer.energy_flexibility)
 
+    def batch_values(self, matrix: object) -> list[float]:
+        return [float(value) for value in matrix.energy_flexibility.tolist()]
+
 
 def energy_flexibility(flex_offer: FlexOffer) -> int:
     """Convenience function returning ``ef(f)`` as an exact integer."""

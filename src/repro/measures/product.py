@@ -41,6 +41,10 @@ class ProductFlexibility(FlexibilityMeasure):
     def value(self, flex_offer: FlexOffer) -> float:
         return float(flex_offer.time_flexibility * flex_offer.energy_flexibility)
 
+    def batch_values(self, matrix: object) -> list[float]:
+        products = matrix.time_flexibility * matrix.energy_flexibility
+        return [float(value) for value in products.tolist()]
+
 
 def product_flexibility(flex_offer: FlexOffer) -> int:
     """Convenience function returning ``tf(f) · ef(f)`` as an exact integer."""

@@ -78,6 +78,37 @@ class SeriesFlexibility(FlexibilityMeasure):
     def value(self, flex_offer: FlexOffer) -> float:
         return series_flexibility(flex_offer, self.norm_order)
 
+    def batch_values(self, matrix: object) -> list[float]:
+        import math
+
+        import numpy as np
+
+        from ..backend.matrix import DENSE_CELL_LIMIT
+
+        if matrix.size == 0:
+            return []
+        shift = matrix.time_flexibility  # tls − tes: offset of f_a^max vs f_a^min
+        width = int((shift + matrix.durations).max())
+        if matrix.size * width > DENSE_CELL_LIMIT:
+            # A pathological offer (huge time flexibility) would blow up the
+            # padded difference matrix; evaluate those populations scalar.
+            return super().batch_values(matrix)
+        # Padded difference series relative to each offer's earliest start:
+        # the maximum assignment scattered at +shift minus the minimum
+        # assignment at 0, zero-filled elsewhere (Example 5's convention).
+        rows = matrix.owner
+        maximum = np.zeros((matrix.size, width), dtype=np.int64)
+        minimum = np.zeros((matrix.size, width), dtype=np.int64)
+        maximum[rows, matrix.within + shift[rows]] = matrix.amax
+        minimum[rows, matrix.within] = matrix.amin
+        difference = np.abs(maximum - minimum)
+        if self.norm_order == math.inf:
+            return [float(value) for value in difference.max(axis=1).tolist()]
+        powered = difference.astype(np.float64) ** self.norm_order
+        totals = powered.sum(axis=1)
+        # The final root on Python floats, mirroring lp_norm's last step.
+        return [total ** (1.0 / self.norm_order) for total in totals.tolist()]
+
     def difference(self, flex_offer: FlexOffer) -> TimeSeries:
         """The underlying difference series before the norm is applied."""
         return series_difference(flex_offer)

@@ -99,16 +99,13 @@ def evaluate_set(
         When ``True`` (default) measures that do not support the set's sign
         classes are recorded in ``skipped`` instead of raising.
     """
+    from ..backend.dispatch import get_backend
+
     flex_offers = list(flex_offers)
     resolved = resolve_measures(measures)
-    values: dict[str, float] = {}
-    skipped: list[str] = []
-    for measure in resolved:
-        supported = all(measure.supports(flex_offer) for flex_offer in flex_offers)
-        if not supported and skip_unsupported:
-            skipped.append(measure.key)
-            continue
-        values[measure.key] = measure.set_value(flex_offers)
+    values, skipped = get_backend().evaluate_population(
+        resolved, flex_offers, skip_unsupported
+    )
     return FlexibilitySetReport(len(flex_offers), values, tuple(skipped))
 
 

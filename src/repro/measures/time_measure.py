@@ -37,6 +37,9 @@ class TimeFlexibility(FlexibilityMeasure):
     def value(self, flex_offer: FlexOffer) -> float:
         return float(flex_offer.time_flexibility)
 
+    def batch_values(self, matrix: object) -> list[float]:
+        return [float(value) for value in matrix.time_flexibility.tolist()]
+
 
 def time_flexibility(flex_offer: FlexOffer) -> int:
     """Convenience function returning ``tf(f)`` as an exact integer."""

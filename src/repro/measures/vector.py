@@ -66,6 +66,25 @@ class VectorFlexibility(FlexibilityMeasure):
     def value(self, flex_offer: FlexOffer) -> float:
         return vector_norm(vector_flexibility(flex_offer), self.norm_order)
 
+    def batch_values(self, matrix: object) -> list[float]:
+        import math
+
+        import numpy as np
+
+        time_flex = matrix.time_flexibility  # non-negative by construction
+        energy_flex = matrix.energy_flexibility
+        if self.norm_order == math.inf:
+            return [
+                float(value)
+                for value in np.maximum(time_flex, energy_flex).tolist()
+            ]
+        order = self.norm_order
+        powered = time_flex.astype(np.float64) ** order + energy_flex.astype(
+            np.float64
+        ) ** order
+        # The final root on Python floats, mirroring lp_norm's last step.
+        return [total ** (1.0 / order) for total in powered.tolist()]
+
     def components(self, flex_offer: FlexOffer) -> tuple[int, int]:
         """The underlying ``⟨tf, ef⟩`` vector before applying the norm."""
         return vector_flexibility(flex_offer)

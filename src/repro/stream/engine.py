@@ -27,7 +27,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from ..aggregation.alignment import aggregate_start_aligned
 from ..aggregation.base import AggregatedFlexOffer
@@ -197,23 +197,58 @@ class StreamingEngine:
             self.apply(event)
         return self
 
-    def _apply_arrival(self, event: OfferArrived) -> None:
+    def bulk_arrive(
+        self,
+        arrivals: Iterable[Union[OfferArrived, tuple[str, FlexOffer]]],
+    ) -> "StreamingEngine":
+        """Ingest many arrivals at once, batching the measure evaluation.
+
+        Per-offer measure values — the only O(measures × profile) work of an
+        arrival — are computed for the whole batch through the active
+        compute backend (one vectorized pass under the NumPy backend) before
+        the offers are inserted one by one, so the resulting engine state is
+        exactly what the same arrivals applied individually would produce.
+        Accepts :class:`OfferArrived` events or ``(offer_id, flex_offer)``
+        pairs; returns ``self`` for chaining.
+        """
+        from ..backend.dispatch import get_backend
+
+        events = [
+            arrival
+            if isinstance(arrival, OfferArrived)
+            else OfferArrived(arrival[0], arrival[1])
+            for arrival in arrivals
+        ]
+        batched = get_backend().per_offer_values(
+            self.measures, [event.flex_offer for event in events]
+        )
+        for event, cached in zip(events, batched):
+            self._apply_arrival(event, cached=cached)
+            self.stats.events += 1
+        return self
+
+    def _apply_arrival(
+        self, event: OfferArrived, cached: Optional[dict[str, float]] = None
+    ) -> None:
         flex_offer = event.flex_offer
         cell = self._index.insert(event.offer_id, flex_offer)
         aggregate = self._aggregates.get(cell)
         if aggregate is None:
             aggregate = self._aggregates[cell] = IncrementalAggregate()
         aggregate.add(event.offer_id, flex_offer)
-        cached: dict[str, float] = {}
-        unsupported: list[str] = []
-        for measure in self.measures:
-            if measure.supports(flex_offer):
-                cached[measure.key] = measure.value(flex_offer)
-            else:
-                unsupported.append(measure.key)
-                self._unsupported_counts[measure.key] += 1
+        if cached is None:
+            cached = {
+                measure.key: measure.value(flex_offer)
+                for measure in self.measures
+                if measure.supports(flex_offer)
+            }
+        unsupported = tuple(
+            measure.key for measure in self.measures if measure.key not in cached
+        )
+        for key in unsupported:
+            self._unsupported_counts[key] += 1
         self._values[event.offer_id] = cached
-        self._unsupported[event.offer_id] = tuple(unsupported)
+        self._unsupported[event.offer_id] = unsupported
         if self.auto_expire:
             heapq.heappush(
                 self._deadlines, (flex_offer.latest_start, event.offer_id)

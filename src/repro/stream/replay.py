@@ -146,13 +146,21 @@ def market_events(
 def replay_population(
     flex_offers: Sequence[FlexOffer],
     engine: Optional[StreamingEngine] = None,
+    bulk: bool = False,
     **engine_kwargs: object,
 ) -> StreamingEngine:
     """Stream a batch population through an engine and return it.
 
     ``engine_kwargs`` are forwarded to :class:`StreamingEngine` when no
-    engine is given (``parameters=...``, ``measures=...``, ...).
+    engine is given (``parameters=...``, ``measures=...``, ...).  With
+    ``bulk=True`` the arrivals are ingested through
+    :meth:`StreamingEngine.bulk_arrive`, batching the per-offer measure
+    evaluation through the active compute backend — same final state, one
+    vectorized pass instead of per-event measure loops.
     """
     if engine is None:
         engine = StreamingEngine(**engine_kwargs)  # type: ignore[arg-type]
-    return engine.replay(population_events(flex_offers))
+    events = population_events(flex_offers)
+    if bulk:
+        return engine.bulk_arrive(events)
+    return engine.replay(events)

@@ -1,0 +1,147 @@
+"""Golden-fixture regression: measure values must stay byte-stable.
+
+``tests/fixtures/`` holds serialized flex-offer sets — the paper's worked
+examples and one seeded 100-offer device population — together with every
+registered measure's value on each offer, exactly as computed by the
+reference backend at the time the fixture was written.  The tests recompute
+each value on **both** backends and require exact equality with the stored
+JSON numbers (floats round-trip losslessly through JSON), so
+
+* a PR that drifts any measure's semantics fails loudly, and
+* the NumPy backend is pinned to the recorded reference values, not merely
+  to whatever the reference produces today.
+
+Offers a measure rejects are recorded as ``{"__error__": <class name>}``
+and the same exception class must still be raised.
+
+Regenerate (only after an *intentional* semantics change) with::
+
+    PYTHONPATH=src python tests/backend/test_golden_fixtures.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.backend import NUMPY_AVAILABLE, available_backends, get_backend, use_backend
+from repro.core import MeasureError
+from repro.io import flexoffer_from_dict, flexoffer_to_dict
+from repro.measures import get_measure, measure_keys
+from repro.workloads import all_paper_flexoffers
+from repro.workloads.generator import PopulationSpec, generate_population
+
+FIXTURE_DIR = Path(__file__).resolve().parent.parent / "fixtures"
+FIXTURES = ["paper_examples.json", "random_population_100.json"]
+
+#: The seeded population behind ``random_population_100.json``.
+RANDOM_SPEC = PopulationSpec(
+    counts={
+        "ev": 25,
+        "heat_pump": 15,
+        "dishwasher": 15,
+        "washing_machine": 10,
+        "refrigerator": 10,
+        "solar": 10,
+        "wind": 5,
+        "v2g": 10,
+    },
+    seed=2026,
+    horizon=48,
+)
+
+
+def _fixture_offers(name: str):
+    if name == "paper_examples.json":
+        return list(all_paper_flexoffers().items())
+    population = generate_population(RANDOM_SPEC)
+    assert len(population) == 100
+    return [(f"random-{index:03d}", offer) for index, offer in enumerate(population)]
+
+
+def _evaluate(measure, flex_offer):
+    # Through the *active backend's* bulk entry point, not measure.value():
+    # per-object entry points never dispatch, so only this route actually
+    # pins the NumPy batch implementations to the recorded values.
+    try:
+        return get_backend().measure_values(measure, [flex_offer])[0]
+    except MeasureError as error:
+        return {"__error__": type(error).__name__}
+
+
+def build_fixture(name: str) -> dict:
+    """The fixture payload for one offer set (reference-backend values)."""
+    keys = sorted(measure_keys())
+    entries = []
+    with use_backend("reference"):
+        for offer_id, flex_offer in _fixture_offers(name):
+            entries.append(
+                {
+                    "id": offer_id,
+                    "offer": flexoffer_to_dict(flex_offer),
+                    "values": {
+                        key: _evaluate(get_measure(key), flex_offer) for key in keys
+                    },
+                }
+            )
+    return {"measures": keys, "offers": entries}
+
+
+def _load(name: str) -> dict:
+    return json.loads((FIXTURE_DIR / name).read_text())
+
+
+@pytest.mark.parametrize("name", FIXTURES)
+def test_fixture_offers_round_trip_and_match_their_source(name):
+    """The serialized offers still deserialize to the generating objects."""
+    stored = _load(name)
+    generated = _fixture_offers(name)
+    assert [entry["id"] for entry in stored["offers"]] == [
+        offer_id for offer_id, _ in generated
+    ]
+    for entry, (_, flex_offer) in zip(stored["offers"], generated):
+        assert flexoffer_from_dict(entry["offer"]) == flex_offer
+
+
+@pytest.mark.parametrize("name", FIXTURES)
+@pytest.mark.parametrize(
+    "backend",
+    ["reference", pytest.param("numpy", marks=pytest.mark.skipif(
+        not NUMPY_AVAILABLE, reason="NumPy backend not available"))],
+)
+def test_measure_values_are_byte_stable(name, backend):
+    """Every stored value is reproduced exactly by every backend."""
+    assert backend in available_backends()
+    stored = _load(name)
+    keys = stored["measures"]
+    assert keys == sorted(measure_keys()), "measure registry changed"
+    with use_backend(backend):
+        for entry in stored["offers"]:
+            flex_offer = flexoffer_from_dict(entry["offer"])
+            for key in keys:
+                expected = entry["values"][key]
+                actual = _evaluate(get_measure(key), flex_offer)
+                # Exact equality on purpose: floats survive the JSON round
+                # trip bit-for-bit, so any difference is a semantic drift.
+                assert actual == expected, (entry["id"], key, actual, expected)
+
+
+def test_fixture_files_are_in_sync_with_their_generators():
+    """Rebuilding the payload reproduces the committed JSON verbatim."""
+    for name in FIXTURES:
+        assert build_fixture(name) == _load(name), (
+            f"{name} is stale — regenerate with "
+            "`PYTHONPATH=src python tests/backend/test_golden_fixtures.py` "
+            "only if the change in measure semantics is intentional"
+        )
+
+
+if __name__ == "__main__":
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for fixture_name in FIXTURES:
+        payload = build_fixture(fixture_name)
+        path = FIXTURE_DIR / fixture_name
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path} ({len(payload['offers'])} offers)")

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import os
 import random
+import sys
 
 import pytest
+
+# Make the shared helper modules next to this conftest (``strategies.py``)
+# importable from every test package regardless of pytest's rootdir insertion.
+sys.path.insert(0, os.path.dirname(__file__))
 
 from repro.core import FlexOffer
 from repro.workloads import (

@@ -89,3 +89,43 @@ class TestRelativeArea:
     def test_describe_reports_policy(self):
         measure = RelativeAreaFlexibility(MixedPolicy.PAPER_EXAMPLE)
         assert measure.describe()["mixed_policy"] == "paper-example"
+
+
+class TestMixedSetValidation:
+    """Mixed flex-offers must be rejected *before* any set evaluation.
+
+    ``set_value`` used to raise only once the first mixed member was
+    reached, which left a caller's iterator half-consumed; the whole set is
+    now materialised and validated up front.
+    """
+
+    def _consuming_iterator(self, offers, consumed):
+        for offer in offers:
+            consumed.append(offer)
+            yield offer
+
+    @pytest.mark.parametrize(
+        "measure_cls", [AbsoluteAreaFlexibility, RelativeAreaFlexibility]
+    )
+    def test_mixed_set_rejected_up_front(self, measure_cls, fig5_f4, fig6_f5, fig7_f6):
+        offers = [fig5_f4, fig6_f5, fig7_f6]  # mixed offer last
+        consumed = []
+        with pytest.raises(UnsupportedFlexOfferError) as excinfo:
+            measure_cls().set_value(self._consuming_iterator(offers, consumed))
+        # The error names the offending member and no member was evaluated
+        # after a partial prefix: the input iterator was drained completely
+        # during up-front validation.
+        assert fig7_f6.name in str(excinfo.value)
+        assert consumed == offers
+
+    def test_paper_example_policy_still_evaluates_mixed_sets(self, fig5_f4, fig7_f6):
+        measure = AbsoluteAreaFlexibility(MixedPolicy.PAPER_EXAMPLE)
+        total = measure.set_value([fig5_f4, fig7_f6])
+        assert total == absolute_area_flexibility(
+            fig5_f4, MixedPolicy.PAPER_EXAMPLE
+        ) + absolute_area_flexibility(fig7_f6, MixedPolicy.PAPER_EXAMPLE)
+
+    def test_set_value_accepts_a_plain_iterator_when_valid(self, fig5_f4, fig6_f5):
+        assert AbsoluteAreaFlexibility().set_value(
+            iter([fig5_f4, fig6_f5])
+        ) == 16

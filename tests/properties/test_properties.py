@@ -11,14 +11,15 @@ from __future__ import annotations
 
 import math
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from strategies import consumption_flexoffers, small_flexoffers
 
 from repro.aggregation import aggregate_start_aligned, disaggregate
 from repro.core import (
     Assignment,
     DisaggregationError,
-    FlexOffer,
     TimeSeries,
     count_assignments,
     count_assignments_constrained,
@@ -38,40 +39,9 @@ from repro.measures import (
     vector_flexibility_norm,
 )
 
-# --------------------------------------------------------------------- #
-# Strategies
-# --------------------------------------------------------------------- #
-
-
-@st.composite
-def small_flexoffers(
-    draw, max_slices: int = 3, allow_negative: bool = True, tight_totals: bool = True
-):
-    """Small flex-offers whose assignment sets stay enumerable.
-
-    ``tight_totals=False`` keeps the total constraints at their defaults (the
-    profile sums), the classic flex-offer setting in which start-aligned
-    aggregation is exactly disaggregatable.
-    """
-    earliest = draw(st.integers(min_value=0, max_value=5))
-    time_flex = draw(st.integers(min_value=0, max_value=3))
-    slice_count = draw(st.integers(min_value=1, max_value=max_slices))
-    low = -3 if allow_negative else 0
-    slices = []
-    for _ in range(slice_count):
-        amin = draw(st.integers(min_value=low, max_value=3))
-        width = draw(st.integers(min_value=0, max_value=3))
-        slices.append((amin, amin + width))
-    if not tight_totals:
-        return FlexOffer(earliest, earliest + time_flex, slices)
-    profile_min = sum(s[0] for s in slices)
-    profile_max = sum(s[1] for s in slices)
-    cmin = draw(st.integers(min_value=profile_min, max_value=profile_max))
-    cmax = draw(st.integers(min_value=cmin, max_value=profile_max))
-    return FlexOffer(earliest, earliest + time_flex, slices, cmin, cmax)
-
-
-consumption_flexoffers = small_flexoffers(allow_negative=False)
+# Strategies are shared with the stream-property and backend-conformance
+# suites; see tests/strategies.py.
+pytestmark = pytest.mark.slow
 
 
 # --------------------------------------------------------------------- #

@@ -13,16 +13,12 @@ exercised across removal orders no hand-written test would pick.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from strategies import grouping_parameters, interleavings, stream_flexoffers
 
-from repro.aggregation import (
-    GroupingParameters,
-    aggregate_all,
-    aggregate_start_aligned,
-    group_by_grid,
-)
-from repro.core import FlexOffer
+from repro.aggregation import aggregate_all, aggregate_start_aligned, group_by_grid
 from repro.measures import evaluate_set
 from repro.stream import (
     IncrementalAggregate,
@@ -33,65 +29,9 @@ from repro.stream import (
 
 MEASURES = ["time", "energy", "product", "vector", "assignments"]
 
-
-@st.composite
-def stream_flexoffers(draw):
-    """Small flex-offers, mixed signs allowed, cheap enough to enumerate."""
-    earliest = draw(st.integers(min_value=0, max_value=6))
-    time_flex = draw(st.integers(min_value=0, max_value=4))
-    slice_count = draw(st.integers(min_value=1, max_value=3))
-    slices = []
-    for _ in range(slice_count):
-        low = draw(st.integers(min_value=-2, max_value=2))
-        high = draw(st.integers(min_value=low, max_value=low + 3))
-        slices.append((low, high))
-    return FlexOffer(earliest, earliest + time_flex, slices)
-
-
-@st.composite
-def interleavings(draw, min_offers=1, max_offers=8):
-    """A legal arrival/expiry interleaving plus its surviving offers.
-
-    Offers arrive in index order; a random subset expires, each expiry woven
-    in at a random position after its arrival.  Returns ``(events,
-    survivors)`` with survivors in arrival order — the batch reference.
-    """
-    offers = draw(
-        st.lists(stream_flexoffers(), min_size=min_offers, max_size=max_offers)
-    )
-    events = []
-    survivors = []
-    for index, flex_offer in enumerate(offers):
-        offer_id = f"f{index}"
-        events.append(OfferArrived(offer_id, flex_offer))
-        if draw(st.booleans()):
-            # Weave the expiry in at a random later position.
-            position = draw(st.integers(min_value=len(events), max_value=len(events)))
-            events.insert(position, OfferExpired(offer_id))
-        else:
-            survivors.append(flex_offer)
-    # Shuffle expiries backwards while keeping them after their arrivals.
-    for position in range(len(events)):
-        event = events[position]
-        if isinstance(event, OfferExpired):
-            arrival = next(
-                index
-                for index, candidate in enumerate(events)
-                if isinstance(candidate, OfferArrived)
-                and candidate.offer_id == event.offer_id
-            )
-            target = draw(st.integers(min_value=arrival + 1, max_value=position))
-            events.insert(target, events.pop(position))
-    return events, survivors
-
-
-@st.composite
-def grouping_parameters(draw):
-    return GroupingParameters(
-        earliest_start_tolerance=draw(st.integers(min_value=1, max_value=4)),
-        time_flexibility_tolerance=draw(st.integers(min_value=1, max_value=4)),
-        max_group_size=draw(st.integers(min_value=0, max_value=3)),
-    )
+# Strategies are shared with the core-property and backend-conformance
+# suites; see tests/strategies.py.
+pytestmark = pytest.mark.slow
 
 
 @settings(max_examples=60, deadline=None)

@@ -1,0 +1,128 @@
+"""Shared hypothesis strategies for flex-offer properties.
+
+One home for the offer/population/interleaving generators that the property
+suites (``tests/properties/``) and the backend conformance suite
+(``tests/backend/``) all draw from — previously duplicated per test module.
+Everything generated here is *valid by construction* (slices ordered, totals
+inside the profile sums) and small enough that exponential reference
+computations (explicit assignment enumeration) stay tractable.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.aggregation import GroupingParameters
+from repro.core import FlexOffer
+from repro.stream import OfferArrived, OfferExpired
+
+
+@st.composite
+def small_flexoffers(
+    draw,
+    max_slices: int = 3,
+    allow_negative: bool = True,
+    tight_totals: bool = True,
+    max_earliest: int = 5,
+    max_time_flex: int = 3,
+    max_width: int = 3,
+):
+    """Small flex-offers whose assignment sets stay enumerable.
+
+    ``tight_totals=False`` keeps the total constraints at their defaults (the
+    profile sums), the classic flex-offer setting in which start-aligned
+    aggregation is exactly disaggregatable.  ``allow_negative`` controls
+    whether production / mixed slices may appear.
+    """
+    earliest = draw(st.integers(min_value=0, max_value=max_earliest))
+    time_flex = draw(st.integers(min_value=0, max_value=max_time_flex))
+    slice_count = draw(st.integers(min_value=1, max_value=max_slices))
+    low = -3 if allow_negative else 0
+    slices = []
+    for _ in range(slice_count):
+        amin = draw(st.integers(min_value=low, max_value=3))
+        width = draw(st.integers(min_value=0, max_value=max_width))
+        slices.append((amin, amin + width))
+    if not tight_totals:
+        return FlexOffer(earliest, earliest + time_flex, slices)
+    profile_min = sum(s[0] for s in slices)
+    profile_max = sum(s[1] for s in slices)
+    cmin = draw(st.integers(min_value=profile_min, max_value=profile_max))
+    cmax = draw(st.integers(min_value=cmin, max_value=profile_max))
+    return FlexOffer(earliest, earliest + time_flex, slices, cmin, cmax)
+
+
+#: Pure consumption flex-offers (the area measures' natural domain).
+consumption_flexoffers = small_flexoffers(allow_negative=False)
+
+
+@st.composite
+def stream_flexoffers(draw):
+    """Small flex-offers, mixed signs allowed, cheap enough to enumerate.
+
+    The streaming suite's historical shape: slightly wider time axis than
+    :func:`small_flexoffers`, totals always at their profile-sum defaults.
+    """
+    earliest = draw(st.integers(min_value=0, max_value=6))
+    time_flex = draw(st.integers(min_value=0, max_value=4))
+    slice_count = draw(st.integers(min_value=1, max_value=3))
+    slices = []
+    for _ in range(slice_count):
+        low = draw(st.integers(min_value=-2, max_value=2))
+        high = draw(st.integers(min_value=low, max_value=low + 3))
+        slices.append((low, high))
+    return FlexOffer(earliest, earliest + time_flex, slices)
+
+
+def populations(min_size: int = 0, max_size: int = 12, **offer_kwargs):
+    """Lists of small flex-offers — ragged profiles, mixed signs by default."""
+    return st.lists(
+        small_flexoffers(**offer_kwargs), min_size=min_size, max_size=max_size
+    )
+
+
+@st.composite
+def interleavings(draw, min_offers=1, max_offers=8):
+    """A legal arrival/expiry interleaving plus its surviving offers.
+
+    Offers arrive in index order; a random subset expires, each expiry woven
+    in at a random position after its arrival.  Returns ``(events,
+    survivors)`` with survivors in arrival order — the batch reference.
+    """
+    offers = draw(
+        st.lists(stream_flexoffers(), min_size=min_offers, max_size=max_offers)
+    )
+    events = []
+    survivors = []
+    for index, flex_offer in enumerate(offers):
+        offer_id = f"f{index}"
+        events.append(OfferArrived(offer_id, flex_offer))
+        if draw(st.booleans()):
+            # Weave the expiry in at a random later position.
+            position = draw(st.integers(min_value=len(events), max_value=len(events)))
+            events.insert(position, OfferExpired(offer_id))
+        else:
+            survivors.append(flex_offer)
+    # Shuffle expiries backwards while keeping them after their arrivals.
+    for position in range(len(events)):
+        event = events[position]
+        if isinstance(event, OfferExpired):
+            arrival = next(
+                index
+                for index, candidate in enumerate(events)
+                if isinstance(candidate, OfferArrived)
+                and candidate.offer_id == event.offer_id
+            )
+            target = draw(st.integers(min_value=arrival + 1, max_value=position))
+            events.insert(target, events.pop(position))
+    return events, survivors
+
+
+@st.composite
+def grouping_parameters(draw):
+    """Random (but valid) grid-grouping tolerances, chunking included."""
+    return GroupingParameters(
+        earliest_start_tolerance=draw(st.integers(min_value=1, max_value=4)),
+        time_flexibility_tolerance=draw(st.integers(min_value=1, max_value=4)),
+        max_group_size=draw(st.integers(min_value=0, max_value=3)),
+    )
