@@ -1,0 +1,233 @@
+"""E-SHARD — shard-count scaling of the sharded backend at 100k–1M offers.
+
+The ROADMAP's north star demands >1M-offer populations served fast; the
+sharded backend delivers it by fanning the bulk operations across a worker
+pool, shard by shard, on top of the NumPy inner backend.  This benchmark
+sweeps the shard count on ``evaluate_set`` (time / energy / product /
+vector / series measures — the paths that stay vectorized at every scale),
+``feasible_profiles`` and start-aligned aggregation, against the
+single-process NumPy backend at 100k and (for the acceptance gate) 1M
+offers.  It also reports the fingerprint-keyed matrix cache's effect: a
+*cold* ``evaluate_set`` pays the packing pass, a *warm* one skips it.
+
+Both backends produce identical results (asserted here per run, pinned by
+the conformance suite); the point is the wall-clock ratio.
+
+The population is deliberately *narrow* (1–2 slices, small time
+flexibility) so the dense series kernel stays under ``DENSE_CELL_LIMIT`` on
+the unsharded baseline even at 1M offers — otherwise single-process NumPy
+falls back to scalar loops there and the comparison would flatter sharding
+for the wrong reason (that rescue effect is real, but it is a memory-cap
+story, not a parallelism story).
+
+Run standalone (100k sweep)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_scaling.py
+
+or through pytest (the CI acceptance gate: ≥2x at 1M offers with ≥4
+shards, on hosts with ≥4 cores)::
+
+    PYTHONPATH=../src python -m pytest bench_sharded_scaling.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.aggregation import aggregate_start_aligned
+from repro.backend import (
+    NUMPY_AVAILABLE,
+    ShardedBackend,
+    matrix_cache,
+    register_backend,
+    use_backend,
+)
+from repro.core import FlexOffer, batch_feasible_profiles
+from repro.measures import evaluate_set
+
+#: Shard counts swept in the report (capped by nothing — oversubscription of
+#: a small host is part of the picture).
+SHARD_SWEEP = [1, 2, 4, 8]
+
+#: Measures evaluated; all five stay dense-vectorizable at every scale on
+#: the narrow population below.
+MEASURES = ["time", "energy", "product", "vector", "series"]
+
+GATE_SCALE = 1_000_000
+GATE_SHARDS = 4
+CORES = os.cpu_count() or 1
+
+
+def narrow_population(size: int, seed: int = 0) -> list[FlexOffer]:
+    """A bulk-ingestion-style population with a small aligned column width.
+
+    1–2 slices and time flexibility ≤ 2 keep ``size × width`` under the
+    dense-kernel cell cap even at 1M offers, so the unsharded NumPy
+    baseline competes with its best (fully vectorized) code path.
+    """
+    rng = random.Random(seed)
+    population = []
+    for index in range(size):
+        earliest = rng.randrange(0, 96)
+        slices = [(1, 1 + rng.randint(0, 4))]
+        if rng.random() < 0.5:
+            slices.append((0, rng.randint(1, 3)))
+        profile_min = sum(s[0] for s in slices)
+        profile_max = sum(s[1] for s in slices)
+        cmin = rng.randint(profile_min, profile_max)
+        population.append(
+            FlexOffer(
+                earliest,
+                earliest + rng.randint(0, 2),
+                slices,
+                cmin,
+                rng.randint(cmin, profile_max),
+                name=f"offer-{index}",
+            )
+        )
+    return population
+
+
+def _best_of(operation, repeats: int = 3) -> tuple[float, object]:
+    """Minimum wall-clock of a few runs (robust against scheduler noise)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = operation()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def compare_shards(
+    size: int,
+    shard_counts: list[int],
+    repeats: int = 3,
+    only: tuple = (),
+    population: list = None,
+) -> dict[str, object]:
+    """Sweep shard counts against single-process NumPy at one scale.
+
+    ``only`` restricts the timed operations (the CI gate times just
+    ``evaluate_set``); ``population`` lets retries reuse the generated
+    offers — building 1M of them in Python dominates a gate attempt.
+    """
+    if population is None:
+        population = narrow_population(size)
+    operations = {
+        "evaluate_set": lambda: evaluate_set(population, MEASURES),
+        "feasible_profiles": lambda: batch_feasible_profiles(population, "min"),
+        "aggregate": lambda: aggregate_start_aligned(population),
+    }
+    if only:
+        operations = {name: operations[name] for name in only}
+    results: dict[str, object] = {"scale": size, "cores": CORES, "ops": {}}
+
+    # Cache effect first: cold packing pass vs. warm (fingerprint-keyed) hit.
+    matrix_cache.clear()
+    with use_backend("numpy"):
+        cold, _ = _best_of(operations["evaluate_set"], repeats=1)
+        warm, baseline_report = _best_of(operations["evaluate_set"], repeats)
+    results["cache"] = {
+        "evaluate_set_cold": cold,
+        "evaluate_set_warm": warm,
+        "packing_skip_speedup": cold / warm if warm else 0.0,
+    }
+
+    baselines: dict[str, object] = {}
+    with use_backend("numpy"):
+        for name, operation in operations.items():
+            elapsed, output = _best_of(operation, repeats)
+            baselines[name] = (elapsed, output)
+
+    for name, (elapsed, _) in baselines.items():
+        results["ops"][name] = {"numpy": elapsed, "sharded": {}}
+
+    for shards in shard_counts:
+        backend = ShardedBackend(shards=shards, min_population=1)
+        register_backend(backend)
+        try:
+            with use_backend("sharded"):
+                for name, operation in operations.items():
+                    elapsed, output = _best_of(operation, repeats)
+                    assert output == baselines[name][1], name
+                    row = results["ops"][name]["sharded"]
+                    row[str(shards)] = {
+                        "seconds": elapsed,
+                        "speedup": baselines[name][0] / elapsed if elapsed else 0.0,
+                    }
+        finally:
+            backend.close()
+            register_backend(ShardedBackend())
+    return results
+
+
+def _print_report(results: dict[str, object]) -> None:
+    scale = results["scale"]
+    cache = results["cache"]
+    print(f"\n=== sharded scaling @ {scale} offers ({results['cores']} cores) ===")
+    print(
+        f"  matrix cache: cold {cache['evaluate_set_cold'] * 1e3:9.1f} ms   "
+        f"warm {cache['evaluate_set_warm'] * 1e3:9.1f} ms   "
+        f"{cache['packing_skip_speedup']:5.2f}x"
+    )
+    for name, row in results["ops"].items():
+        sweeps = "   ".join(
+            f"{shards}sh {data['speedup']:5.2f}x"
+            for shards, data in row["sharded"].items()
+        )
+        print(f"  {name:18s} numpy {row['numpy'] * 1e3:9.1f} ms   {sweeps}")
+    print(json.dumps(results))
+
+
+def main() -> None:
+    _print_report(compare_shards(100_000, SHARD_SWEEP))
+
+
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="NumPy backend not available")
+def test_sharded_sweep_matches_numpy_at_100k():
+    """Correctness smoke at 100k: every shard count reproduces the numpy
+    results exactly (the asserts live inside the sweep); report printed."""
+    _print_report(compare_shards(100_000, SHARD_SWEEP, repeats=2))
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="NumPy backend not available")
+@pytest.mark.skipif(
+    CORES < GATE_SHARDS,
+    reason=f"parallel speedup gate needs >= {GATE_SHARDS} cores, have {CORES}",
+)
+def test_sharded_wins_2x_on_evaluate_set_at_1m():
+    """Acceptance gate: ≥2x over single-process NumPy on ``evaluate_set``
+    at 1M offers with ≥4 shards (thread pool, warm matrix cache).
+
+    Wall-clock gates on shared CI runners are noisy, so a miss is measured
+    once more before failing: a genuine regression fails twice, a
+    noisy-neighbor flake rarely repeats.
+    """
+    population = narrow_population(GATE_SCALE)
+    best = 0.0
+    results: dict[str, object] = {}
+    for _ in range(2):
+        results = compare_shards(
+            GATE_SCALE,
+            [GATE_SHARDS, 2 * GATE_SHARDS],
+            repeats=2,
+            only=("evaluate_set",),
+            population=population,
+        )
+        _print_report(results)
+        sweeps = results["ops"]["evaluate_set"]["sharded"]
+        best = max(data["speedup"] for data in sweeps.values())
+        if best >= 2.0:
+            break
+    assert best >= 2.0, results
+
+
+if __name__ == "__main__":
+    main()

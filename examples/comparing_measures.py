@@ -16,6 +16,7 @@ Run with:  python examples/comparing_measures.py
 import random
 
 from repro.analysis import format_table, measure_matrix, ranking_agreement
+from repro.backend import available_backends, get_backend, use_backend
 from repro.devices import (
     Dishwasher,
     ElectricVehicle,
@@ -33,6 +34,20 @@ MEASURES = [
 
 
 def main() -> None:
+    # Run the bulk evaluation on the best available compute backend and say
+    # which one ran — the example doubles as a dispatch-layer smoke test.
+    backend = "numpy" if "numpy" in available_backends() else "reference"
+    with use_backend(backend):
+        print(
+            f"compute backend: {get_backend().name!r} "
+            f"(available: {', '.join(available_backends())})"
+        )
+        print()
+        run_comparison()
+
+
+def run_comparison() -> None:
+    """Evaluate every measure on every device and print the comparison."""
     rng = random.Random(2015)
     devices = [
         ("small EV", ElectricVehicle(charger_power=2, name="ev-small")),

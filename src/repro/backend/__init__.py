@@ -13,7 +13,12 @@ vectorizes.  This package provides
   Python code, which defines the semantics);
 * the ``numpy`` backend, registered only when NumPy is importable, which
   packs populations into :class:`ProfileMatrix` arrays and evaluates
-  measures through their ``batch_values`` hooks.
+  measures through their ``batch_values`` hooks;
+* the ``sharded`` backend, which partitions a population into shards and
+  fans the bulk operations across a thread/process pool, running each shard
+  on the best inner backend and merging exactly;
+* a fingerprint-keyed :class:`MatrixCache` (:data:`matrix_cache`) so
+  repeated bulk calls on a stable population skip the packing pass.
 
 Backends are observationally equivalent by contract; the differential
 conformance suite (``tests/backend/``) pins the NumPy backend to the
@@ -25,6 +30,7 @@ from __future__ import annotations
 
 import importlib.util
 
+from .cache import MatrixCache, cached_matrix, matrix_cache
 from .dispatch import (
     ENV_VAR,
     ComputeBackend,
@@ -35,6 +41,7 @@ from .dispatch import (
     use_backend,
 )
 from .reference import ReferenceBackend
+from .sharded import ShardedBackend
 
 #: Whether the ``numpy`` backend can register.  Detected without importing
 #: NumPy — a plain ``import repro`` must not pay NumPy's import cost; the
@@ -65,11 +72,15 @@ __all__ = [
     "ENV_VAR",
     "NUMPY_AVAILABLE",
     "ComputeBackend",
+    "MatrixCache",
     "ReferenceBackend",
+    "ShardedBackend",
     "NumpyBackend",
     "ProfileMatrix",
     "available_backends",
+    "cached_matrix",
     "get_backend",
+    "matrix_cache",
     "register_backend",
     "set_default_backend",
     "use_backend",

@@ -1,0 +1,291 @@
+"""Fingerprint-keyed cache of packed population representations.
+
+Packing a population into a :class:`~repro.backend.matrix.ProfileMatrix` is
+a pure-Python sweep over every offer and every slice — for stable
+populations evaluated repeatedly (a dashboard polling ``evaluate_set``, a
+scheduler scoring candidate schedules against the same offers, the sharded
+backend re-visiting its shards) it dominates the wall-clock of the
+vectorized backends.  :class:`MatrixCache` memoises the packed matrix keyed
+on the *content* of the population: the tuple of
+:attr:`~repro.core.flexoffer.FlexOffer.fingerprint` values in population
+order.  Fingerprints are cached on the (frozen) offers themselves, so a key
+is O(population) integer reads instead of an O(slices) packing pass.
+
+Because the key derives from the population's content, a cached matrix can
+never be *stale* — a changed population simply has a different key.
+Invalidation therefore exists for memory hygiene: the bounded LRU evicts
+cold entries on its own, and mutation sources (notably
+:class:`~repro.stream.engine.StreamingEngine`) proactively
+:meth:`~MatrixCache.discard` the entry of the population they are about to
+mutate so dead matrices are released immediately instead of lingering until
+eviction.
+
+The cache is shared process-wide (:data:`matrix_cache`) and thread-safe: a
+lock guards the LRU structure, and :func:`~repro.backend.use_backend`
+contexts on different threads can interleave freely — the packed matrix for
+a given population is identical whichever backend requested it first.
+
+Knobs
+-----
+``REPRO_MATRIX_CACHE``
+    Capacity (number of retained populations) of the process-wide cache.
+    ``0`` disables caching entirely; unset means :data:`DEFAULT_CAPACITY`.
+
+Caveat: a fingerprint is a 64-bit BLAKE2b digest of the offer's structure,
+so two *different* offers aliasing a cache entry would require a digest
+collision — not constructible in practice.  The library already treats
+fingerprint equality as structural identity (the streaming grid index and
+replay adapters key on it); the cache inherits that contract.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Iterable, Sequence
+from contextlib import contextmanager
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.flexoffer import FlexOffer
+
+__all__ = ["MatrixCache", "matrix_cache", "cached_matrix", "ENV_CACHE_VAR", "DEFAULT_CAPACITY"]
+
+#: Environment variable holding the process-wide cache capacity.
+ENV_CACHE_VAR = "REPRO_MATRIX_CACHE"
+
+#: Retained populations when ``REPRO_MATRIX_CACHE`` is unset.  Sized for the
+#: common shapes — a handful of whole populations plus one shard set — while
+#: bounding worst-case retention (a cached matrix keeps its offers alive).
+DEFAULT_CAPACITY = 32
+
+#: Environment variable bounding total retained *weight* (packed slices).
+ENV_CELL_VAR = "REPRO_MATRIX_CACHE_CELLS"
+
+#: Total packed slices retained across all entries when
+#: ``REPRO_MATRIX_CACHE_CELLS`` is unset.  An entry-count bound alone would
+#: let 32 million-offer populations pin gigabytes; this caps retention by
+#: size too (a matrix's arrays plus its offer tuple scale with its slice
+#: count).  At 8M cells the worst case is a few hundred MB while still
+#: holding several 1M-offer populations or a full shard set.
+DEFAULT_CELL_BUDGET = 8_000_000
+
+
+class MatrixCache:
+    """A bounded, thread-safe, fingerprint-keyed LRU of packed matrices.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained entries; ``0`` disables the cache (every
+        :meth:`get` builds without storing).  ``None`` reads
+        ``REPRO_MATRIX_CACHE`` and falls back to :data:`DEFAULT_CAPACITY`.
+    cell_budget:
+        Maximum total entry *weight* (packed slice count, reported by the
+        caller's ``weigher``); bounds retained bytes, not just entry count.
+        ``None`` reads ``REPRO_MATRIX_CACHE_CELLS`` and falls back to
+        :data:`DEFAULT_CELL_BUDGET`.  An entry heavier than the whole
+        budget is simply not retained.
+    """
+
+    def __init__(
+        self, capacity: Optional[int] = None, cell_budget: Optional[int] = None
+    ) -> None:
+        from .dispatch import _env_int
+
+        if capacity is None:
+            environment = _env_int(ENV_CACHE_VAR, minimum=0)
+            capacity = DEFAULT_CAPACITY if environment is None else environment
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        if cell_budget is None:
+            environment = _env_int(ENV_CELL_VAR, minimum=0)
+            cell_budget = (
+                DEFAULT_CELL_BUDGET if environment is None else environment
+            )
+        if cell_budget < 0:
+            raise ValueError(f"cell budget must be >= 0, got {cell_budget}")
+        self.capacity = capacity
+        self.cell_budget = cell_budget
+        self._lock = threading.Lock()
+        self._bypass_depth = 0
+        self._weight = 0
+        self._entries: "OrderedDict[tuple, tuple[object, int]]" = OrderedDict()
+        #: Monotonic counter, bumped on every successful store.  Mutation
+        #: sources use it to skip the O(population) key computation when no
+        #: entry can possibly concern them (nothing was cached since their
+        #: last mutation).
+        self.generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Keys
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key_of(flex_offers: Iterable["FlexOffer"]) -> tuple:
+        """The cache key of a population: ``(fingerprint, name)`` per offer.
+
+        The name rides along because fingerprints are deliberately
+        name-blind while a cached matrix hands its ``offers`` tuple to
+        name-visible extension points (an overridden ``supports``, custom
+        ``batch_values`` hooks): a structurally identical but renamed
+        population must not be served another population's offer objects.
+        """
+        return tuple(
+            (flex_offer.fingerprint, flex_offer.name) for flex_offer in flex_offers
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+    def get(
+        self,
+        flex_offers: Sequence["FlexOffer"],
+        builder: Callable[[Sequence["FlexOffer"]], object],
+        weigher: Optional[Callable[[object], int]] = None,
+    ) -> object:
+        """The cached value for the population, building (and storing) on miss.
+
+        ``builder`` runs *outside* the lock — packing is the expensive part,
+        and two threads racing on the same cold key at worst both build and
+        one result wins.  A builder that raises (e.g. ``OverflowError`` for
+        unpackable populations) stores nothing, so the caller's fallback
+        path is re-attempted on every call, exactly like the uncached code.
+        ``weigher`` reports the built value's size (packed slices) toward
+        :attr:`cell_budget`; without one an entry weighs nothing.
+        """
+        if self.capacity == 0:
+            return builder(flex_offers)
+        key = self.key_of(flex_offers)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached[0]
+            self.misses += 1
+            bypassed = self._bypass_depth > 0
+        built = builder(flex_offers)
+        if bypassed:
+            return built
+        weight = int(weigher(built)) if weigher is not None else 0
+        if weight > self.cell_budget:
+            # Could never fit: storing it would only evict entries that do.
+            return built
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:  # lost a build race: replace cleanly
+                self._weight -= previous[1]
+            self._entries[key] = (built, weight)
+            self._weight += weight
+            self.generation += 1
+            while self._entries and (
+                len(self._entries) > self.capacity
+                or self._weight > self.cell_budget
+            ):
+                _, (_, evicted_weight) = self._entries.popitem(last=False)
+                self._weight -= evicted_weight
+                self.evictions += 1
+        return built
+
+    def peek(self, flex_offers: Sequence["FlexOffer"]) -> Optional[object]:
+        """The cached value for the population, or ``None`` — never builds."""
+        with self._lock:
+            entry = self._entries.get(self.key_of(flex_offers))
+            return entry[0] if entry is not None else None
+
+    @contextmanager
+    def bypass(self):
+        """Serve hits but store nothing for the duration (one-shot inputs).
+
+        Used by callers evaluating throwaway populations — the streaming
+        engine's arrival batches, for instance — whose packed matrices
+        would only occupy LRU capacity.  The suppression is a process-wide
+        depth counter rather than context-local state because bulk backends
+        fan work out to pool threads, where context variables would not
+        propagate; a concurrent caller on another thread during the window
+        merely loses a store (a future re-pack), never correctness.
+        """
+        with self._lock:
+            self._bypass_depth += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._bypass_depth -= 1
+
+    # ------------------------------------------------------------------ #
+    # Invalidation
+    # ------------------------------------------------------------------ #
+    def discard(self, flex_offers: Iterable["FlexOffer"]) -> bool:
+        """Drop the entry for one population; ``True`` if one was present."""
+        return self.discard_key(self.key_of(flex_offers))
+
+    def discard_key(self, key: tuple) -> bool:
+        """Drop the entry stored under a precomputed key."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._weight -= entry[1]
+            return entry is not None
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped (stats survive)."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._weight = 0
+        return dropped
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, int]:
+        """A snapshot of the counters (hits / misses / evictions / size)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "cell_budget": self.cell_budget,
+                "size": len(self._entries),
+                "weight": self._weight,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "generation": self.generation,
+            }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MatrixCache({len(self._entries)}/{self.capacity} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )
+
+
+#: The process-wide cache shared by every matrix-building backend.
+matrix_cache = MatrixCache()
+
+
+def cached_matrix(flex_offers: Sequence["FlexOffer"]):
+    """The packed :class:`ProfileMatrix` of a population, via the cache.
+
+    Imports :mod:`repro.backend.matrix` lazily so this module stays
+    importable without NumPy (the streaming engine imports it for
+    invalidation even when only the reference backend is registered).
+    Propagates the packer's ``OverflowError`` uncached, preserving the
+    callers' fall-back-to-reference semantics.  Entries weigh their packed
+    slice count, so retention is bounded in bytes (``cell_budget``), not
+    just entries.
+    """
+    from .matrix import ProfileMatrix
+
+    return matrix_cache.get(
+        flex_offers,
+        ProfileMatrix,
+        weigher=lambda matrix: int(matrix.offsets[-1]) if matrix.size else 0,
+    )

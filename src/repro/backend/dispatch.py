@@ -51,6 +51,39 @@ __all__ = [
 ENV_VAR = "REPRO_BACKEND"
 
 
+def _warn_ignored_env(variable: str, value: str, expected: str) -> None:
+    """Report a malformed environment knob that is being ignored.
+
+    Shared by every backend-layer knob (matrix-cache capacity, shard count,
+    executor kind, …): configuration is read at import or registry-bootstrap
+    time, where raising would take down ``import repro`` or every
+    :func:`get_backend` call over an unrelated backend's typo.
+    """
+    import warnings
+
+    warnings.warn(
+        f"ignoring invalid {variable}={value!r} (expected {expected}); "
+        "using the default",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
+def _env_int(variable: str, minimum: int) -> Optional[int]:
+    """An integer environment knob, or ``None`` when unset/invalid (warns)."""
+    raw = os.environ.get(variable)
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        value = minimum - 1
+    if value < minimum:
+        _warn_ignored_env(variable, raw, f"an integer >= {minimum}")
+        return None
+    return value
+
+
 class ComputeBackend(abc.ABC):
     """The bulk operations a compute backend must provide.
 
@@ -66,6 +99,20 @@ class ComputeBackend(abc.ABC):
     # ------------------------------------------------------------------ #
     # Measures
     # ------------------------------------------------------------------ #
+    def prepare(self, flex_offers: Sequence["FlexOffer"]):
+        """An opaque population handle reusable across several bulk calls.
+
+        Backends whose bulk operations share a packed representation return
+        it here (the NumPy backend returns the cached
+        :class:`~repro.backend.matrix.ProfileMatrix`), so a caller issuing
+        several measure operations against the same population — notably
+        the sharded backend's per-shard workers — pays the packing/keying
+        cost once.  The default returns the sequence unchanged; every
+        ``measure_*`` operation must accept the returned handle wherever it
+        accepts a population.
+        """
+        return flex_offers
+
     @abc.abstractmethod
     def measure_values(
         self, measure: "FlexibilityMeasure", flex_offers: Sequence["FlexOffer"]
@@ -103,6 +150,24 @@ class ComputeBackend(abc.ABC):
         from ..measures.base import FlexibilityMeasure
 
         return type(measure).supports is not FlexibilityMeasure.supports
+
+    def measure_support(
+        self, measure: "FlexibilityMeasure", flex_offers: Sequence["FlexOffer"]
+    ) -> list[bool]:
+        """Per-offer :meth:`FlexibilityMeasure.supports` verdicts, in order.
+
+        The bulk form of the applicability check ``evaluate_population``
+        performs; exposed on the contract so composing backends (sharding)
+        can merge per-shard verdicts without re-deriving the semantics.
+
+        Deliberately *eager* — every offer is consulted, unlike the lazily
+        short-circuiting ``all()`` a scalar loop would run — because the
+        vectorized implementations evaluate whole masks at once.  The one
+        observable consequence: a custom ``supports`` override that
+        *raises* on a later offer surfaces its exception even when an
+        earlier offer already returned ``False``.
+        """
+        return [measure.supports(flex_offer) for flex_offer in flex_offers]
 
     @abc.abstractmethod
     def evaluate_population(
@@ -216,6 +281,9 @@ def _ensure_registered() -> None:
         from . import numpy_backend  # noqa: F401  (registers when NumPy exists)
     except ImportError:  # pragma: no cover - exercised only without numpy
         pass
+    # Registered last so its inner-backend default can see the NumPy
+    # registration; depends only on the standard library itself.
+    from . import sharded  # noqa: F401  (registers on import)
 
 
 def available_backends() -> tuple[str, ...]:

@@ -1,7 +1,10 @@
 """The vectorized NumPy compute backend.
 
 Packs the population into a :class:`~repro.backend.matrix.ProfileMatrix`
-once per bulk call and evaluates measures through their
+once per bulk call — through the fingerprint-keyed
+:data:`~repro.backend.cache.matrix_cache`, so repeated bulk calls on a
+stable population reuse the packed arrays instead of re-packing — and
+evaluates measures through their
 :meth:`~repro.measures.base.FlexibilityMeasure.batch_values` hooks — each
 registered measure vectorizes its own arithmetic over the packed arrays,
 and measures that never opted in transparently fall back to the scalar
@@ -29,6 +32,7 @@ from typing import TYPE_CHECKING, ClassVar, Union
 import numpy as np
 
 from ..core.flexoffer import FlexOffer
+from .cache import cached_matrix
 from .dispatch import ComputeBackend, register_backend
 from .matrix import VALUE_LIMIT, ProfileMatrix
 from .reference import ReferenceBackend
@@ -85,11 +89,38 @@ class NumpyBackend(ComputeBackend):
             matrix = (
                 flex_offers
                 if isinstance(flex_offers, ProfileMatrix)
-                else ProfileMatrix(flex_offers)
+                else cached_matrix(flex_offers)
             )
         except OverflowError:
             return _FALLBACK.measure_values(measure, flex_offers)
         return measure.batch_values(matrix)
+
+    def prepare(
+        self, flex_offers: Union[Sequence[FlexOffer], ProfileMatrix]
+    ) -> Union[Sequence[FlexOffer], ProfileMatrix]:
+        """Pack once, reuse across calls; unpackable populations pass through
+        (each bulk call then re-attempts and takes its reference fallback)."""
+        if isinstance(flex_offers, ProfileMatrix):
+            return flex_offers
+        try:
+            return cached_matrix(flex_offers)
+        except OverflowError:
+            return flex_offers
+
+    def measure_support(
+        self,
+        measure: "FlexibilityMeasure",
+        flex_offers: Union[Sequence[FlexOffer], ProfileMatrix],
+    ) -> list[bool]:
+        try:
+            matrix = (
+                flex_offers
+                if isinstance(flex_offers, ProfileMatrix)
+                else cached_matrix(flex_offers)
+            )
+        except OverflowError:
+            return _FALLBACK.measure_support(measure, flex_offers)
+        return [bool(flag) for flag in _support_mask(measure, matrix)]
 
     def evaluate_population(
         self,
@@ -98,7 +129,7 @@ class NumpyBackend(ComputeBackend):
         skip_unsupported: bool = True,
     ) -> tuple[dict[str, float], list[str]]:
         try:
-            matrix = ProfileMatrix(flex_offers)
+            matrix = cached_matrix(flex_offers)
         except OverflowError:
             return _FALLBACK.evaluate_population(measures, flex_offers, skip_unsupported)
         values: dict[str, float] = {}
@@ -123,7 +154,7 @@ class NumpyBackend(ComputeBackend):
         flex_offers: Sequence[FlexOffer],
     ) -> list[dict[str, float]]:
         try:
-            matrix = ProfileMatrix(flex_offers)
+            matrix = cached_matrix(flex_offers)
         except OverflowError:
             return _FALLBACK.per_offer_values(measures, flex_offers)
         results: list[dict[str, float]] = [{} for _ in range(matrix.size)]
@@ -148,7 +179,7 @@ class NumpyBackend(ComputeBackend):
         self, members: Sequence[FlexOffer]
     ) -> tuple[int, list[int], list[tuple[int, int]]]:
         try:
-            matrix = ProfileMatrix(members)
+            matrix = cached_matrix(members)
         except OverflowError:
             return _FALLBACK.aggregate_columns(members)
         if matrix.size > (1 << 22):
@@ -178,6 +209,10 @@ class NumpyBackend(ComputeBackend):
         if target not in ("min", "max"):
             raise ValueError(f"unknown target {target!r}")
         try:
+            # Packed directly, not through the cache: the bulk schedulers
+            # feed this with one-shot candidate populations (a fresh list
+            # per offer / per generation), which would churn the shared LRU
+            # out of its genuinely reusable whole-population entries.
             matrix = ProfileMatrix(flex_offers)
         except OverflowError:
             return _FALLBACK.feasible_profiles(flex_offers, target)
@@ -221,6 +256,9 @@ class NumpyBackend(ComputeBackend):
         ):
             return _FALLBACK.assignment_feasibility(flex_offers, starts, profiles)
         try:
+            # Direct packing for the same reason as feasible_profiles: the
+            # screening populations are one-shot, so caching them only
+            # evicts reusable entries.
             matrix = ProfileMatrix(flex_offers)
             packed = np.fromiter(flat, dtype=np.int64, count=len(flat))
             start_times = np.fromiter(

@@ -1,0 +1,526 @@
+"""The sharded compute backend: shard-parallel fan-out of the bulk operations.
+
+A :class:`ShardedBackend` partitions a population into ``K`` contiguous
+shards, runs every bulk operation of the backend contract shard-by-shard on
+an *inner* backend (the NumPy backend when available, the reference backend
+otherwise) through a ``concurrent.futures`` pool, and merges the shard
+results exactly:
+
+* per-offer results (``measure_values``, ``per_offer_values``,
+  ``feasible_profiles``, ``assignment_feasibility``, ``measure_support``)
+  concatenate in shard order — bit-identical to the single-process result
+  because shards preserve population order;
+* set values combine the *concatenated* per-offer value lists through the
+  measure's :meth:`~repro.measures.base.FlexibilityMeasure.combine_values`
+  hook — the same list, in the same order, a single-process backend would
+  combine, so even float paths agree to the last bit;
+* start-aligned aggregation re-anchors each shard's column sums at the
+  global earliest start and adds them — exact integer arithmetic;
+* measures that override ``set_value`` (a non-decomposable set semantics)
+  fall back to their own override on the full population, exactly like the
+  reference backend.
+
+Error parity is positional: when an operation raises for some offer, the
+exception surfaces from the lowest-indexed shard that failed — i.e. the
+same first-offending-offer (and for ``evaluate_population`` the same
+first-offending-*measure*) the reference backend's scalar loops would have
+hit, with the same exception class.  One documented exception: support
+checks are evaluated eagerly per shard (see
+:meth:`~repro.backend.dispatch.ComputeBackend.measure_support`), so a
+custom ``supports`` override that raises on a later offer of the *same
+shard* as an earlier unsupported offer surfaces its exception where the
+reference's lazily short-circuiting ``all()`` would have skipped the
+measure; across shards the short-circuit is honoured.
+
+Executors
+---------
+``thread`` (default)
+    A shared :class:`~concurrent.futures.ThreadPoolExecutor`.  The NumPy
+    kernels release the GIL, so shard evaluation overlaps on multicore
+    hosts, and the fingerprint-keyed matrix cache keeps per-shard packed
+    arrays warm across calls with zero copying.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` for pure-Python
+    inner backends or GIL-bound measures.  Populations and measures must be
+    picklable, and every call ships the shard's offers to the workers, so
+    it only pays off for expensive per-offer work.
+
+Knobs (read once, at construction)
+----------------------------------
+``REPRO_SHARDS``
+    Shard count; defaults to ``os.cpu_count()``.
+``REPRO_SHARD_EXECUTOR``
+    ``thread`` or ``process``.
+``REPRO_SHARD_MIN``
+    Populations smaller than this are delegated whole to the inner backend
+    (fan-out overhead would dominate); defaults to
+    :data:`DEFAULT_MIN_POPULATION`.
+
+Like every backend, the sharded backend is pinned observationally
+equivalent to the reference implementation by the differential conformance
+suite (``tests/backend/test_conformance.py``) and the golden fixtures.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Sequence
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, ClassVar, Optional
+
+from ..core.errors import BackendError
+from ..core.flexoffer import FlexOffer
+from .dispatch import (
+    ComputeBackend,
+    _env_int,
+    _warn_ignored_env,
+    get_backend,
+    register_backend,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..measures.base import FlexibilityMeasure
+
+__all__ = [
+    "ShardedBackend",
+    "ENV_SHARDS",
+    "ENV_EXECUTOR",
+    "ENV_MIN_POPULATION",
+    "DEFAULT_MIN_POPULATION",
+]
+
+#: Environment variable overriding the shard count.
+ENV_SHARDS = "REPRO_SHARDS"
+#: Environment variable selecting the executor kind (``thread``/``process``).
+ENV_EXECUTOR = "REPRO_SHARD_EXECUTOR"
+#: Environment variable overriding the delegation threshold.
+ENV_MIN_POPULATION = "REPRO_SHARD_MIN"
+
+#: Below this population size the whole operation runs on the inner backend:
+#: pool dispatch plus per-shard packing costs more than it saves.
+DEFAULT_MIN_POPULATION = 4096
+
+
+# --------------------------------------------------------------------- #
+# Shard workers — module level so the process executor can pickle them.
+# Each resolves the inner backend by name inside the worker, which also
+# bootstraps the registry in freshly spawned interpreter children.
+# --------------------------------------------------------------------- #
+def _values_outcome(backend, measure, population):
+    """``("ok", values)`` or ``("error", exc)`` of one shard's measure values."""
+    try:
+        return "ok", backend.measure_values(measure, population)
+    except Exception as error:  # noqa: BLE001 - re-raised in shard order
+        return "error", error
+
+
+def _shard_values_outcome(inner: str, measure, flex_offers):
+    """Value outcome of a single measure over one shard."""
+    return _values_outcome(get_backend(inner), measure, flex_offers)
+
+
+def _shard_evaluate(inner: str, measures, value_mask, flex_offers, skip_unsupported):
+    """One shard's evaluation round: support outcomes plus value outcomes.
+
+    Returns, per measure, ``(support_outcome, value_outcome_or_None)``,
+    each outcome an ``("ok", payload)`` / ``("error", exc)`` pair — support
+    checks are captured like value evaluations so a later measure's raising
+    ``supports`` cannot preempt an earlier measure's error at assembly (the
+    reference backend evaluates measure-major).  The population is packed
+    once through :meth:`ComputeBackend.prepare` and the handle reused for
+    every measure — the shard's dominant fixed cost.  Values are computed
+    only when the mask allows (measures with an overridden ``set_value``
+    are evaluated whole by the caller) and when the shard's own support
+    verdict — or ``skip_unsupported=False`` — says the evaluation would
+    also run under the reference backend's semantics.
+    """
+    backend = get_backend(inner)
+    prepared = backend.prepare(flex_offers)
+    rows = []
+    for measure, wants_values in zip(measures, value_mask):
+        try:
+            support = ("ok", all(backend.measure_support(measure, prepared)))
+        except Exception as error:  # noqa: BLE001 - re-raised at assembly
+            support = ("error", error)
+        outcome = None
+        if wants_values and (
+            not skip_unsupported or support == ("ok", True)
+        ):
+            # With skip_unsupported=False the assembly may consume values
+            # even when this shard's support probe raised (another shard's
+            # unsupported verdict short-circuits the probe error away), so
+            # the outcome must exist unconditionally on that path.
+            outcome = _values_outcome(backend, measure, prepared)
+        rows.append((support, outcome))
+    return rows
+
+
+def _shard_support(inner: str, measure, flex_offers):
+    """Per-offer support verdicts of one shard."""
+    return get_backend(inner).measure_support(measure, flex_offers)
+
+
+def _shard_per_offer(inner: str, measures, flex_offers):
+    """Per-offer ``{measure_key: value}`` dicts of one shard."""
+    return get_backend(inner).per_offer_values(measures, flex_offers)
+
+
+def _shard_aggregate(inner: str, flex_offers):
+    """One shard's start-aligned column sums (merged by the caller)."""
+    return get_backend(inner).aggregate_columns(flex_offers)
+
+
+def _shard_profiles(inner: str, flex_offers, target: str):
+    """One shard's extreme feasible profiles."""
+    return get_backend(inner).feasible_profiles(flex_offers, target)
+
+
+def _shard_feasibility(inner: str, flex_offers, starts, values):
+    """One shard's Definition 2 feasibility verdicts."""
+    return get_backend(inner).assignment_feasibility(flex_offers, starts, values)
+
+
+class ShardedBackend(ComputeBackend):
+    """Fan bulk operations across population shards on a worker pool.
+
+    Parameters
+    ----------
+    shards:
+        Number of shards (and pool workers).  ``None`` reads
+        ``REPRO_SHARDS`` and falls back to ``os.cpu_count()``.
+    executor:
+        ``"thread"`` (default) or ``"process"``; ``None`` reads
+        ``REPRO_SHARD_EXECUTOR``.
+    min_population:
+        Populations smaller than this run whole on the inner backend.
+        ``None`` reads ``REPRO_SHARD_MIN``.
+    inner:
+        Name of the inner backend; ``None`` picks ``numpy`` when registered,
+        else ``reference``.
+    """
+
+    name: ClassVar[str] = "sharded"
+
+    def __init__(
+        self,
+        shards: Optional[int] = None,
+        executor: Optional[str] = None,
+        min_population: Optional[int] = None,
+        inner: Optional[str] = None,
+    ) -> None:
+        # Explicit arguments fail fast; environment values degrade to the
+        # documented defaults with a warning instead — the default instance
+        # is constructed during registry bootstrap, and a typo in an unused
+        # backend's knob must not break every get_backend() call.
+        if shards is None:
+            shards = _env_int(ENV_SHARDS, minimum=1) or (os.cpu_count() or 1)
+        elif shards < 1:
+            raise BackendError(f"shard count must be >= 1, got {shards}")
+        if executor is None:
+            executor = os.environ.get(ENV_EXECUTOR, "thread")
+            if executor not in ("thread", "process"):
+                _warn_ignored_env(ENV_EXECUTOR, executor, "'thread' or 'process'")
+                executor = "thread"
+        elif executor not in ("thread", "process"):
+            raise BackendError(
+                f"unknown shard executor {executor!r}; use 'thread' or 'process'"
+            )
+        if min_population is None:
+            min_population = _env_int(ENV_MIN_POPULATION, minimum=0)
+            if min_population is None:
+                min_population = DEFAULT_MIN_POPULATION
+        elif min_population < 0:
+            raise BackendError(
+                f"min_population must be >= 0, got {min_population}"
+            )
+        if inner is not None:
+            if inner == self.name:
+                raise BackendError(
+                    "the sharded backend cannot be its own inner backend"
+                )
+            get_backend(inner)  # unknown names fail here, not at first use
+        self.shards = shards
+        self.executor_kind = executor
+        self.min_population = min_population
+        self._inner_name = inner
+        self._pool: Optional[Executor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def inner(self) -> ComputeBackend:
+        """The backend every shard runs on (resolved late, per call)."""
+        return get_backend(self._resolved_inner_name())
+
+    def _resolved_inner_name(self) -> str:
+        if self._inner_name is not None:
+            return self._inner_name
+        from .dispatch import available_backends
+
+        return "numpy" if "numpy" in available_backends() else "reference"
+
+    def _executor(self) -> Executor:
+        """The lazily created, shared worker pool (double-checked lock)."""
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    if self.executor_kind == "process":
+                        pool = ProcessPoolExecutor(max_workers=self.shards)
+                    else:
+                        pool = ThreadPoolExecutor(
+                            max_workers=self.shards,
+                            thread_name_prefix="repro-shard",
+                        )
+                    self._pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (it is recreated on next use)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def _delegates(self, flex_offers: Sequence[FlexOffer]) -> bool:
+        """Whether the population is too small to be worth fanning out."""
+        return (
+            self.shards == 1
+            or len(flex_offers) < self.min_population
+            or len(flex_offers) < self.shards
+        )
+
+    def _partition(self, items: Sequence) -> list[Sequence]:
+        """Split a sequence into ``shards`` contiguous, near-even chunks."""
+        count = len(items)
+        base, extra = divmod(count, self.shards)
+        chunks = []
+        start = 0
+        for index in range(self.shards):
+            size = base + (1 if index < extra else 0)
+            if size == 0:
+                break
+            chunks.append(items[start : start + size])
+            start += size
+        return chunks
+
+    def _map(self, worker, arg_lists: Sequence[tuple]) -> list:
+        """Run the worker over every shard; results in shard order.
+
+        ``future.result()`` is consumed in submission order, so an exception
+        from shard ``i`` surfaces before any later shard's — preserving the
+        reference backend's first-offending-offer error positions.
+        """
+        pool = self._executor()
+        futures = [pool.submit(worker, *args) for args in arg_lists]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Measures
+    # ------------------------------------------------------------------ #
+    def measure_values(
+        self, measure: "FlexibilityMeasure", flex_offers: Sequence[FlexOffer]
+    ) -> list[float]:
+        flex_offers = list(flex_offers)
+        if self._delegates(flex_offers):
+            return self.inner.measure_values(measure, flex_offers)
+        inner = self._resolved_inner_name()
+        outcomes = self._map(
+            _shard_values_outcome,
+            [(inner, measure, chunk) for chunk in self._partition(flex_offers)],
+        )
+        values: list[float] = []
+        for status, payload in outcomes:
+            if status == "error":
+                raise payload
+            values.extend(payload)
+        return values
+
+    def measure_support(
+        self, measure: "FlexibilityMeasure", flex_offers: Sequence[FlexOffer]
+    ) -> list[bool]:
+        flex_offers = list(flex_offers)
+        if self._delegates(flex_offers):
+            return self.inner.measure_support(measure, flex_offers)
+        inner = self._resolved_inner_name()
+        verdicts: list[bool] = []
+        for shard in self._map(
+            _shard_support,
+            [(inner, measure, chunk) for chunk in self._partition(flex_offers)],
+        ):
+            verdicts.extend(shard)
+        return verdicts
+
+    def evaluate_population(
+        self,
+        measures: Sequence["FlexibilityMeasure"],
+        flex_offers: Sequence[FlexOffer],
+        skip_unsupported: bool = True,
+    ) -> tuple[dict[str, float], list[str]]:
+        flex_offers = list(flex_offers)
+        if self._delegates(flex_offers):
+            return self.inner.evaluate_population(
+                measures, flex_offers, skip_unsupported
+            )
+        inner = self._resolved_inner_name()
+        chunks = self._partition(flex_offers)
+        # One fan-out per call: each shard packs once, then reports support
+        # verdicts and value outcomes for every decomposable measure.
+        # Non-decomposable measures (overridden ``set_value``) get support
+        # verdicts only — their own override runs on the full population.
+        value_mask = [not self._overrides_set_value(measure) for measure in measures]
+        shard_rows = self._map(
+            _shard_evaluate,
+            [
+                (inner, measures, value_mask, chunk, skip_unsupported)
+                for chunk in chunks
+            ],
+        )
+        # Assembly is measure-major, like the reference backend's loop, so
+        # the skip list and the position at which any error surfaces (a
+        # raising ``supports`` included) match: measure by measure, support
+        # first — with shard-granular short-circuiting, so an unsupported
+        # verdict in an earlier shard wins over a raising ``supports`` in a
+        # later one, mirroring the lazily evaluated `all()` — then values,
+        # lowest failing shard first.
+        values: dict[str, float] = {}
+        skipped: list[str] = []
+        for index, measure in enumerate(measures):
+            supported = True
+            for rows in shard_rows:
+                status, payload = rows[index][0]
+                if status == "error":
+                    raise payload
+                if not payload:
+                    supported = False
+                    break
+            if not supported and skip_unsupported:
+                skipped.append(measure.key)
+                continue
+            if not value_mask[index]:
+                values[measure.key] = measure.set_value(flex_offers)
+                continue
+            per_offer: list[float] = []
+            for rows in shard_rows:
+                status, payload = rows[index][1]
+                if status == "error":
+                    raise payload
+                per_offer.extend(payload)
+            values[measure.key] = measure.combine_values(per_offer)
+        return values, skipped
+
+    def per_offer_values(
+        self,
+        measures: Sequence["FlexibilityMeasure"],
+        flex_offers: Sequence[FlexOffer],
+    ) -> list[dict[str, float]]:
+        flex_offers = list(flex_offers)
+        if self._delegates(flex_offers):
+            return self.inner.per_offer_values(measures, flex_offers)
+        inner = self._resolved_inner_name()
+        results: list[dict[str, float]] = []
+        for shard in self._map(
+            _shard_per_offer,
+            [(inner, measures, chunk) for chunk in self._partition(flex_offers)],
+        ):
+            results.extend(shard)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def aggregate_columns(
+        self, members: Sequence[FlexOffer]
+    ) -> tuple[int, list[int], list[tuple[int, int]]]:
+        members = list(members)
+        if self._delegates(members):
+            return self.inner.aggregate_columns(members)
+        inner = self._resolved_inner_name()
+        shards = self._map(
+            _shard_aggregate,
+            [(inner, chunk) for chunk in self._partition(members)],
+        )
+        # Re-anchor every shard at the global earliest start and add the
+        # shifted column sums — pure integer arithmetic, so the merge equals
+        # the single-pass result exactly.
+        anchor = min(shard_anchor for shard_anchor, _, _ in shards)
+        horizon = max(
+            shard_anchor - anchor + len(columns)
+            for shard_anchor, _, columns in shards
+        )
+        low = [0] * horizon
+        high = [0] * horizon
+        offsets: list[int] = []
+        for shard_anchor, shard_offsets, columns in shards:
+            shift = shard_anchor - anchor
+            offsets.extend(offset + shift for offset in shard_offsets)
+            for index, (column_low, column_high) in enumerate(columns):
+                low[shift + index] += column_low
+                high[shift + index] += column_high
+        return anchor, offsets, list(zip(low, high))
+
+    # ------------------------------------------------------------------ #
+    # Assignments
+    # ------------------------------------------------------------------ #
+    def feasible_profiles(
+        self, flex_offers: Sequence[FlexOffer], target: str
+    ) -> list[tuple[int, ...]]:
+        if target not in ("min", "max"):
+            raise ValueError(f"unknown target {target!r}")
+        flex_offers = list(flex_offers)
+        if self._delegates(flex_offers):
+            return self.inner.feasible_profiles(flex_offers, target)
+        inner = self._resolved_inner_name()
+        profiles: list[tuple[int, ...]] = []
+        for shard in self._map(
+            _shard_profiles,
+            [(inner, chunk, target) for chunk in self._partition(flex_offers)],
+        ):
+            profiles.extend(shard)
+        return profiles
+
+    def assignment_feasibility(
+        self,
+        flex_offers: Sequence[FlexOffer],
+        starts: Sequence[int],
+        values: Sequence[Sequence[int]],
+    ) -> list[bool]:
+        # Pair triples before partitioning: mismatched input lengths must
+        # truncate like the reference backend's zip, not skew the shard
+        # boundaries into silently checking offer i against candidate i-1.
+        count = min(len(flex_offers), len(starts), len(values))
+        flex_offers = list(flex_offers)[:count]
+        starts = list(starts)[:count]
+        values = list(values)[:count]
+        if self._delegates(flex_offers):
+            return self.inner.assignment_feasibility(flex_offers, starts, values)
+        inner = self._resolved_inner_name()
+        offer_chunks = self._partition(flex_offers)
+        start_chunks = self._partition(starts)
+        value_chunks = self._partition(values)
+        verdicts: list[bool] = []
+        for shard in self._map(
+            _shard_feasibility,
+            [
+                (inner, offers, shard_starts, shard_values)
+                for offers, shard_starts, shard_values in zip(
+                    offer_chunks, start_chunks, value_chunks
+                )
+            ],
+        ):
+            verdicts.extend(shard)
+        return verdicts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShardedBackend shards={self.shards} executor={self.executor_kind!r} "
+            f"inner={self._resolved_inner_name()!r} "
+            f"min_population={self.min_population}>"
+        )
+
+
+register_backend(ShardedBackend())

@@ -160,6 +160,27 @@ class Assignment:
     # Canonical constructors
     # ------------------------------------------------------------------ #
     @classmethod
+    def trusted(
+        cls, flex_offer: FlexOffer, start_time: int, values: Sequence[int]
+    ) -> "Assignment":
+        """Construct without re-running Definition 2 validation.
+
+        For callers that already established validity in bulk — a ``True``
+        verdict from :func:`batch_assignment_feasibility` for exactly this
+        ``(flex_offer, start_time, values)`` triple — re-validating inside
+        ``__init__`` would repeat the per-slice scan per object and undo the
+        batch win.  The schedulers use this after screening a whole
+        generation of candidates in one backend call.  Passing an unchecked
+        triple breaks the class invariant; when in doubt, use the normal
+        constructor.
+        """
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "flex_offer", flex_offer)
+        object.__setattr__(instance, "start_time", start_time)
+        object.__setattr__(instance, "values", tuple(values))
+        return instance
+
+    @classmethod
     def earliest_minimum(cls, flex_offer: FlexOffer) -> "Assignment":
         """The earliest-start assignment using the *effective* slice minima.
 

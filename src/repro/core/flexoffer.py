@@ -305,12 +305,22 @@ class FlexOffer:
         profile and total constraints coincide (the ``name`` label is
         deliberately ignored — it identifies the prosumer, not the offer's
         shape).  Computed lazily and cached on the frozen instance; the
-        streaming grid index and the replay adapters use it to derive stable
-        offer identifiers without hashing the whole profile repeatedly.
+        streaming grid index, the replay adapters and the backend layer's
+        packed-matrix cache use it as a structural identity without hashing
+        the whole profile repeatedly.
+
+        The key is a 64-bit BLAKE2b digest of an unambiguous text encoding,
+        not a tuple ``hash()``: Python's integer hashing maps ``-1`` and
+        ``-2`` to the same value (and is trivially correlated on small
+        ints), which made structurally different offers collide — fatal for
+        a cache keyed on fingerprints.  Digest collisions remain possible in
+        principle but are not constructible in practice.
         """
         cached = self.__dict__.get("_fingerprint")
         if cached is None:
-            cached = hash(
+            import hashlib
+
+            payload = repr(
                 (
                     self.earliest_start,
                     self.latest_start,
@@ -318,7 +328,9 @@ class FlexOffer:
                     self.total_energy_max,
                     tuple((s.amin, s.amax) for s in self.slices),
                 )
-            ) & 0xFFFFFFFFFFFFFFFF
+            ).encode("ascii")
+            digest = hashlib.blake2b(payload, digest_size=8).digest()
+            cached = int.from_bytes(digest, "big")
             object.__setattr__(self, "_fingerprint", cached)
         return cached
 

@@ -58,6 +58,7 @@ class FlexibilityPricer:
     premium_per_unit: float = 2.0
 
     def _measure(self) -> FlexibilityMeasure:
+        """The configured measure, resolved to an instance."""
         return resolve_measures([self.measure])[0]
 
     def price(self, flex_offer: FlexOffer) -> Bid:
@@ -67,19 +68,79 @@ class FlexibilityPricer:
         the flex-offer's sign class (e.g. area-based measures on a mixed
         aggregate — exactly the Section 4 caveat).
         """
+        return self.price_all([flex_offer])[0]
+
+    def price_all(self, flex_offers: Sequence[FlexOffer]) -> list[Bid]:
+        """Build bids for a whole book of flex-offers in one bulk pass.
+
+        Applicability is checked first (the error for the earliest
+        unsupported lot, exactly as sequential :meth:`price` calls would
+        raise it), then every flexibility premium is computed in a single
+        backend ``measure_values`` call — one vectorized pass under the
+        NumPy / sharded backends.
+
+        Raises
+        ------
+        MarketError
+            When the chosen measure does not support some lot's sign class.
+        """
+        from ..backend.dispatch import get_backend
+
+        flex_offers = list(flex_offers)
         measure = self._measure()
-        if not measure.supports(flex_offer):
+        backend = get_backend()
+        try:
+            supported = backend.measure_support(measure, flex_offers)
+        except Exception:
+            # The bulk support scan is eager; a custom ``supports`` override
+            # that raises mid-book would surface ahead of an earlier lot's
+            # error.  Re-run the exact sequential per-lot order instead so
+            # the first offending lot (by the old price() loop's rules)
+            # decides the exception.
+            return self._price_sequentially(measure, flex_offers)
+        first_unsupported = next(
+            (index for index, ok in enumerate(supported) if not ok), None
+        )
+        if first_unsupported is not None:
+            # An earlier supported lot whose *evaluation* raises must win,
+            # exactly as the sequential per-lot loop ordered its errors —
+            # evaluate the prefix (propagating any MeasureError), then
+            # report the unsupported lot.
+            backend.measure_values(measure, flex_offers[:first_unsupported])
+            flex_offer = flex_offers[first_unsupported]
             raise MarketError(
-                f"measure {measure.key!r} does not support flex-offer {flex_offer.name!r} "
-                f"of kind {flex_offer.kind.value}"
+                f"measure {measure.key!r} does not support flex-offer "
+                f"{flex_offer.name!r} of kind {flex_offer.kind.value}"
             )
-        expected_energy = abs(flex_offer.cmin + flex_offer.cmax) / 2.0
-        flexibility = measure.value(flex_offer)
+        flexibilities = backend.measure_values(measure, flex_offers)
+        return [
+            self._bid(flex_offer, flexibility)
+            for flex_offer, flexibility in zip(flex_offers, flexibilities)
+        ]
+
+    def _bid(self, flex_offer: FlexOffer, flexibility: float) -> Bid:
+        """Assemble one bid from an already-computed flexibility value."""
         return Bid(
             flex_offer,
-            energy_price=expected_energy * self.energy_price,
+            energy_price=abs(flex_offer.cmin + flex_offer.cmax)
+            / 2.0
+            * self.energy_price,
             flexibility_premium=flexibility * self.premium_per_unit,
         )
+
+    def _price_sequentially(
+        self, measure: FlexibilityMeasure, flex_offers: Sequence[FlexOffer]
+    ) -> list[Bid]:
+        """The original lot-by-lot pricing order (error-ordering fallback)."""
+        bids = []
+        for flex_offer in flex_offers:
+            if not measure.supports(flex_offer):
+                raise MarketError(
+                    f"measure {measure.key!r} does not support flex-offer "
+                    f"{flex_offer.name!r} of kind {flex_offer.kind.value}"
+                )
+            bids.append(self._bid(flex_offer, measure.value(flex_offer)))
+        return bids
 
 
 @dataclass
@@ -101,12 +162,18 @@ class TradingSession:
     def offer_lots(
         self, lots: Sequence[Union[FlexOffer, AggregatedFlexOffer]]
     ) -> list[Bid]:
-        """Price every offered lot (aggregates are unwrapped automatically)."""
-        bids = []
-        for lot in lots:
-            flex_offer = lot.flex_offer if isinstance(lot, AggregatedFlexOffer) else lot
-            bids.append(self.pricer.price(flex_offer))
-        return bids
+        """Price every offered lot (aggregates are unwrapped automatically).
+
+        The whole book is priced through :meth:`FlexibilityPricer.price_all`
+        — one bulk measure evaluation on the active compute backend instead
+        of a per-lot loop.
+        """
+        return self.pricer.price_all(
+            [
+                lot.flex_offer if isinstance(lot, AggregatedFlexOffer) else lot
+                for lot in lots
+            ]
+        )
 
     def clear(
         self, lots: Sequence[Union[FlexOffer, AggregatedFlexOffer]]

@@ -10,7 +10,12 @@ from .objective import (
     peak_load,
     squared_imbalance,
 )
-from .stochastic import HillClimbingScheduler, random_assignment
+from .stochastic import (
+    HillClimbingScheduler,
+    build_validated_schedule,
+    random_assignment,
+    random_profile,
+)
 
 __all__ = [
     "Schedule",
@@ -19,7 +24,9 @@ __all__ = [
     "GreedyImbalanceScheduler",
     "HillClimbingScheduler",
     "EvolutionaryScheduler",
+    "build_validated_schedule",
     "random_assignment",
+    "random_profile",
     "ImbalanceObjective",
     "imbalance_series",
     "absolute_imbalance",

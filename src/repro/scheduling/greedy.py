@@ -10,6 +10,12 @@ Two deterministic baselines:
   each, picks the start time and per-slice energy that minimise the running
   imbalance against a reference profile — a fast constructive heuristic for
   the flex-offer scheduling problem of Scenario 1.
+
+Both schedulers consume the bulk assignment APIs
+(:func:`~repro.core.assignment.batch_feasible_profiles`,
+:func:`~repro.core.assignment.batch_assignment_feasibility`), which dispatch
+through the active compute backend — so large populations transparently gain
+the NumPy / sharded speedups without any scheduler-side configuration.
 """
 
 from __future__ import annotations
@@ -17,7 +23,12 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Optional
 
-from ..core.assignment import Assignment
+from ..core.assignment import (
+    Assignment,
+    batch_assignment_feasibility,
+    batch_feasible_profiles,
+    validate_assignment,
+)
 from ..core.flexoffer import FlexOffer
 from ..core.timeseries import TimeSeries
 from .base import Schedule, Scheduler
@@ -30,7 +41,11 @@ class EarliestStartScheduler(Scheduler):
     """Schedule every flex-offer at its earliest start with minimal energy.
 
     The scheduler discards the reference profile; it exists as the
-    no-flexibility-used baseline for the E-SCHED experiment.
+    no-flexibility-used baseline for the E-SCHED experiment.  The minimal
+    feasible profiles of the whole population are computed in one
+    :func:`batch_feasible_profiles` call (one vectorized pass under the
+    NumPy and sharded backends), equivalent to
+    :meth:`Assignment.earliest_minimum` per offer.
     """
 
     name = "earliest-start"
@@ -40,8 +55,30 @@ class EarliestStartScheduler(Scheduler):
         flex_offers: Sequence[FlexOffer],
         reference: Optional[TimeSeries] = None,
     ) -> Schedule:
+        """One earliest-start, minimum-energy assignment per flex-offer.
+
+        Parameters
+        ----------
+        flex_offers:
+            The flex-offers to schedule.
+        reference:
+            Accepted for interface compatibility and ignored.
+        """
+        flex_offers = list(flex_offers)
+        profiles = batch_feasible_profiles(flex_offers, "min")
+        starts = [flex_offer.earliest_start for flex_offer in flex_offers]
+        # Screen in bulk too, so construction can take the trusted fast path
+        # instead of re-running the per-slice scalar validation per offer
+        # (any infeasible profile — impossible by construction — still gets
+        # the validating constructor's diagnostic).
+        feasible = batch_assignment_feasibility(flex_offers, starts, profiles)
         assignments = [
-            Assignment.earliest_minimum(flex_offer) for flex_offer in flex_offers
+            Assignment.trusted(flex_offer, start, values)
+            if valid
+            else Assignment(flex_offer, start, values)
+            for flex_offer, start, values, valid in zip(
+                flex_offers, starts, profiles, feasible
+            )
         ]
         return Schedule(tuple(assignments))
 
@@ -52,7 +89,10 @@ class GreedyImbalanceScheduler(Scheduler):
     For every flex-offer (processed in the given order) the scheduler
     enumerates all start times and, per start time, greedily chooses each
     slice's energy so the running load approaches the reference in that
-    column; the start time with the lowest resulting objective wins.
+    column; the start time with the lowest resulting objective wins.  The
+    candidate profiles of one flex-offer — one per start time — are screened
+    with a single :func:`batch_assignment_feasibility` call, and only the
+    winning candidate is materialised as an :class:`Assignment`.
 
     Parameters
     ----------
@@ -65,6 +105,7 @@ class GreedyImbalanceScheduler(Scheduler):
     name = "greedy-imbalance"
 
     def __init__(self, objective: Optional[ImbalanceObjective] = None) -> None:
+        """See the class docstring for the parameter semantics."""
         self.objective = objective or ImbalanceObjective()
 
     def _choose_profile(
@@ -110,6 +151,16 @@ class GreedyImbalanceScheduler(Scheduler):
         flex_offers: Sequence[FlexOffer],
         reference: Optional[TimeSeries] = None,
     ) -> Schedule:
+        """Greedily assign each flex-offer to its imbalance-minimising start.
+
+        Parameters
+        ----------
+        flex_offers:
+            The flex-offers to schedule, processed in the given order.
+        reference:
+            Reference profile to track; overrides the objective's own
+            reference when provided.
+        """
         objective = (
             self.objective
             if reference is None
@@ -118,15 +169,26 @@ class GreedyImbalanceScheduler(Scheduler):
         load: dict[int, float] = {}
         assignments: list[Assignment] = []
         for flex_offer in flex_offers:
-            best: Optional[Assignment] = None
+            starts = list(
+                range(flex_offer.earliest_start, flex_offer.latest_start + 1)
+            )
+            candidates = [
+                self._choose_profile(flex_offer, start, load, objective.reference)
+                for start in starts
+            ]
+            feasible = batch_assignment_feasibility(
+                [flex_offer] * len(starts), starts, candidates
+            )
+            best: Optional[tuple[int, tuple[int, ...]]] = None
             best_value = float("inf")
-            for start in range(flex_offer.earliest_start, flex_offer.latest_start + 1):
-                values = self._choose_profile(
-                    flex_offer, start, load, objective.reference
-                )
-                candidate = Assignment(flex_offer, start, values)
+            for start, values, valid in zip(starts, candidates, feasible):
+                if not valid:  # pragma: no cover - repair always succeeds
+                    # Diagnose loudly (InvalidAssignmentError naming the
+                    # violation, as the eager constructor used to) rather
+                    # than silently dropping the candidate.
+                    validate_assignment(flex_offer, start, values)
                 candidate_load = dict(load)
-                for time, value in candidate.series.items():
+                for time, value in TimeSeries(start, values).items():
                     candidate_load[time] = candidate_load.get(time, 0) + value
                 series = TimeSeries.from_mapping(
                     {t: v for t, v in candidate_load.items()}
@@ -134,9 +196,10 @@ class GreedyImbalanceScheduler(Scheduler):
                 value = objective.of_load(series)
                 if value < best_value:
                     best_value = value
-                    best = candidate
+                    best = (start, values)
             assert best is not None  # at least one start time always exists
-            assignments.append(best)
-            for time, value in best.series.items():
+            chosen = Assignment.trusted(flex_offer, best[0], best[1])
+            assignments.append(chosen)
+            for time, value in chosen.series.items():
                 load[time] = load.get(time, 0) + value
         return Schedule(tuple(assignments))

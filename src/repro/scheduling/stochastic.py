@@ -7,6 +7,15 @@ and keeps the mutation when the objective improves.  It sits between the
 greedy constructive heuristic and the evolutionary scheduler in solution
 quality and runtime, and gives the E-SCHED benchmark a mid-strength
 reference point.
+
+Random candidate generation is split in two layers so whole schedules can be
+validated through the batch backend APIs: :func:`random_profile` draws a raw
+``(start, values)`` candidate (always repaired into validity), and
+:func:`random_assignment` wraps it in a validating :class:`Assignment`.
+Bulk consumers — the random initial schedules here and the evolutionary
+scheduler's offspring — collect raw candidates first, screen them with one
+:func:`~repro.core.assignment.batch_assignment_feasibility` call, and
+construct the assignments through the trusted fast path.
 """
 
 from __future__ import annotations
@@ -15,21 +24,30 @@ import random
 from collections.abc import Sequence
 from typing import Optional
 
-from ..core.assignment import Assignment
+from ..core.assignment import Assignment, batch_assignment_feasibility
 from ..core.flexoffer import FlexOffer
 from ..core.timeseries import TimeSeries
 from .base import Schedule, Scheduler
 from .greedy import EarliestStartScheduler
 from .objective import ImbalanceObjective
 
-__all__ = ["random_assignment", "HillClimbingScheduler"]
+__all__ = [
+    "random_profile",
+    "random_assignment",
+    "build_validated_schedule",
+    "HillClimbingScheduler",
+]
 
 
-def random_assignment(flex_offer: FlexOffer, rng: random.Random) -> Assignment:
-    """A uniformly random valid assignment of the flex-offer.
+def random_profile(
+    flex_offer: FlexOffer, rng: random.Random
+) -> tuple[int, tuple[int, ...]]:
+    """A uniformly random valid ``(start, values)`` candidate.
 
     Start time and per-slice values are drawn uniformly from the effective
     bounds; the total is then repaired into ``[cmin, cmax]`` if necessary.
+    The draw sequence is part of the seeded-reproducibility contract shared
+    with :func:`random_assignment`.
     """
     start = rng.randint(flex_offer.earliest_start, flex_offer.latest_start)
     bounds = flex_offer.effective_slice_bounds()
@@ -51,7 +69,44 @@ def random_assignment(flex_offer: FlexOffer, rng: random.Random) -> Assignment:
             drop = min(values[index] - b.amin, surplus)
             values[index] -= drop
             surplus -= drop
-    return Assignment(flex_offer, start, tuple(values))
+    return start, tuple(values)
+
+
+def random_assignment(flex_offer: FlexOffer, rng: random.Random) -> Assignment:
+    """A uniformly random valid assignment of the flex-offer.
+
+    The validating single-offer form of :func:`random_profile` (identical
+    draw sequence, so seeded runs are unchanged whichever entry point a
+    caller uses).
+    """
+    start, values = random_profile(flex_offer, rng)
+    return Assignment(flex_offer, start, values)
+
+
+def build_validated_schedule(
+    flex_offers: Sequence[FlexOffer],
+    candidates: Sequence[tuple[int, Sequence[int]]],
+) -> Schedule:
+    """A schedule from raw candidates, validated in one batch backend call.
+
+    Every ``(start, values)`` candidate is screened with
+    :func:`batch_assignment_feasibility`; verified candidates take the
+    trusted construction fast path, and any infeasible one falls back to the
+    validating constructor so it raises the standard
+    :class:`~repro.core.errors.InvalidAssignmentError` naming the violation.
+    """
+    starts = [start for start, _ in candidates]
+    values = [profile for _, profile in candidates]
+    feasible = batch_assignment_feasibility(flex_offers, starts, values)
+    assignments = tuple(
+        Assignment.trusted(flex_offer, start, profile)
+        if valid
+        else Assignment(flex_offer, start, tuple(profile))
+        for flex_offer, start, profile, valid in zip(
+            flex_offers, starts, values, feasible
+        )
+    )
+    return Schedule(assignments)
 
 
 class HillClimbingScheduler(Scheduler):
@@ -83,6 +138,7 @@ class HillClimbingScheduler(Scheduler):
         objective: Optional[ImbalanceObjective] = None,
         warm_start: bool = True,
     ) -> None:
+        """Validate and store the search parameters (see class docstring)."""
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
         if restarts < 1:
@@ -94,15 +150,28 @@ class HillClimbingScheduler(Scheduler):
         self.warm_start = warm_start
 
     def _initial(self, flex_offers: Sequence[FlexOffer], rng: random.Random) -> Schedule:
+        """The restart's starting schedule (baseline or batch-validated random)."""
         if self.warm_start:
             return EarliestStartScheduler().schedule(flex_offers)
-        return Schedule(tuple(random_assignment(f, rng) for f in flex_offers))
+        return build_validated_schedule(
+            flex_offers, [random_profile(f, rng) for f in flex_offers]
+        )
 
     def schedule(
         self,
         flex_offers: Sequence[FlexOffer],
         reference: Optional[TimeSeries] = None,
     ) -> Schedule:
+        """Hill-climb from the initial schedule; best restart wins.
+
+        Parameters
+        ----------
+        flex_offers:
+            The flex-offers to schedule.
+        reference:
+            Reference profile to track; overrides the objective's own
+            reference when provided.
+        """
         if not flex_offers:
             return Schedule(())
         objective = (

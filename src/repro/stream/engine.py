@@ -32,6 +32,7 @@ from typing import Optional, Union
 from ..aggregation.alignment import aggregate_start_aligned
 from ..aggregation.base import AggregatedFlexOffer
 from ..aggregation.grouping import GroupingParameters
+from ..backend.cache import matrix_cache
 from ..core.flexoffer import FlexOffer
 from ..measures.base import FlexibilityMeasure
 from ..measures.setwise import FlexibilitySetReport, MeasureSpec, resolve_measures
@@ -173,6 +174,10 @@ class StreamingEngine:
         #: (latest_start, offer_id) min-heap driving auto-expiry; entries for
         #: offers that already left are invalidated lazily.
         self._deadlines: list[tuple[int, str]] = []
+        #: Matrix-cache generation last synchronised with: lets a mutation
+        #: skip the O(live) cache-invalidation scan when nothing was packed
+        #: since the previous mutation (the common streaming case).
+        self._cache_generation_seen = matrix_cache.generation
 
     # ------------------------------------------------------------------ #
     # Event consumption
@@ -219,17 +224,47 @@ class StreamingEngine:
             else OfferArrived(arrival[0], arrival[1])
             for arrival in arrivals
         ]
-        batched = get_backend().per_offer_values(
-            self.measures, [event.flex_offer for event in events]
-        )
+        arriving = [event.flex_offer for event in events]
+        # The arrival batch is one-shot, so nothing it packs (whole-batch or
+        # per-shard chunk matrices under the sharded backend) may take up
+        # matrix-cache capacity or bump the generation counter.
+        with matrix_cache.bypass():
+            batched = get_backend().per_offer_values(self.measures, arriving)
+        # One invalidation for the whole batch: the per-insert scan would be
+        # O(live) each.
+        self._discard_live_matrix()
         for event, cached in zip(events, batched):
-            self._apply_arrival(event, cached=cached)
+            self._apply_arrival(event, cached=cached, sync_cache=False)
             self.stats.events += 1
+        self._cache_generation_seen = matrix_cache.generation
         return self
 
+    def _discard_live_matrix(self) -> None:
+        """Drop the packed-matrix cache entry of the live population.
+
+        Called before every population mutation so a
+        :class:`~repro.backend.cache.MatrixCache` entry packed from the
+        pre-mutation population is released immediately.  Entries are keyed
+        on content, so this is memory hygiene, not a staleness fix — and the
+        generation check makes it O(1) unless something was actually packed
+        since the engine's previous mutation.  Only the whole-population
+        key is known here; per-shard chunk matrices a sharded evaluation
+        may have cached are backend-internal and left to the cache's
+        entry/cell-budget eviction.
+        """
+        if matrix_cache.generation == self._cache_generation_seen:
+            return
+        matrix_cache.discard(self.live_offers())
+        self._cache_generation_seen = matrix_cache.generation
+
     def _apply_arrival(
-        self, event: OfferArrived, cached: Optional[dict[str, float]] = None
+        self,
+        event: OfferArrived,
+        cached: Optional[dict[str, float]] = None,
+        sync_cache: bool = True,
     ) -> None:
+        if sync_cache:
+            self._discard_live_matrix()
         flex_offer = event.flex_offer
         cell = self._index.insert(event.offer_id, flex_offer)
         aggregate = self._aggregates.get(cell)
@@ -259,6 +294,7 @@ class StreamingEngine:
 
     def _evict(self, offer_id: str) -> FlexOffer:
         """Shared removal path of expiry and assignment."""
+        self._discard_live_matrix()
         cell, flex_offer = self._index.evict(offer_id)
         aggregate = self._aggregates[cell]
         aggregate.remove(offer_id)

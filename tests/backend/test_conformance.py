@@ -1,18 +1,25 @@
-"""Differential conformance: the NumPy backend must match the reference.
+"""Differential conformance: every backend must match the reference.
 
 The reference backend *is* the semantics (the library's original per-object
 code); every other backend is only trustworthy if it is observationally
 equivalent.  These hypothesis properties drive random populations — ragged
 profile lengths, mixed consumption/production signs, tight total
-constraints — through both backends and assert:
+constraints — through the reference backend and each vectorized/parallel
+backend (``numpy``, ``sharded``) and assert:
 
 * per-offer measure values agree exactly on integer paths and to 1e-9 on
   float paths, for every registered measure in every configuration;
 * set values, ``evaluate_set`` reports, start-aligned aggregates, feasible
-  extreme profiles and assignment feasibility agree likewise;
+  extreme profiles, assignment feasibility and bulk support verdicts agree
+  likewise;
 * when one backend rejects an input (``MeasureError`` family), the other
-  rejects it too;
+  rejects it too — with the same exception class;
 * the streaming engine's bulk ingestion reproduces per-event ingestion.
+
+The registered ``sharded`` instance is swapped for one with three shards
+and no delegation threshold for the duration of this module, so the tiny
+hypothesis populations genuinely exercise the shard partition/merge paths
+rather than being delegated whole to the inner backend.
 
 Everything here is marked ``slow`` together with the other hypothesis
 suites; CI runs it in the dedicated property-tests job.
@@ -28,7 +35,13 @@ from hypothesis import strategies as st
 from strategies import grouping_parameters, populations
 
 from repro.aggregation import aggregate_start_aligned
-from repro.backend import NUMPY_AVAILABLE, get_backend, use_backend
+from repro.backend import (
+    NUMPY_AVAILABLE,
+    ShardedBackend,
+    get_backend,
+    register_backend,
+    use_backend,
+)
 from repro.core import (
     MeasureError,
     batch_assignment_feasibility,
@@ -47,8 +60,22 @@ pytestmark = [
     pytest.mark.skipif(not NUMPY_AVAILABLE, reason="NumPy backend not available"),
 ]
 
+#: The backends pinned against the reference in every property below.
+VECTOR_BACKENDS = ["numpy", "sharded"]
+
 #: Measures whose values are exact integers — backends must agree exactly.
 INTEGER_KEYS = {"time", "energy", "product", "assignments", "absolute_area"}
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _sharded_exercises_merge_paths():
+    """Make the registered ``sharded`` backend shard even tiny populations."""
+    tuned = ShardedBackend(shards=3, min_population=1)
+    register_backend(tuned)
+    yield
+    tuned.close()
+    register_backend(ShardedBackend())
+
 
 #: Every registered measure in every configuration worth distinguishing.
 MEASURE_VARIANTS = [
@@ -120,16 +147,17 @@ def assert_values_agree(key, reference, vectorized):
 # --------------------------------------------------------------------- #
 
 
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
 @pytest.mark.parametrize("factory", VARIANT_FACTORIES, ids=VARIANT_IDS)
 @given(population=populations(max_size=8))
 @settings(max_examples=25, deadline=None)
-def test_per_offer_values_agree(factory, population):
+def test_per_offer_values_agree(backend, factory, population):
     measure = factory()
     reference = outcome(
         lambda: get_backend("reference").measure_values(measure, population)
     )
     vectorized = outcome(
-        lambda: get_backend("numpy").measure_values(measure, population)
+        lambda: get_backend(backend).measure_values(measure, population)
     )
     if reference[0] == "ok" and vectorized[0] == "ok":
         assert_values_agree(measure.key, reference[1], vectorized[1])
@@ -139,14 +167,15 @@ def test_per_offer_values_agree(factory, population):
         assert vectorized == reference
 
 
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
 @pytest.mark.parametrize("factory", VARIANT_FACTORIES, ids=VARIANT_IDS)
 @given(population=populations(max_size=8))
 @settings(max_examples=25, deadline=None)
-def test_set_values_agree(factory, population):
+def test_set_values_agree(backend, factory, population):
     measure = factory()
     with use_backend("reference"):
         reference = outcome(lambda: measure.set_value(population))
-    with use_backend("numpy"):
+    with use_backend(backend):
         vectorized = outcome(lambda: measure.set_value(population))
     if reference[0] == "ok" and vectorized[0] == "ok":
         if measure.key in INTEGER_KEYS:
@@ -159,13 +188,14 @@ def test_set_values_agree(factory, population):
         assert vectorized == reference  # same exact exception class
 
 
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
 @given(population=populations(max_size=10))
 @settings(max_examples=25, deadline=None)
-def test_evaluate_set_reports_agree(population):
+def test_evaluate_set_reports_agree(backend, population):
     """The full-registry report: identical keys, skips and values."""
     with use_backend("reference"):
         reference = outcome(lambda: evaluate_set(population))
-    with use_backend("numpy"):
+    with use_backend(backend):
         vectorized = outcome(lambda: evaluate_set(population))
     if reference[0] != "ok" or vectorized[0] != "ok":
         assert vectorized == reference  # same exact exception class
@@ -180,18 +210,36 @@ def test_evaluate_set_reports_agree(population):
             assert math.isclose(actual, expected, rel_tol=1e-9, abs_tol=1e-9)
 
 
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
+@pytest.mark.parametrize(
+    "factory",
+    [lambda: get_measure("relative_area"), lambda: get_measure("series")],
+    ids=["relative_area", "series"],
+)
+@given(population=populations(max_size=10))
+@settings(max_examples=25, deadline=None)
+def test_measure_support_agrees(backend, factory, population):
+    """Bulk applicability verdicts match the scalar ``supports`` loop."""
+    measure = factory()
+    reference = get_backend("reference").measure_support(measure, population)
+    vectorized = get_backend(backend).measure_support(measure, population)
+    assert vectorized == reference
+    assert reference == [measure.supports(flex_offer) for flex_offer in population]
+
+
 # --------------------------------------------------------------------- #
 # Aggregation
 # --------------------------------------------------------------------- #
 
 
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
 @given(members=populations(min_size=1, max_size=6))
 @settings(max_examples=40, deadline=None)
-def test_start_aligned_aggregation_agrees(members):
+def test_start_aligned_aggregation_agrees(backend, members):
     """Aggregates are integer structures: equality must be exact (==)."""
     with use_backend("reference"):
         reference = aggregate_start_aligned(members)
-    with use_backend("numpy"):
+    with use_backend(backend):
         vectorized = aggregate_start_aligned(members)
     assert vectorized == reference
 
@@ -201,23 +249,25 @@ def test_start_aligned_aggregation_agrees(members):
 # --------------------------------------------------------------------- #
 
 
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
 @pytest.mark.parametrize("target", ["min", "max"])
 @given(population=populations(max_size=8))
 @settings(max_examples=40, deadline=None)
-def test_feasible_profiles_agree(target, population):
+def test_feasible_profiles_agree(backend, target, population):
     with use_backend("reference"):
         reference = batch_feasible_profiles(population, target)
-    with use_backend("numpy"):
+    with use_backend(backend):
         vectorized = batch_feasible_profiles(population, target)
     assert vectorized == reference
 
 
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
 @given(
     population=populations(min_size=1, max_size=6),
     data=st.data(),
 )
 @settings(max_examples=40, deadline=None)
-def test_assignment_feasibility_agrees(population, data):
+def test_assignment_feasibility_agrees(backend, population, data):
     """Candidate assignments around the valid region: same verdict per offer."""
     starts = []
     profiles = []
@@ -238,7 +288,7 @@ def test_assignment_feasibility_agrees(population, data):
         )
     with use_backend("reference"):
         reference = batch_assignment_feasibility(population, starts, profiles)
-    with use_backend("numpy"):
+    with use_backend(backend):
         vectorized = batch_assignment_feasibility(population, starts, profiles)
     assert vectorized == reference
 
@@ -259,10 +309,11 @@ ENGINE_MEASURES = [
 ]
 
 
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
 @given(population=populations(max_size=8), parameters=grouping_parameters())
 @settings(max_examples=25, deadline=None)
-def test_bulk_arrive_matches_per_event_ingestion(population, parameters):
-    """bulk_arrive under the NumPy backend ≡ per-event arrivals (reference)."""
+def test_bulk_arrive_matches_per_event_ingestion(backend, population, parameters):
+    """bulk_arrive under a bulk backend ≡ per-event arrivals (reference)."""
     # The relative-area measure supports — but cannot evaluate — offers whose
     # totals pin the energy to exactly zero; both ingestion paths would raise
     # identically, which the set-value properties already cover.  Keep the
@@ -274,7 +325,7 @@ def test_bulk_arrive_matches_per_event_ingestion(population, parameters):
         for offer_id, offer in arrivals:
             per_event.apply(OfferArrived(offer_id, offer))
         reference_snapshot = per_event.snapshot()
-    with use_backend("numpy"):
+    with use_backend(backend):
         bulk = StreamingEngine(parameters=parameters, measures=ENGINE_MEASURES)
         bulk.bulk_arrive(arrivals)
         bulk_snapshot = bulk.snapshot()

@@ -108,8 +108,12 @@ def test_fixture_offers_round_trip_and_match_their_source(name):
 @pytest.mark.parametrize("name", FIXTURES)
 @pytest.mark.parametrize(
     "backend",
-    ["reference", pytest.param("numpy", marks=pytest.mark.skipif(
-        not NUMPY_AVAILABLE, reason="NumPy backend not available"))],
+    [
+        "reference",
+        "sharded",
+        pytest.param("numpy", marks=pytest.mark.skipif(
+            not NUMPY_AVAILABLE, reason="NumPy backend not available")),
+    ],
 )
 def test_measure_values_are_byte_stable(name, backend):
     """Every stored value is reproduced exactly by every backend."""

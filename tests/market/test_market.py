@@ -115,6 +115,40 @@ class TestTrading:
         with pytest.raises(MarketError):
             pricer.price(fig7_f6)
 
+    def test_price_all_error_order_matches_sequential_pricing(self, fig7_f6):
+        """An earlier supported lot whose evaluation raises wins over a later
+        unsupported lot — the order sequential ``price()`` calls raised in."""
+        from repro.core import MeasureError
+
+        pricer = FlexibilityPricer(measure="relative_area")
+        undefined = FlexOffer(0, 0, [(0, 0)], name="zero-energy")  # supported, raises
+        with pytest.raises(MeasureError):
+            pricer.price_all([undefined, fig7_f6])
+        # With the unsupported lot first, its MarketError surfaces instead.
+        with pytest.raises(MarketError):
+            pricer.price_all([fig7_f6, undefined])
+
+    def test_price_all_with_raising_supports_keeps_sequential_order(self):
+        """A custom measure whose ``supports`` raises on a later lot must
+        not preempt an earlier unsupported lot's MarketError (the order
+        sequential per-lot ``price()`` calls produced)."""
+        from repro.measures import get_measure
+
+        class Prickly(type(get_measure("vector"))):
+            def supports(self, flex_offer):
+                if flex_offer.name == "last":
+                    raise RuntimeError("supports exploded")
+                return flex_offer.name != "unsupported"
+
+        book = [
+            FlexOffer(0, 2, [(1, 3)], name="fine"),
+            FlexOffer(0, 1, [(1, 2)], name="unsupported"),
+            FlexOffer(0, 0, [(1, 1)], name="last"),
+        ]
+        pricer = FlexibilityPricer(measure=Prickly())
+        with pytest.raises(MarketError, match="unsupported"):
+            pricer.price_all(book)
+
     def test_bid_total_price(self):
         bid = Bid(FlexOffer(0, 0, [(1, 1)]), energy_price=10.0, flexibility_premium=2.5)
         assert bid.total_price == 12.5

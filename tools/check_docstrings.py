@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate (a dependency-free stand-in for ``interrogate``).
+
+Walks a package tree with :mod:`ast`, counts every public definition —
+modules, classes, and functions/methods whose name does not start with an
+underscore (dunders other than ``__init__`` are ignored, as are
+``@overload`` stubs) — and fails when the fraction carrying a docstring
+drops below the threshold.
+
+Usage::
+
+    python tools/check_docstrings.py src/repro --fail-under 80 [-v]
+
+Exit status 0 when coverage >= threshold, 1 otherwise (and 2 on bad usage),
+so the script can gate CI directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+
+def is_public_function(node: ast.AST) -> bool:
+    """Whether a function/method definition counts toward coverage."""
+    name = node.name
+    if name.startswith("__"):
+        return name == "__init__"
+    if name.startswith("_"):
+        return False
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        attribute = (
+            target.attr
+            if isinstance(target, ast.Attribute)
+            else getattr(target, "id", "")
+        )
+        if attribute == "overload":
+            return False
+    return True
+
+
+def scan_module(path: Path) -> list[tuple[str, bool]]:
+    """``(qualified name, has_docstring)`` for every public definition."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found: list[tuple[str, bool]] = [
+        (str(path), ast.get_docstring(tree) is not None)
+    ]
+
+    def visit(node: ast.AST, prefix: str, in_private: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                private = in_private or child.name.startswith("_")
+                if not private:
+                    found.append(
+                        (
+                            f"{path}::{prefix}{child.name}",
+                            ast.get_docstring(child) is not None,
+                        )
+                    )
+                visit(child, f"{prefix}{child.name}.", private)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not in_private and is_public_function(child):
+                    found.append(
+                        (
+                            f"{path}::{prefix}{child.name}",
+                            ast.get_docstring(child) is not None,
+                        )
+                    )
+                # Nested defs are implementation detail: not visited.
+
+    visit(tree, "", in_private=False)
+    return found
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("roots", nargs="+", type=Path, help="package roots to scan")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=80.0,
+        help="minimum coverage percentage (default: 80)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="list every undocumented public definition",
+    )
+    options = parser.parse_args(argv)
+
+    entries: list[tuple[str, bool]] = []
+    for root in options.roots:
+        if not root.exists():
+            print(f"error: {root} does not exist", file=sys.stderr)
+            return 2
+        for path in sorted(root.rglob("*.py")):
+            entries.extend(scan_module(path))
+    if not entries:
+        print("error: nothing to scan", file=sys.stderr)
+        return 2
+
+    documented = sum(1 for _, has_doc in entries if has_doc)
+    coverage = 100.0 * documented / len(entries)
+    missing = [name for name, has_doc in entries if not has_doc]
+    if options.verbose and missing:
+        print("undocumented public definitions:")
+        for name in missing:
+            print(f"  {name}")
+    print(
+        f"docstring coverage: {documented}/{len(entries)} public definitions "
+        f"({coverage:.1f}%), threshold {options.fail_under:.1f}%"
+    )
+    if coverage < options.fail_under:
+        print("FAILED docstring-coverage gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Run doctest over the fenced Python examples in ``docs/*.md``.
+
+Every ```` ```python ```` fence containing interpreter-style ``>>>``
+examples is extracted and executed with :mod:`doctest`, each file in one
+shared namespace (so a fence may build on names defined by earlier fences
+in the same document).  Fences without ``>>>`` lines are treated as display
+snippets and skipped.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_docs_doctests.py docs/*.md
+
+Exit status 0 when every example passes, 1 on any failure, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+#: A fenced code block marked as python, non-greedy to the closing fence.
+FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def extract_examples(text: str) -> list[str]:
+    """The doctest-style fenced blocks of one markdown document."""
+    return [
+        block for block in FENCE.findall(text) if ">>>" in block
+    ]
+
+
+def run_file(path: Path) -> tuple[int, int]:
+    """``(failures, attempts)`` over every doctest fence of one file."""
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(optionflags=doctest.ELLIPSIS)
+    namespace: dict[str, object] = {}
+    failures = attempts = 0
+    for index, block in enumerate(extract_examples(path.read_text())):
+        test = parser.get_doctest(
+            block, namespace, f"{path.name}[{index}]", str(path), 0
+        )
+        result = runner.run(test, clear_globs=False)
+        failures += result.failed
+        attempts += result.attempted
+        namespace = test.globs  # later fences may reuse earlier names
+    return failures, attempts
+
+
+def main(argv: list[str]) -> int:
+    paths = [Path(arg) for arg in argv]
+    if not paths:
+        print("usage: run_docs_doctests.py <markdown files>", file=sys.stderr)
+        return 2
+    total_failures = total_attempts = 0
+    for path in paths:
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+        failures, attempts = run_file(path)
+        status = "FAILED" if failures else "ok"
+        print(f"{path}: {attempts - failures}/{attempts} examples passed [{status}]")
+        total_failures += failures
+        total_attempts += attempts
+    print(
+        f"docs doctest total: {total_attempts - total_failures}/{total_attempts} "
+        "examples passed"
+    )
+    return 1 if total_failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
