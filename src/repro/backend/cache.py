@@ -197,6 +197,40 @@ class MatrixCache:
             entry = self._entries.get(self.key_of(flex_offers))
             return entry[0] if entry is not None else None
 
+    def put(self, key: tuple, value: object, weight: int = 0) -> bool:
+        """Seed an externally built entry under a precomputed key.
+
+        The streaming engine's publication path: a live, incrementally
+        maintained packed matrix is stored so that subsequent bulk calls on
+        the same population hit instead of re-packing.  Obeys the same
+        bounds as :meth:`get`'s store path (capacity, cell budget, bypass
+        windows) and bumps :attr:`generation`.  Returns whether the entry
+        was retained.  Callers must hand over a value they will no longer
+        mutate — cached entries are shared.
+        """
+        if self.capacity == 0:
+            return False
+        weight = int(weight)
+        if weight > self.cell_budget:
+            return False
+        with self._lock:
+            if self._bypass_depth > 0:
+                return False
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._weight -= previous[1]
+            self._entries[key] = (value, weight)
+            self._weight += weight
+            self.generation += 1
+            while self._entries and (
+                len(self._entries) > self.capacity
+                or self._weight > self.cell_budget
+            ):
+                _, (_, evicted_weight) = self._entries.popitem(last=False)
+                self._weight -= evicted_weight
+                self.evictions += 1
+        return True
+
     @contextmanager
     def bypass(self):
         """Serve hits but store nothing for the duration (one-shot inputs).

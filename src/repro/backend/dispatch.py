@@ -3,7 +3,8 @@
 The measures, aggregation, assignment and streaming code all reduce to the
 same handful of bulk operations over a population of flex-offers (per-offer
 measure values, set combination, aligned column sums, feasible extreme
-profiles, assignment feasibility).  :class:`ComputeBackend` names those
+profiles, assignment feasibility, schedule-imbalance objectives).
+:class:`ComputeBackend` names those
 operations; concrete backends implement them either with the original
 per-object Python code (``reference``) or with packed NumPy arrays
 (``numpy``).  Callers never pick an implementation directly — they ask
@@ -80,6 +81,21 @@ def _env_int(variable: str, minimum: int) -> Optional[int]:
         value = minimum - 1
     if value < minimum:
         _warn_ignored_env(variable, raw, f"an integer >= {minimum}")
+        return None
+    return value
+
+
+def _env_float(variable: str, minimum: float, maximum: float) -> Optional[float]:
+    """A float environment knob in ``[minimum, maximum]``, or ``None`` (warns)."""
+    raw = os.environ.get(variable)
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        value = minimum - 1.0
+    if not minimum <= value <= maximum:
+        _warn_ignored_env(variable, raw, f"a number in [{minimum}, {maximum}]")
         return None
     return value
 
@@ -227,6 +243,47 @@ class ComputeBackend(abc.ABC):
     ) -> list[bool]:
         """Whether each ``(start, values)`` pair is a valid Definition 2
         assignment of its flex-offer."""
+
+    # ------------------------------------------------------------------ #
+    # Scheduling objectives
+    # ------------------------------------------------------------------ #
+    def batch_objectives(
+        self,
+        schedules: Sequence[Sequence[tuple[int, Sequence[int]]]],
+        reference=None,
+        metric: str = "absolute",
+    ) -> list[float]:
+        """Imbalance objective of many schedules in one bulk call.
+
+        Each schedule is a sequence of ``(start_time, values)`` assignment
+        pairs; ``reference`` is the optional supply
+        :class:`~repro.core.timeseries.TimeSeries` the schedules should
+        track and ``metric`` is ``"absolute"`` (L1 imbalance energy) or
+        ``"squared"`` (peak-penalising).  Per schedule the result equals
+        ``ImbalanceObjective(metric, reference).of_schedule(...)`` exactly —
+        including the float combination order — so schedulers can score a
+        whole generation in one backend call without perturbing seeded
+        search trajectories.  The default runs the scalar semantics
+        (:meth:`TimeSeries.sum_of` per schedule plus a sequential fold);
+        vectorizing backends override it.
+        """
+        from ..core.timeseries import TimeSeries
+
+        if metric not in ("absolute", "squared"):
+            raise ValueError(f"unknown imbalance metric {metric!r}")
+        results: list[float] = []
+        for schedule in schedules:
+            load = TimeSeries.sum_of(
+                [TimeSeries(start, tuple(values)) for start, values in schedule]
+            )
+            deviation = load if reference is None else load - reference
+            if metric == "absolute":
+                results.append(float(sum(abs(value) for value in deviation.values)))
+            else:
+                results.append(
+                    float(sum(value * value for value in deviation.values))
+                )
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -17,6 +17,31 @@ constraints, sign-class masks) are computed lazily and cached; all of them
 are exact integer arithmetic, which is what lets the NumPy backend match the
 reference implementation bit-for-bit on integer paths.
 
+Incremental lifecycle
+---------------------
+A matrix is no longer only a one-shot pack: it can be maintained *live*
+under per-event population deltas, which is what the streaming engine does
+instead of throwing the packed arrays away on every mutation:
+
+* :meth:`ProfileMatrix.append` adds offers at the end in amortized O(Δ)
+  (capacity-doubling storage, one Python sweep over the new offers only);
+* :meth:`ProfileMatrix.tombstone` marks rows dead in O(Δ) without moving
+  any data; dead rows are skipped through the :attr:`alive` mask;
+* :meth:`ProfileMatrix.compact` drops the dead rows with one vectorized
+  boolean gather, leaving arrays bit-identical to a fresh pack of the
+  survivors.  Compaction triggers automatically once the tombstone ratio
+  reaches ``compact_threshold`` (the ``REPRO_MATRIX_COMPACT`` knob), so the
+  per-event cost stays amortized O(Δ);
+* :meth:`ProfileMatrix.snapshot` publishes a zero-copy frozen view of the
+  current rows (safe because rows are never mutated in place — appends
+  write beyond the view, compaction replaces the backing stores);
+* :meth:`ProfileMatrix.slice` carves a contiguous sub-population out as its
+  own matrix — the sharded backend's per-shard handles — again without a
+  Python re-pack.
+
+Bulk consumers (the compute backends) require a matrix without live
+tombstones; the streaming engine compacts before publishing.
+
 This module imports NumPy at module level and is therefore only imported by
 the NumPy backend; everything else in the library must keep working when the
 import fails.
@@ -26,12 +51,20 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from functools import cached_property
+from typing import Optional
 
 import numpy as np
 
 from ..core.flexoffer import FlexOffer
 
-__all__ = ["ProfileMatrix", "VALUE_LIMIT", "SLICE_LIMIT", "DENSE_CELL_LIMIT"]
+__all__ = [
+    "ProfileMatrix",
+    "VALUE_LIMIT",
+    "SLICE_LIMIT",
+    "DENSE_CELL_LIMIT",
+    "ENV_COMPACT_VAR",
+    "DEFAULT_COMPACT_THRESHOLD",
+]
 
 _INT64 = np.int64
 
@@ -54,6 +87,51 @@ SLICE_LIMIT = 1 << 20
 #: the scalar loops, which only need O(per-offer width) memory.
 DENSE_CELL_LIMIT = 10_000_000
 
+#: Environment variable holding the tombstone ratio that triggers automatic
+#: compaction of a live matrix (a float in ``[0, 1]``; ``0`` compacts on
+#: every tombstone, ``1`` only once every row is dead).
+ENV_COMPACT_VAR = "REPRO_MATRIX_COMPACT"
+
+#: Tombstone ratio when ``REPRO_MATRIX_COMPACT`` is unset: compact once a
+#: quarter of the rows are dead.  Low enough that the O(live) gather stays
+#: amortized O(1) per tombstone, high enough that eviction bursts do not
+#: compact on every event.
+DEFAULT_COMPACT_THRESHOLD = 0.25
+
+#: Per-offer int64 store names, gathered/grown together.
+_OFFER_STORES = ("_tes", "_tls", "_cmin", "_cmax", "_durations")
+
+#: Instance-dict names of every lazily cached derived quantity; popped on
+#: each structural mutation so the next access recomputes over the new rows.
+_DERIVED_CACHES = (
+    "owner",
+    "within",
+    "profile_min",
+    "profile_max",
+    "time_flexibility",
+    "energy_flexibility",
+    "effective_amin",
+    "effective_amax",
+    "is_consumption",
+    "is_production",
+    "is_mixed",
+    "area_sizes",
+)
+
+
+def _compact_threshold(value: Optional[float]) -> float:
+    """Resolve the compaction threshold (argument > env knob > default)."""
+    if value is not None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(
+                f"compact_threshold must lie in [0, 1], got {value}"
+            )
+        return float(value)
+    from .dispatch import _env_float
+
+    environment = _env_float(ENV_COMPACT_VAR, 0.0, 1.0)
+    return DEFAULT_COMPACT_THRESHOLD if environment is None else environment
+
 
 class ProfileMatrix:
     """A flex-offer population as packed ``(amin, amax)`` arrays.
@@ -63,6 +141,11 @@ class ProfileMatrix:
     flex_offers:
         The population, in evaluation order.  Order is preserved everywhere:
         row ``i`` of every per-offer array describes ``offers[i]``.
+    compact_threshold:
+        Tombstone ratio at which :meth:`tombstone` compacts automatically;
+        ``None`` reads ``REPRO_MATRIX_COMPACT`` and falls back to
+        :data:`DEFAULT_COMPACT_THRESHOLD`.  Only relevant for matrices
+        maintained live.
 
     Raises
     ------
@@ -72,14 +155,46 @@ class ProfileMatrix:
         the reference backend in that case.
     """
 
-    def __init__(self, flex_offers: Iterable[FlexOffer]) -> None:
-        offers = tuple(flex_offers)
-        self.offers: tuple[FlexOffer, ...] = offers
+    def __init__(
+        self,
+        flex_offers: Iterable[FlexOffer],
+        compact_threshold: Optional[float] = None,
+    ) -> None:
+        offers = list(flex_offers)
+        arrays = self._sweep(offers)
+        self._check_arrays(*arrays)
+        self._offers: list[FlexOffer] = offers
+        self._offers_tuple: Optional[tuple[FlexOffer, ...]] = None
+        self._frozen = False
+        self._dead = 0
+        self.compact_threshold = _compact_threshold(compact_threshold)
+        tes, tls, cmin, cmax, durations, amin, amax = arrays
+        self._tes = tes
+        self._tls = tls
+        self._cmin = cmin
+        self._cmax = cmax
+        self._durations = durations
         n = len(offers)
+        self._offsets = np.zeros(n + 1, dtype=_INT64)
+        np.cumsum(durations, out=self._offsets[1:])
+        self._amin = amin
+        self._amax = amax
+        self._alive = np.ones(n, dtype=bool)
         self.size = n
-        # Single pass over the population: the Python-level attribute reads
-        # dominate construction cost, so every per-offer and per-slice field
-        # is collected in one sweep before handing over to NumPy.
+        self._refresh_views()
+
+    # ------------------------------------------------------------------ #
+    # Packing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _sweep(offers: Sequence[FlexOffer]) -> tuple[np.ndarray, ...]:
+        """One Python pass over ``offers`` into the seven packed arrays.
+
+        The Python-level attribute reads dominate packing cost, so every
+        per-offer and per-slice field is collected in one sweep before
+        handing over to NumPy.  Shared by construction and :meth:`append`
+        (which sweeps only the delta).
+        """
         tes: list[int] = []
         tls: list[int] = []
         cmin: list[int] = []
@@ -97,32 +212,322 @@ class ProfileMatrix:
             for energy_slice in slices:
                 amin.append(energy_slice.amin)
                 amax.append(energy_slice.amax)
-        self.tes = np.array(tes, dtype=_INT64)
-        self.tls = np.array(tls, dtype=_INT64)
-        self.cmin = np.array(cmin, dtype=_INT64)
-        self.cmax = np.array(cmax, dtype=_INT64)
-        self.durations = np.array(durations, dtype=_INT64)
-        self.offsets = np.zeros(n + 1, dtype=_INT64)
-        np.cumsum(self.durations, out=self.offsets[1:])
-        self.amin = np.array(amin, dtype=_INT64)
-        self.amax = np.array(amax, dtype=_INT64)
-        self._check_representable()
+        return (
+            np.array(tes, dtype=_INT64),
+            np.array(tls, dtype=_INT64),
+            np.array(cmin, dtype=_INT64),
+            np.array(cmax, dtype=_INT64),
+            np.array(durations, dtype=_INT64),
+            np.array(amin, dtype=_INT64),
+            np.array(amax, dtype=_INT64),
+        )
 
-    def _check_representable(self) -> None:
-        """Reject populations whose *derived sums* could leave ``int64``."""
-        if self.size == 0:
-            return
-        for values in (self.tes, self.tls, self.cmin, self.cmax, self.amin, self.amax):
+    @staticmethod
+    def _check_arrays(tes, tls, cmin, cmax, durations, amin, amax) -> None:
+        """Reject rows whose *derived sums* could leave ``int64``."""
+        for values in (tes, tls, cmin, cmax, amin, amax):
             if values.size and int(np.abs(values).max()) > VALUE_LIMIT:
                 raise OverflowError(
                     f"flex-offer magnitudes beyond {VALUE_LIMIT} are not "
                     "packable without risking inexact int64 sums"
                 )
-        if int(self.durations.max()) > SLICE_LIMIT:
+        if durations.size and int(durations.max()) > SLICE_LIMIT:
             raise OverflowError(
                 f"profiles longer than {SLICE_LIMIT} slices are not packable "
                 "without risking inexact int64 sums"
             )
+
+    def _refresh_views(self) -> None:
+        """Re-point the public arrays at the live prefix of the stores.
+
+        The kernels read plain attributes (no property indirection on the
+        hot paths); after every structural mutation the attributes are
+        re-sliced so they cover exactly the first ``size`` rows.
+        """
+        n = self.size
+        total = int(self._offsets[n])
+        self.tes = self._tes[:n]
+        self.tls = self._tls[:n]
+        self.cmin = self._cmin[:n]
+        self.cmax = self._cmax[:n]
+        self.durations = self._durations[:n]
+        self.offsets = self._offsets[: n + 1]
+        self.amin = self._amin[:total]
+        self.amax = self._amax[:total]
+        self.alive = self._alive[:n]
+
+    def _invalidate_derived(self) -> None:
+        for name in _DERIVED_CACHES:
+            self.__dict__.pop(name, None)
+        self._offers_tuple = None
+
+    # ------------------------------------------------------------------ #
+    # Incremental lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def offers(self) -> tuple[FlexOffer, ...]:
+        """The packed offers, row-aligned (tombstoned rows included)."""
+        if self._offers_tuple is None:
+            self._offers_tuple = tuple(self._offers)
+        return self._offers_tuple
+
+    @property
+    def dead_count(self) -> int:
+        """Number of tombstoned rows awaiting compaction."""
+        return self._dead
+
+    @property
+    def live_count(self) -> int:
+        """Number of surviving (non-tombstoned) rows."""
+        return self.size - self._dead
+
+    def _require_mutable(self) -> None:
+        if self._frozen:
+            raise ValueError(
+                "this ProfileMatrix is a frozen snapshot; mutate the live "
+                "matrix it was taken from instead"
+            )
+
+    def _grow(self, extra_offers: int, extra_slices: int) -> None:
+        """Ensure capacity for ``extra`` rows/slices (geometric growth)."""
+        need = self.size + extra_offers
+        if need > len(self._tes):
+            new_cap = max(need, 2 * len(self._tes), 8)
+            for name in _OFFER_STORES:
+                store = getattr(self, name)
+                grown = np.empty(new_cap, dtype=_INT64)
+                grown[: self.size] = store[: self.size]
+                setattr(self, name, grown)
+            offsets = np.empty(new_cap + 1, dtype=_INT64)
+            offsets[: self.size + 1] = self._offsets[: self.size + 1]
+            self._offsets = offsets
+            alive = np.empty(new_cap, dtype=bool)
+            alive[: self.size] = self._alive[: self.size]
+            self._alive = alive
+        total = int(self._offsets[self.size])
+        need = total + extra_slices
+        if need > len(self._amin):
+            new_cap = max(need, 2 * len(self._amin), 8)
+            for name in ("_amin", "_amax"):
+                store = getattr(self, name)
+                grown = np.empty(new_cap, dtype=_INT64)
+                grown[:total] = store[:total]
+                setattr(self, name, grown)
+
+    def _append_one(self, flex_offer: FlexOffer) -> None:
+        """Scalar fast path of :meth:`append` for a single offer.
+
+        The streaming engine appends one offer per arrival event; building
+        seven one-element NumPy arrays (plus their vectorized validity
+        checks) dominates that path, so the single-offer case validates
+        with Python comparisons and writes scalars straight into the
+        stores.  Semantics are identical to the batch path, including the
+        validate-before-write atomicity.
+        """
+        tes = flex_offer.earliest_start
+        tls = flex_offer.latest_start
+        cmin = flex_offer.total_energy_min
+        cmax = flex_offer.total_energy_max
+        slices = flex_offer.slices
+        limit = VALUE_LIMIT
+        overflow = (
+            tes > limit or tes < -limit
+            or tls > limit or tls < -limit
+            or cmin > limit or cmin < -limit
+            or cmax > limit or cmax < -limit
+        )
+        if not overflow:
+            for energy_slice in slices:
+                amin = energy_slice.amin
+                amax = energy_slice.amax
+                if amin > limit or amin < -limit or amax > limit or amax < -limit:
+                    overflow = True
+                    break
+        if overflow:
+            raise OverflowError(
+                f"flex-offer magnitudes beyond {limit} are not packable "
+                "without risking inexact int64 sums"
+            )
+        if len(slices) > SLICE_LIMIT:
+            raise OverflowError(
+                f"profiles longer than {SLICE_LIMIT} slices are not packable "
+                "without risking inexact int64 sums"
+            )
+        self._grow(1, len(slices))
+        n = self.size
+        self._tes[n] = tes
+        self._tls[n] = tls
+        self._cmin[n] = cmin
+        self._cmax[n] = cmax
+        self._durations[n] = len(slices)
+        total = int(self._offsets[n])
+        self._offsets[n + 1] = total + len(slices)
+        for position, energy_slice in enumerate(slices, start=total):
+            self._amin[position] = energy_slice.amin
+            self._amax[position] = energy_slice.amax
+        self._alive[n] = True
+        self._offers.append(flex_offer)
+        self.size = n + 1
+        self._refresh_views()
+        self._invalidate_derived()
+
+    def append(self, flex_offers: Iterable[FlexOffer]) -> None:
+        """Append offers at the end, amortized O(Δ).
+
+        The new rows are swept and validated *before* anything is written,
+        so an ``OverflowError`` (unpackable magnitudes) leaves the matrix
+        exactly as it was — callers degrade to their scalar path without a
+        torn state.
+        """
+        self._require_mutable()
+        new = list(flex_offers)
+        if not new:
+            return
+        if len(new) == 1:
+            self._append_one(new[0])
+            return
+        arrays = self._sweep(new)
+        self._check_arrays(*arrays)
+        tes, tls, cmin, cmax, durations, amin, amax = arrays
+        k = len(new)
+        self._grow(k, len(amin))
+        n = self.size
+        self._tes[n : n + k] = tes
+        self._tls[n : n + k] = tls
+        self._cmin[n : n + k] = cmin
+        self._cmax[n : n + k] = cmax
+        self._durations[n : n + k] = durations
+        np.cumsum(durations, out=self._offsets[n + 1 : n + k + 1])
+        self._offsets[n + 1 : n + k + 1] += self._offsets[n]
+        total = int(self._offsets[n])
+        self._amin[total : total + len(amin)] = amin
+        self._amax[total : total + len(amax)] = amax
+        self._alive[n : n + k] = True
+        self._offers.extend(new)
+        self.size = n + k
+        self._refresh_views()
+        self._invalidate_derived()
+
+    def tombstone(self, rows: Sequence[int]) -> Optional[np.ndarray]:
+        """Mark rows dead in O(Δ); auto-compacts past the threshold.
+
+        Returns the array of surviving old row indices when the tombstone
+        ratio reached ``compact_threshold`` and a compaction ran, ``None``
+        otherwise — callers maintaining row-aligned side structures (the
+        streaming engine's value columns) gather by the same indices.
+        Already-dead rows are ignored.  Tombstoning never touches row data,
+        so the lazily cached derived arrays stay valid until compaction.
+        """
+        self._require_mutable()
+        for row in rows:
+            index = int(row)
+            if not 0 <= index < self.size:
+                raise IndexError(f"row {index} outside 0..{self.size - 1}")
+            if self.alive[index]:
+                self._alive[index] = False
+                self._dead += 1
+        if self._dead and self._dead >= self.compact_threshold * self.size:
+            return self.compact()
+        return None
+
+    def compact(self) -> np.ndarray:
+        """Drop tombstoned rows with one vectorized gather.
+
+        Order-preserving, so the compacted arrays are bit-identical to a
+        fresh pack of the surviving offers.  Returns the surviving old row
+        indices (``arange(size)`` when nothing was dead).
+        """
+        self._require_mutable()
+        if self._dead == 0:
+            return np.arange(self.size, dtype=_INT64)
+        keep = np.flatnonzero(self.alive)
+        slice_keep = np.repeat(self.alive, self.durations)
+        self._tes = self.tes[keep]
+        self._tls = self.tls[keep]
+        self._cmin = self.cmin[keep]
+        self._cmax = self.cmax[keep]
+        durations = self.durations[keep]
+        self._durations = durations
+        self._amin = self.amin[slice_keep]
+        self._amax = self.amax[slice_keep]
+        n = len(keep)
+        self._offsets = np.zeros(n + 1, dtype=_INT64)
+        np.cumsum(durations, out=self._offsets[1:])
+        self._alive = np.ones(n, dtype=bool)
+        self._offers = [self._offers[int(index)] for index in keep]
+        self._dead = 0
+        self.size = n
+        self._refresh_views()
+        self._invalidate_derived()
+        return keep
+
+    def snapshot(self) -> "ProfileMatrix":
+        """A frozen zero-copy view of the current rows (compact first).
+
+        Row data is never mutated in place — :meth:`append` writes beyond
+        the snapshot's views and :meth:`compact` replaces the backing
+        stores — so the snapshot stays bit-stable while the live matrix
+        keeps evolving.  Snapshots refuse further mutation (they share
+        storage with the live matrix) and are what the streaming engine
+        publishes into the :data:`~repro.backend.cache.matrix_cache`.
+        """
+        if self._dead:
+            raise ValueError("compact() before snapshotting a live matrix")
+        clone = object.__new__(ProfileMatrix)
+        clone._offers = self._offers[:]
+        clone._offers_tuple = None
+        clone._frozen = True
+        clone._dead = 0
+        clone.compact_threshold = self.compact_threshold
+        clone._tes = self.tes
+        clone._tls = self.tls
+        clone._cmin = self.cmin
+        clone._cmax = self.cmax
+        clone._durations = self.durations
+        clone._offsets = self.offsets
+        clone._amin = self.amin
+        clone._amax = self.amax
+        clone._alive = self.alive
+        clone.size = self.size
+        clone._refresh_views()
+        return clone
+
+    def slice(self, start: int, stop: int) -> "ProfileMatrix":
+        """A matrix over rows ``start:stop`` without a Python re-pack.
+
+        Shares the packed storage (contiguous array views; only ``offsets``
+        is rebased into a small copy), so carving a shard out of a cached
+        whole-population matrix is C-speed.  The result is frozen, like
+        :meth:`snapshot`, and requires a tombstone-free source.
+        """
+        if self._dead:
+            raise ValueError("compact() before slicing a live matrix")
+        if not 0 <= start <= stop <= self.size:
+            raise IndexError(
+                f"slice [{start}:{stop}] outside 0..{self.size}"
+            )
+        clone = object.__new__(ProfileMatrix)
+        clone._offers = self._offers[start:stop]
+        clone._offers_tuple = None
+        clone._frozen = True
+        clone._dead = 0
+        clone.compact_threshold = self.compact_threshold
+        clone._tes = self.tes[start:stop]
+        clone._tls = self.tls[start:stop]
+        clone._cmin = self.cmin[start:stop]
+        clone._cmax = self.cmax[start:stop]
+        clone._durations = self.durations[start:stop]
+        clone._offsets = (
+            self.offsets[start : stop + 1] - self.offsets[start]
+        )
+        low = int(self.offsets[start])
+        high = int(self.offsets[stop])
+        clone._amin = self.amin[low:high]
+        clone._amax = self.amax[low:high]
+        clone._alive = self.alive[start:stop]
+        clone.size = stop - start
+        clone._refresh_views()
+        return clone
 
     # ------------------------------------------------------------------ #
     # Packed indexing helpers
@@ -263,7 +668,7 @@ class ProfileMatrix:
         from the retained offers — simple, and the subset case is rare
         enough that cleverer packed gathering is not worth its surface.
         """
-        return ProfileMatrix([self.offers[int(i)] for i in indices])
+        return ProfileMatrix([self._offers[int(i)] for i in indices])
 
     def profiles(self, packed: np.ndarray) -> list[tuple[int, ...]]:
         """Split a packed per-slice array back into per-offer tuples."""
@@ -277,4 +682,8 @@ class ProfileMatrix:
         return self.size
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ProfileMatrix({self.size} offers, {int(self.offsets[-1])} slices)"
+        dead = f", {self._dead} dead" if self._dead else ""
+        return (
+            f"ProfileMatrix({self.size} offers, "
+            f"{int(self.offsets[-1])} slices{dead})"
+        )

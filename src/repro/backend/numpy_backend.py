@@ -34,7 +34,7 @@ import numpy as np
 from ..core.flexoffer import FlexOffer
 from .cache import cached_matrix
 from .dispatch import ComputeBackend, register_backend
-from .matrix import VALUE_LIMIT, ProfileMatrix
+from .matrix import DENSE_CELL_LIMIT, VALUE_LIMIT, ProfileMatrix
 from .reference import ReferenceBackend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -44,6 +44,22 @@ __all__ = ["NumpyBackend"]
 
 #: Shared scalar fallback for inputs the packed representation cannot hold.
 _FALLBACK = ReferenceBackend()
+
+
+def _as_matrix(
+    flex_offers: Union[Sequence[FlexOffer], ProfileMatrix]
+) -> ProfileMatrix:
+    """The packed matrix of a population-or-handle argument.
+
+    Every bulk operation accepts either a raw offer sequence or an
+    already-packed :class:`ProfileMatrix` (the ``prepare()`` / sharded
+    slice handles); this is the single place that coercion lives.
+    Propagates the packer's ``OverflowError`` so each call site keeps its
+    own reference-backend fallback.
+    """
+    if isinstance(flex_offers, ProfileMatrix):
+        return flex_offers
+    return cached_matrix(flex_offers)
 
 
 def _support_mask(measure: "FlexibilityMeasure", matrix: ProfileMatrix) -> np.ndarray:
@@ -86,11 +102,7 @@ class NumpyBackend(ComputeBackend):
         flex_offers: Union[Sequence[FlexOffer], ProfileMatrix],
     ) -> list[float]:
         try:
-            matrix = (
-                flex_offers
-                if isinstance(flex_offers, ProfileMatrix)
-                else cached_matrix(flex_offers)
-            )
+            matrix = _as_matrix(flex_offers)
         except OverflowError:
             return _FALLBACK.measure_values(measure, flex_offers)
         return measure.batch_values(matrix)
@@ -113,11 +125,7 @@ class NumpyBackend(ComputeBackend):
         flex_offers: Union[Sequence[FlexOffer], ProfileMatrix],
     ) -> list[bool]:
         try:
-            matrix = (
-                flex_offers
-                if isinstance(flex_offers, ProfileMatrix)
-                else cached_matrix(flex_offers)
-            )
+            matrix = _as_matrix(flex_offers)
         except OverflowError:
             return _FALLBACK.measure_support(measure, flex_offers)
         return [bool(flag) for flag in _support_mask(measure, matrix)]
@@ -125,11 +133,11 @@ class NumpyBackend(ComputeBackend):
     def evaluate_population(
         self,
         measures: Sequence["FlexibilityMeasure"],
-        flex_offers: Sequence[FlexOffer],
+        flex_offers: Union[Sequence[FlexOffer], ProfileMatrix],
         skip_unsupported: bool = True,
     ) -> tuple[dict[str, float], list[str]]:
         try:
-            matrix = cached_matrix(flex_offers)
+            matrix = _as_matrix(flex_offers)
         except OverflowError:
             return _FALLBACK.evaluate_population(measures, flex_offers, skip_unsupported)
         values: dict[str, float] = {}
@@ -151,10 +159,10 @@ class NumpyBackend(ComputeBackend):
     def per_offer_values(
         self,
         measures: Sequence["FlexibilityMeasure"],
-        flex_offers: Sequence[FlexOffer],
+        flex_offers: Union[Sequence[FlexOffer], ProfileMatrix],
     ) -> list[dict[str, float]]:
         try:
-            matrix = cached_matrix(flex_offers)
+            matrix = _as_matrix(flex_offers)
         except OverflowError:
             return _FALLBACK.per_offer_values(measures, flex_offers)
         results: list[dict[str, float]] = [{} for _ in range(matrix.size)]
@@ -176,10 +184,10 @@ class NumpyBackend(ComputeBackend):
     # Aggregation
     # ------------------------------------------------------------------ #
     def aggregate_columns(
-        self, members: Sequence[FlexOffer]
+        self, members: Union[Sequence[FlexOffer], ProfileMatrix]
     ) -> tuple[int, list[int], list[tuple[int, int]]]:
         try:
-            matrix = cached_matrix(members)
+            matrix = _as_matrix(members)
         except OverflowError:
             return _FALLBACK.aggregate_columns(members)
         if matrix.size > (1 << 22):
@@ -276,6 +284,128 @@ class NumpyBackend(ComputeBackend):
         totals = matrix._reduce(np.add, packed)
         total_ok = (matrix.cmin <= totals) & (totals <= matrix.cmax)
         return (start_ok & slices_ok & total_ok).tolist()
+
+    # ------------------------------------------------------------------ #
+    # Scheduling objectives
+    # ------------------------------------------------------------------ #
+    def batch_objectives(
+        self,
+        schedules: Sequence[Sequence[tuple[int, Sequence[int]]]],
+        reference=None,
+        metric: str = "absolute",
+    ) -> list[float]:
+        """Whole-generation imbalance objectives over one dense load grid.
+
+        The expensive part of the scalar path — building one
+        ``TimeSeries`` per assignment and summing them per schedule — is
+        replaced by a single ``np.add.at`` scatter of every assignment's
+        values into a ``(schedules × horizon)`` int64 grid.  The final
+        per-schedule fold stays a sequential Python reduction over the
+        (small) deviation row, in time order, so the float results match
+        the scalar objective bit-for-bit; columns outside a schedule's own
+        span are exact zeros and leave the fold unchanged.  Inputs the
+        packed representation cannot evaluate exactly (non-int or oversized
+        values, negative starts the scalar ``TimeSeries`` would reject,
+        schedules so large their column sums could leave int64) take the
+        scalar fallback.
+        """
+        if metric not in ("absolute", "squared"):
+            raise ValueError(f"unknown imbalance metric {metric!r}")
+        schedules = [list(schedule) for schedule in schedules]
+        if not schedules:
+            return []
+        starts = [start for schedule in schedules for start, _ in schedule]
+        durations = [
+            len(values) for schedule in schedules for _, values in schedule
+        ]
+        flat: list[int] = []
+        for schedule in schedules:
+            for _, values in schedule:
+                flat.extend(values)
+        any_empty = any(not schedule for schedule in schedules)
+        scalar = super().batch_objectives
+        # Validation mirrors the scalar TimeSeries path exactly — non-int
+        # (and bool) entries and negative starts are rejected, magnitudes
+        # must stay in the exact-sum range — but runs at C speed: a
+        # ``set(map(type, ...))`` sweep distinguishes bool from int (they
+        # are distinct types), the int64 conversion raises ``OverflowError``
+        # on unbounded Python ints, and the bound checks are vectorized.
+        try:
+            if starts and set(map(type, starts)) != {int}:
+                return scalar(schedules, reference, metric)
+            start_array = np.asarray(starts, dtype=np.int64)
+            if flat and set(map(type, flat)) != {int}:
+                return scalar(schedules, reference, metric)
+            flat_array = np.asarray(flat, dtype=np.int64)
+        except OverflowError:
+            return scalar(schedules, reference, metric)
+        if starts and int(start_array.min()) < 0:
+            return scalar(schedules, reference, metric)
+        if flat and int(np.abs(flat_array).max()) > VALUE_LIMIT:
+            return scalar(schedules, reference, metric)
+        if max((len(schedule) for schedule in schedules), default=0) > (1 << 21):
+            # Column sums accumulate per schedule; beyond ~2M assignments a
+            # single column could leave the exactly-representable range.
+            return scalar(schedules, reference, metric)
+        reference_values = tuple(reference.values) if reference is not None else ()
+        reference_ints = all(type(value) is int for value in reference_values)
+        if reference_ints and reference_values and (
+            max(map(abs, reference_values)) > VALUE_LIMIT
+        ):
+            return scalar(schedules, reference, metric)
+        duration_array = np.asarray(durations, dtype=np.int64)
+        # The global grid covers every schedule's load span (and 0 for the
+        # empty-schedule anchor) plus the reference span — a superset of
+        # each schedule's own union span, with the extra columns exactly 0.
+        low = int(start_array.min()) if starts else 0
+        if any_empty or not starts:
+            low = min(low, 0)
+        high = (
+            int((start_array + duration_array).max()) - 1 if starts else low - 1
+        )
+        if reference is not None:
+            low = min(low, reference.start)
+            high = max(high, reference.end)
+        horizon = high - low + 1
+        count = len(schedules)
+        if horizon <= 0:
+            return [0.0] * count
+        if count * horizon > DENSE_CELL_LIMIT:
+            return scalar(schedules, reference, metric)
+        dense = np.zeros((count, horizon), dtype=np.int64)
+        if flat:
+            segment = np.zeros(len(durations), dtype=np.int64)
+            np.cumsum(duration_array[:-1], out=segment[1:])
+            within = np.arange(len(flat), dtype=np.int64) - np.repeat(
+                segment, duration_array
+            )
+            columns = np.repeat(start_array - low, duration_array) + within
+            assignment_rows = np.repeat(
+                np.arange(count, dtype=np.int64),
+                [len(schedule) for schedule in schedules],
+            )
+            np.add.at(
+                dense,
+                (np.repeat(assignment_rows, duration_array), columns),
+                flat_array,
+            )
+        if reference is not None and reference_values:
+            reference_row = np.zeros(
+                horizon, dtype=np.int64 if reference_ints else np.float64
+            )
+            offset = reference.start - low
+            reference_row[offset : offset + len(reference_values)] = reference_values
+            deviation = dense - reference_row
+        else:
+            deviation = dense
+        results: list[float] = []
+        for index in range(count):
+            row = deviation[index].tolist()
+            if metric == "absolute":
+                results.append(float(sum(abs(value) for value in row)))
+            else:
+                results.append(float(sum(value * value for value in row)))
+        return results
 
 
 register_backend(NumpyBackend())

@@ -71,6 +71,7 @@ from typing import TYPE_CHECKING, ClassVar, Optional
 
 from ..core.errors import BackendError
 from ..core.flexoffer import FlexOffer
+from .cache import matrix_cache
 from .dispatch import (
     ComputeBackend,
     _env_int,
@@ -179,6 +180,11 @@ def _shard_profiles(inner: str, flex_offers, target: str):
 def _shard_feasibility(inner: str, flex_offers, starts, values):
     """One shard's Definition 2 feasibility verdicts."""
     return get_backend(inner).assignment_feasibility(flex_offers, starts, values)
+
+
+def _shard_objectives(inner: str, schedules, reference, metric):
+    """One shard's (schedule-partitioned) imbalance objective values."""
+    return get_backend(inner).batch_objectives(schedules, reference, metric)
 
 
 class ShardedBackend(ComputeBackend):
@@ -308,6 +314,42 @@ class ShardedBackend(ComputeBackend):
             start += size
         return chunks
 
+    def _shard_handles(self, flex_offers: Sequence[FlexOffer]) -> list:
+        """Per-shard work units for the measure operations.
+
+        Normally the contiguous offer chunks of :meth:`_partition` — each
+        shard worker then packs (or cache-hits) its own chunk.  When the
+        whole population's packed matrix is already in the
+        :data:`~repro.backend.cache.matrix_cache` — the streaming engine
+        publishes its incrementally maintained live matrix there — the
+        chunks are carved out of it with :meth:`ProfileMatrix.slice`
+        instead, so no shard re-packs at all: after a mutation only the
+        engine's O(Δ) maintenance ran, and the fan-out ships C-speed array
+        views.  Only meaningful for the thread executor with the NumPy
+        inner backend (matrix handles are neither picklable-cheap nor
+        consumable by the reference backend's scalar loops).
+        """
+        chunks = self._partition(flex_offers)
+        if self.executor_kind != "thread" or self._resolved_inner_name() != "numpy":
+            return chunks
+        try:
+            from .matrix import ProfileMatrix
+        except ImportError:  # pragma: no cover - numpy inner implies numpy
+            return chunks
+        matrix = matrix_cache.peek(flex_offers)
+        if (
+            not isinstance(matrix, ProfileMatrix)
+            or matrix.size != len(flex_offers)
+            or matrix.dead_count
+        ):
+            return chunks
+        handles = []
+        start = 0
+        for chunk in chunks:
+            handles.append(matrix.slice(start, start + len(chunk)))
+            start += len(chunk)
+        return handles
+
     def _map(self, worker, arg_lists: Sequence[tuple]) -> list:
         """Run the worker over every shard; results in shard order.
 
@@ -331,7 +373,7 @@ class ShardedBackend(ComputeBackend):
         inner = self._resolved_inner_name()
         outcomes = self._map(
             _shard_values_outcome,
-            [(inner, measure, chunk) for chunk in self._partition(flex_offers)],
+            [(inner, measure, chunk) for chunk in self._shard_handles(flex_offers)],
         )
         values: list[float] = []
         for status, payload in outcomes:
@@ -350,7 +392,7 @@ class ShardedBackend(ComputeBackend):
         verdicts: list[bool] = []
         for shard in self._map(
             _shard_support,
-            [(inner, measure, chunk) for chunk in self._partition(flex_offers)],
+            [(inner, measure, chunk) for chunk in self._shard_handles(flex_offers)],
         ):
             verdicts.extend(shard)
         return verdicts
@@ -367,7 +409,7 @@ class ShardedBackend(ComputeBackend):
                 measures, flex_offers, skip_unsupported
             )
         inner = self._resolved_inner_name()
-        chunks = self._partition(flex_offers)
+        chunks = self._shard_handles(flex_offers)
         # One fan-out per call: each shard packs once, then reports support
         # verdicts and value outcomes for every decomposable measure.
         # Non-decomposable measures (overridden ``set_value``) get support
@@ -425,7 +467,7 @@ class ShardedBackend(ComputeBackend):
         results: list[dict[str, float]] = []
         for shard in self._map(
             _shard_per_offer,
-            [(inner, measures, chunk) for chunk in self._partition(flex_offers)],
+            [(inner, measures, chunk) for chunk in self._shard_handles(flex_offers)],
         ):
             results.extend(shard)
         return results
@@ -514,6 +556,41 @@ class ShardedBackend(ComputeBackend):
         ):
             verdicts.extend(shard)
         return verdicts
+
+    # ------------------------------------------------------------------ #
+    # Scheduling objectives
+    # ------------------------------------------------------------------ #
+    def batch_objectives(
+        self,
+        schedules: Sequence[Sequence[tuple[int, Sequence[int]]]],
+        reference=None,
+        metric: str = "absolute",
+    ) -> list[float]:
+        """Schedule-partitioned fan-out of the generation objective.
+
+        Each schedule's objective is independent of the others, so the
+        generation is partitioned like a population and the per-shard
+        results concatenate in shard order — bit-identical to the inner
+        backend's single-call result.  Typical generations are far below
+        ``min_population`` and delegate whole; the fan-out matters for
+        tournament-sized sweeps scored in one call.
+        """
+        if metric not in ("absolute", "squared"):
+            raise ValueError(f"unknown imbalance metric {metric!r}")
+        schedules = list(schedules)
+        if self._delegates(schedules):
+            return self.inner.batch_objectives(schedules, reference, metric)
+        inner = self._resolved_inner_name()
+        results: list[float] = []
+        for shard in self._map(
+            _shard_objectives,
+            [
+                (inner, chunk, reference, metric)
+                for chunk in self._partition(schedules)
+            ],
+        ):
+            results.extend(shard)
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -18,9 +18,14 @@ are drawn as raw ``(start, values)`` candidates, every offspring gene of a
 generation is screened with a single
 :func:`~repro.core.assignment.batch_assignment_feasibility` call (one
 vectorized pass under the NumPy / sharded backends), and verified genes take
-the trusted :class:`Assignment` fast path.  The random draw sequence is
-unchanged from the per-gene construction it replaced, so seeded runs
-reproduce the same schedules.
+the trusted :class:`Assignment` fast path.  Fitness is batched the same
+way: each generation's imbalance objectives are scored with one
+:meth:`~repro.scheduling.objective.ImbalanceObjective.of_generation` call
+(the backend's ``batch_objectives`` bulk op) instead of a per-schedule
+Python fold.  The random draw sequence — and, because the bulk objective is
+bit-identical to the scalar one, every selection decision — is unchanged
+from the per-gene construction it replaced, so seeded runs reproduce the
+same schedules.
 """
 
 from __future__ import annotations
@@ -211,7 +216,7 @@ class EvolutionaryScheduler(Scheduler):
                     flex_offers, [random_profile(f, rng) for f in flex_offers]
                 )
             )
-        fitness = [objective.of_schedule(individual) for individual in population]
+        fitness = objective.of_generation(population)
 
         for _ in range(self.generations):
             ranked = sorted(range(len(population)), key=lambda index: fitness[index])
@@ -225,7 +230,7 @@ class EvolutionaryScheduler(Scheduler):
                 pending.append(self._offspring_genes(parent_a, parent_b, rng))
             next_population.extend(self._materialise(pending))
             population = next_population
-            fitness = [objective.of_schedule(individual) for individual in population]
+            fitness = objective.of_generation(population)
 
         best_index = min(range(len(population)), key=lambda index: fitness[index])
         return population[best_index]

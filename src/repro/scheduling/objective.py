@@ -83,6 +83,30 @@ class ImbalanceObjective:
         """Objective value of a schedule (lower is better)."""
         return self.of_load(schedule.total_load())
 
+    def of_generation(self, schedules: Sequence[Schedule]) -> list[float]:
+        """Objective values of many schedules in one backend bulk call.
+
+        Equivalent to ``[self.of_schedule(s) for s in schedules]`` — the
+        backend contract guarantees bit-identical floats, so seeded search
+        trajectories (tournament selections, elitism ranks) are unchanged —
+        but the per-schedule load accumulation is evaluated through the
+        active compute backend's
+        :meth:`~repro.backend.ComputeBackend.batch_objectives`, one
+        vectorized pass under the NumPy backend.  This is how the
+        evolutionary scheduler scores a whole generation and the
+        hill-climbing scheduler its restart initials.
+        """
+        from ..backend.dispatch import get_backend
+
+        payload = [
+            [
+                (assignment.start_time, assignment.values)
+                for assignment in schedule.assignments
+            ]
+            for schedule in schedules
+        ]
+        return get_backend().batch_objectives(payload, self.reference, self.metric)
+
     def improvement_over(self, baseline: Schedule, candidate: Schedule) -> float:
         """Relative improvement of ``candidate`` over ``baseline`` (0..1)."""
         baseline_value = self.of_schedule(baseline)

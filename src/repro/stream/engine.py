@@ -9,9 +9,16 @@ incrementally,
 * the grid grouping (:class:`~repro.stream.grouping.OnlineGridIndex`),
 * one :class:`~repro.stream.aggregate.IncrementalAggregate` per grid cell,
 * the per-offer values of every configured flexibility measure (computed
-  once on arrival, never recomputed), and
+  once on arrival, never recomputed),
+* a live packed :class:`~repro.backend.matrix.ProfileMatrix` of the
+  surviving population plus per-measure value columns
+  (:class:`~repro.stream.live.LivePopulation`) — maintained in O(Δ) per
+  event through append/tombstone/compact instead of being re-packed from
+  scratch, published into the
+  :data:`~repro.backend.cache.matrix_cache` via :meth:`live_matrix`, and
 * optionally a :class:`~repro.stream.window.WindowTracker` sampling the
-  population-level set values on every :class:`~repro.stream.events.Tick`.
+  population-level set values of the tracked measures on every
+  :class:`~repro.stream.events.Tick`, fed from the packed value columns.
 
 The contract that makes the engine trustworthy is *batch equivalence*: after
 any event stream, :meth:`StreamingEngine.snapshot` returns exactly the
@@ -128,6 +135,11 @@ class StreamingEngine:
         When positive, a :class:`WindowTracker` samples the population-level
         value of every configured measure on each :class:`Tick`, retaining
         this many samples per measure.
+    tracked_measures:
+        Optional subset of the configured measure keys the tracker should
+        sample (defaults to all of them).  Tick-time sampling computes set
+        values for the tracked measures only — fed from the live packed
+        value columns, never from a full report rebuild.
     auto_expire:
         When ``True``, a :class:`Tick` at time ``t`` expires every live
         offer whose latest start precedes ``t`` (its start window has
@@ -147,6 +159,7 @@ class StreamingEngine:
         on_arrived: Optional[EngineHook] = None,
         on_assigned: Optional[EngineHook] = None,
         on_expired: Optional[EngineHook] = None,
+        tracked_measures: Optional[Iterable[str]] = None,
     ) -> None:
         self.parameters = parameters
         self.measures: list[FlexibilityMeasure] = resolve_measures(measures)
@@ -156,10 +169,19 @@ class StreamingEngine:
         self.on_expired = on_expired
         self.stats = EngineStats()
         self.time: Optional[int] = None
+        measure_keys = [measure.key for measure in self.measures]
+        if tracked_measures is None:
+            tracked = measure_keys
+        else:
+            tracked = list(tracked_measures)
+            unknown = sorted(set(tracked) - set(measure_keys))
+            if unknown:
+                raise StreamError(
+                    f"tracked measures {unknown} are not configured; "
+                    f"configured: {sorted(measure_keys)}"
+                )
         self.tracker: Optional[WindowTracker] = (
-            WindowTracker([measure.key for measure in self.measures], window_capacity)
-            if window_capacity
-            else None
+            WindowTracker(tracked, window_capacity) if window_capacity else None
         )
         self._index = OnlineGridIndex(parameters)
         self._aggregates: dict[CellKey, IncrementalAggregate] = {}
@@ -178,6 +200,22 @@ class StreamingEngine:
         #: skip the O(live) cache-invalidation scan when nothing was packed
         #: since the previous mutation (the common streaming case).
         self._cache_generation_seen = matrix_cache.generation
+        #: Incrementally maintained packed state (matrix + value columns);
+        #: ``None`` without NumPy or after an unpackable offer arrived, in
+        #: which case every read path falls back to the per-offer dicts.
+        self._live = self._new_live()
+        #: The published frozen snapshot of the live matrix and the cache
+        #: key it was seeded under (discarded O(1) on the next mutation).
+        self._published = None
+        self._published_key: Optional[tuple] = None
+
+    def _new_live(self):
+        """A fresh columnar live state, or ``None`` when NumPy is absent."""
+        try:
+            from .live import LivePopulation
+        except ImportError:  # pragma: no cover - exercised only without numpy
+            return None
+        return LivePopulation([measure.key for measure in self.measures])
 
     # ------------------------------------------------------------------ #
     # Event consumption
@@ -232,30 +270,35 @@ class StreamingEngine:
             batched = get_backend().per_offer_values(self.measures, arriving)
         # One invalidation for the whole batch: the per-insert scan would be
         # O(live) each.
-        self._discard_live_matrix()
+        self._note_mutation()
         for event, cached in zip(events, batched):
             self._apply_arrival(event, cached=cached, sync_cache=False)
             self.stats.events += 1
         self._cache_generation_seen = matrix_cache.generation
         return self
 
-    def _discard_live_matrix(self) -> None:
-        """Drop the packed-matrix cache entry of the live population.
+    def _note_mutation(self) -> None:
+        """Release stale cache entries for the about-to-mutate population.
 
-        Called before every population mutation so a
-        :class:`~repro.backend.cache.MatrixCache` entry packed from the
-        pre-mutation population is released immediately.  Entries are keyed
-        on content, so this is memory hygiene, not a staleness fix — and the
-        generation check makes it O(1) unless something was actually packed
-        since the engine's previous mutation.  Only the whole-population
-        key is known here; per-shard chunk matrices a sharded evaluation
-        may have cached are backend-internal and left to the cache's
-        entry/cell-budget eviction.
+        The engine's own published snapshot is dropped under its remembered
+        key — O(1), no scan.  Entries some *external* caller packed for the
+        live population (``evaluate_set(engine.live_offers())``) are keyed
+        on content and can never serve a wrong result, so dropping them is
+        memory hygiene; the generation check keeps that O(1) unless
+        something was actually cached since the previous mutation.  The
+        packed state itself is no longer discarded at all — the live matrix
+        is maintained through the mutation in O(Δ).
         """
-        if matrix_cache.generation == self._cache_generation_seen:
-            return
-        matrix_cache.discard(self.live_offers())
-        self._cache_generation_seen = matrix_cache.generation
+        # The memoised snapshot describes the pre-mutation population even
+        # when it was never cache-seeded (cache disabled, bypass window, or
+        # over the cell budget), so it is dropped unconditionally.
+        self._published = None
+        if self._published_key is not None:
+            matrix_cache.discard_key(self._published_key)
+            self._published_key = None
+        if matrix_cache.generation != self._cache_generation_seen:
+            matrix_cache.discard(self.live_offers())
+            self._cache_generation_seen = matrix_cache.generation
 
     def _apply_arrival(
         self,
@@ -264,7 +307,7 @@ class StreamingEngine:
         sync_cache: bool = True,
     ) -> None:
         if sync_cache:
-            self._discard_live_matrix()
+            self._note_mutation()
         flex_offer = event.flex_offer
         cell = self._index.insert(event.offer_id, flex_offer)
         aggregate = self._aggregates.get(cell)
@@ -284,6 +327,13 @@ class StreamingEngine:
             self._unsupported_counts[key] += 1
         self._values[event.offer_id] = cached
         self._unsupported[event.offer_id] = unsupported
+        if self._live is not None:
+            try:
+                self._live.append(event.offer_id, flex_offer, cached)
+            except OverflowError:
+                # Unpackable magnitudes: drop the columnar fast path and
+                # serve everything from the per-offer dicts from here on.
+                self._live = None
         if self.auto_expire:
             heapq.heappush(
                 self._deadlines, (flex_offer.latest_start, event.offer_id)
@@ -294,7 +344,7 @@ class StreamingEngine:
 
     def _evict(self, offer_id: str) -> FlexOffer:
         """Shared removal path of expiry and assignment."""
-        self._discard_live_matrix()
+        self._note_mutation()
         cell, flex_offer = self._index.evict(offer_id)
         aggregate = self._aggregates[cell]
         aggregate.remove(offer_id)
@@ -303,6 +353,12 @@ class StreamingEngine:
         del self._values[offer_id]
         for key in self._unsupported.pop(offer_id):
             self._unsupported_counts[key] -= 1
+        if self._live is not None:
+            self._live.remove(offer_id)
+        elif not len(self._index):
+            # The population emptied while degraded: re-arm the packed
+            # fast path for whatever arrives next.
+            self._live = self._new_live()
         return flex_offer
 
     def _apply_expiry(self, event: OfferExpired) -> None:
@@ -329,7 +385,7 @@ class StreamingEngine:
         if self.auto_expire:
             self._expire_lapsed(event)
         if self.tracker is not None:
-            self.tracker.sample(event.time, self._population_values()[0])
+            self.tracker.sample(event.time, self._sample_values())
 
     def _expire_lapsed(self, event: Tick) -> None:
         """Expire every live offer whose start window lapsed before ``event.time``."""
@@ -371,6 +427,24 @@ class StreamingEngine:
         """
         return [self._index.get(offer_id) for offer_id in self._index]
 
+    def _measure_values_list(self, measure: FlexibilityMeasure) -> list:
+        """Per-offer values of one (fully supported) measure, arrival order.
+
+        The fast path gathers the measure's packed value column from the
+        live state — no per-offer dictionary lookups; the fallback (NumPy
+        missing, an unpackable offer, or a column whose float64 image could
+        diverge from the Python values) rebuilds the list from the arrival
+        caches.  Both produce the same values in the same order, so the
+        downstream ``combine_values`` result is identical either way.
+        """
+        if self._live is not None:
+            folded = self._live.fold(measure.key)
+            if folded is not None:
+                return folded
+        return [
+            self._values[offer_id][measure.key] for offer_id in self._index
+        ]
+
     def _population_values(self) -> tuple[dict[str, float], list[str]]:
         """``(values, skipped)`` of the live population, batch-identical.
 
@@ -378,7 +452,6 @@ class StreamingEngine:
         combination step runs here, in arrival order, so the result equals
         ``evaluate_set(self.live_offers(), self.measures)`` exactly.
         """
-        live_ids = self.live_ids()
         values: dict[str, float] = {}
         skipped: list[str] = []
         for measure in self.measures:
@@ -386,14 +459,61 @@ class StreamingEngine:
                 skipped.append(measure.key)
                 continue
             values[measure.key] = measure.combine_values(
-                [self._values[offer_id][measure.key] for offer_id in live_ids]
+                self._measure_values_list(measure)
             )
         return values, skipped
+
+    def _sample_values(self) -> dict[str, float]:
+        """Set values of the *tracked* measures only (tick sampling).
+
+        Computes just what the tracker retains, straight from the packed
+        value columns — never the full report dictionary.  Measures that do
+        not support the whole population are omitted, exactly as the
+        tracker would have skipped them out of a report.
+        """
+        assert self.tracker is not None
+        tracked = set(self.tracker.measure_keys)
+        values: dict[str, float] = {}
+        for measure in self.measures:
+            if measure.key not in tracked:
+                continue
+            if self._unsupported_counts[measure.key]:
+                continue
+            values[measure.key] = measure.combine_values(
+                self._measure_values_list(measure)
+            )
+        return values
 
     def report(self) -> FlexibilitySetReport:
         """Set-wise flexibility of the live population under every measure."""
         values, skipped = self._population_values()
         return FlexibilitySetReport(self.size, values, tuple(skipped))
+
+    def live_matrix(self):
+        """The packed matrix of the live population, published to the cache.
+
+        Returns the incrementally maintained
+        :class:`~repro.backend.matrix.ProfileMatrix` as a frozen snapshot —
+        bit-identical to a fresh pack of :meth:`live_offers` — and seeds it
+        into the :data:`~repro.backend.cache.matrix_cache`, so any
+        subsequent backend bulk call on the live population (an external
+        ``evaluate_set``, the sharded backend's per-shard slicing) hits the
+        cache instead of re-packing.  The snapshot stays valid until the
+        next population mutation, which drops the seeded entry in O(1).
+        Returns ``None`` when the packed fast path is unavailable (NumPy
+        missing or an unpackable offer arrived).
+        """
+        if self._live is None:
+            return None
+        if self._published is None:
+            snapshot = self._live.population_matrix().snapshot()
+            key = matrix_cache.key_of(snapshot.offers)
+            weight = int(snapshot.offsets[-1]) if snapshot.size else 0
+            if matrix_cache.put(key, snapshot, weight=weight):
+                self._published_key = key
+                self._cache_generation_seen = matrix_cache.generation
+            self._published = snapshot
+        return self._published
 
     def aggregates(self, prefix: str = "aggregate") -> list[AggregatedFlexOffer]:
         """One aggregate per live group, equal to the batch ``aggregate_all``.
@@ -421,7 +541,13 @@ class StreamingEngine:
         return aggregates
 
     def snapshot(self, prefix: str = "aggregate") -> EngineSnapshot:
-        """A consistent batch-equivalent view of the current state."""
+        """A consistent batch-equivalent view of the current state.
+
+        Publishes the live packed matrix to the matrix cache first (when
+        available), so batch analyses run on ``snapshot.live`` afterwards
+        skip the packing pass entirely.
+        """
+        self.live_matrix()
         groups = tuple(tuple(group) for group in self._index.groups())
         return EngineSnapshot(
             time=self.time,

@@ -1,0 +1,171 @@
+"""Incrementally maintained packed state of the live population.
+
+:class:`LivePopulation` is the streaming engine's columnar shadow of its
+per-offer dictionaries: one live
+:class:`~repro.backend.matrix.ProfileMatrix` over the surviving offers plus
+a row-aligned ``float64`` column per configured measure.  Arrivals append
+in amortized O(Δ), evictions tombstone in O(1), and compaction (triggered
+by the matrix's tombstone-ratio threshold, ``REPRO_MATRIX_COMPACT``) keeps
+both structures aligned through the same surviving-row gather — so after
+any event interleaving the packed matrix is bit-identical to a fresh pack
+of the survivors, without the O(population) re-pack the engine used to pay
+on every mutation.
+
+The value columns make the engine's per-tick folds vectorized: instead of
+rebuilding a Python list out of ``{offer_id: {measure: value}}`` dictionary
+lookups, a fold gathers the alive rows of one column and hands the same
+values, in the same arrival order, to the measure's ``combine_values``
+hook.  Exactness is preserved by construction — the fold refuses (returns
+``None``, sending the engine down its dictionary path) whenever the
+``float64`` column could disagree with the original Python values: a value
+that does not round-trip through ``float64``, an int too large for the
+``int64`` gather, or a measure that produced both int- and float-typed
+values (whose sequential sum could round differently).
+
+This module imports NumPy (via the packed matrix) at module level; the
+engine imports it lazily and simply runs without the columnar fast path
+when the import fails.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..backend.matrix import ProfileMatrix
+from ..core.flexoffer import FlexOffer
+
+__all__ = ["LivePopulation"]
+
+#: Ints beyond this cannot be gathered through the ``int64`` column path
+#: even when their ``float64`` image is exact (powers of two past 2^62).
+_INT64_SAFE = 1 << 62
+
+
+class LivePopulation:
+    """Live matrix plus measure value columns, row-aligned and O(Δ)."""
+
+    def __init__(
+        self,
+        measure_keys: list[str],
+        compact_threshold: Optional[float] = None,
+    ) -> None:
+        self.matrix = ProfileMatrix([], compact_threshold=compact_threshold)
+        self._keys = list(measure_keys)
+        self._column_of = {key: index for index, key in enumerate(self._keys)}
+        width = len(self._keys)
+        self._values = np.zeros((0, width), dtype=np.float64)
+        self._ids: list[str] = []
+        self._rows: dict[str, int] = {}
+        # Sticky per-measure exactness bookkeeping (reset only with the
+        # population): the fold may only serve a column whose float64 image
+        # provably reproduces the dictionary path's Python values.
+        self._saw_int = [False] * width
+        self._saw_float = [False] * width
+        self._inexact = [False] * width
+
+    def __len__(self) -> int:
+        """Number of surviving offers."""
+        return self.matrix.live_count
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def append(
+        self, offer_id: str, flex_offer: FlexOffer, values: dict[str, float]
+    ) -> None:
+        """Add one arrival: a matrix row plus its measure values.
+
+        ``values`` holds the measure values of the supporting measures only
+        (the engine's arrival cache).  Raises ``OverflowError`` — with no
+        state change — when the offer is not packable; the engine then
+        degrades to its dictionary-only path.
+        """
+        self.matrix.append([flex_offer])  # validates before writing
+        row = len(self._ids)
+        if row == len(self._values):
+            grown = np.zeros(
+                (max(2 * row, 8), len(self._keys)), dtype=np.float64
+            )
+            grown[:row] = self._values[:row]
+            self._values = grown
+        for key, value in values.items():
+            column = self._column_of.get(key)
+            if column is None:
+                continue
+            self._note_value(column, value)
+            try:
+                self._values[row, column] = float(value)
+            except OverflowError:  # int too large for float64
+                self._inexact[column] = True
+                self._values[row, column] = 0.0
+        self._ids.append(offer_id)
+        self._rows[offer_id] = row
+
+    def _note_value(self, column: int, value) -> None:
+        """Track whether the column still reproduces the Python values."""
+        if type(value) is int:
+            self._saw_int[column] = True
+            # Bounds first: float() on an unbounded int could itself
+            # overflow, while anything within ±2^62 converts safely.
+            if not -_INT64_SAFE <= value <= _INT64_SAFE:
+                self._inexact[column] = True
+            elif float(value) != value:
+                self._inexact[column] = True
+        elif type(value) is float:
+            self._saw_float[column] = True
+            if value != value:  # NaN never equals itself
+                self._inexact[column] = True
+        else:
+            self._inexact[column] = True
+
+    def remove(self, offer_id: str) -> None:
+        """Tombstone one offer's row; compacts past the matrix threshold."""
+        row = self._rows.pop(offer_id)
+        self._ids[row] = ""
+        kept = self.matrix.tombstone([row])
+        if kept is not None:
+            self._apply_compaction(kept)
+
+    def _apply_compaction(self, kept: np.ndarray) -> None:
+        """Re-align the columns and id map after a matrix compaction."""
+        count = len(self._ids)
+        self._values = self._values[:count][kept]
+        self._ids = [self._ids[int(index)] for index in kept]
+        self._rows = {offer_id: row for row, offer_id in enumerate(self._ids)}
+
+    def population_matrix(self) -> ProfileMatrix:
+        """The packed matrix of the survivors (compacted on demand)."""
+        if self.matrix.dead_count:
+            self._apply_compaction(self.matrix.compact())
+        return self.matrix
+
+    # ------------------------------------------------------------------ #
+    # Folds
+    # ------------------------------------------------------------------ #
+    def fold(self, measure_key: str) -> Optional[list]:
+        """The surviving offers' values of one measure, arrival order.
+
+        Returns ``None`` when the column cannot reproduce the dictionary
+        path exactly (see the class docstring) — callers fall back to the
+        per-offer dictionaries.  Only valid for measures that support every
+        survivor; the engine checks its unsupported counters first.
+        """
+        column = self._column_of[measure_key]
+        if self._inexact[column]:
+            return None
+        integral = self._saw_int[column]
+        if integral and self._saw_float[column]:
+            return None
+        count = len(self._ids)
+        gathered = self._values[:count, column][self.matrix.alive]
+        if integral:
+            return gathered.astype(np.int64).tolist()
+        return gathered.tolist()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LivePopulation({self.matrix.live_count} live rows, "
+            f"{len(self._keys)} measure columns)"
+        )

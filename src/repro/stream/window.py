@@ -80,10 +80,17 @@ class RingBuffer:
 
 
 class MeasureWindow:
-    """A sliding window of ``(time, value)`` samples of one set-wise measure."""
+    """A sliding window of ``(time, value)`` samples of one set-wise measure.
+
+    The sorted view backing the percentile/summary statistics is memoised
+    and invalidated on :meth:`record`: a dashboard polling ``p50``/``p90``
+    repeatedly between ticks sorts once and reads O(1) afterwards, instead
+    of re-sorting the whole retained window per query.
+    """
 
     def __init__(self, capacity: int) -> None:
         self._buffer = RingBuffer(capacity)
+        self._sorted: Optional[list[float]] = None
 
     @property
     def capacity(self) -> int:
@@ -93,6 +100,13 @@ class MeasureWindow:
     def record(self, time: int, value: float) -> None:
         """Record one population-level sample taken at ``time``."""
         self._buffer.push((time, float(value)))
+        self._sorted = None
+
+    def _ordered(self) -> list[float]:
+        """The retained values in ascending order (memoised until a push)."""
+        if self._sorted is None:
+            self._sorted = sorted(self.values())
+        return self._sorted
 
     def samples(self) -> list[tuple[int, float]]:
         """The retained ``(time, value)`` samples, oldest first."""
@@ -148,7 +162,7 @@ class MeasureWindow:
         """Nearest-rank percentile of the retained values, ``q`` in [0, 100]."""
         if not 0 <= q <= 100:
             raise StreamError(f"percentile must be in [0, 100], got {q}")
-        values = sorted(self.values())
+        values = self._ordered()
         if not values:
             raise StreamError("an empty window has no percentiles")
         return self._nearest_rank(values, q)
@@ -158,7 +172,7 @@ class MeasureWindow:
         values = self.values()
         if not values:
             return {"count": 0}
-        ordered = sorted(values)
+        ordered = self._ordered()
         count = len(values)
         return {
             "count": float(count),

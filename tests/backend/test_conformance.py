@@ -330,3 +330,91 @@ def test_bulk_arrive_matches_per_event_ingestion(backend, population, parameters
         bulk.bulk_arrive(arrivals)
         bulk_snapshot = bulk.snapshot()
     assert bulk_snapshot == reference_snapshot
+
+
+# --------------------------------------------------------------------- #
+# Generation objectives (batch_objectives)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
+@pytest.mark.parametrize("metric", ["absolute", "squared"])
+@given(
+    population=populations(min_size=0, max_size=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+    reference_kind=st.sampled_from(["none", "int", "float", "empty"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_batch_objectives_agree(backend, metric, population, seed, reference_kind):
+    """Generation objectives equal the reference fold bit-for-bit.
+
+    Schedules are random valid assignments (the evolutionary scheduler's
+    gene shape), references cover the int, float and empty spans; the
+    sharded instance partitions the schedules across three shards, so the
+    concat merge is exercised too.  Exactness is asserted with ``==`` —
+    the contract is bit-identity, not closeness, because scheduler
+    selection decisions ride on these floats.
+    """
+    import random as random_module
+
+    from repro.core import TimeSeries
+    from repro.scheduling.stochastic import random_profile
+
+    rng = random_module.Random(seed)
+    schedules = [
+        [random_profile(flex_offer, rng) for flex_offer in population]
+        for _ in range(3)
+    ]
+    schedules.append([])  # the empty-schedule anchor (load at time 0)
+    if reference_kind == "none":
+        reference = None
+    elif reference_kind == "int":
+        reference = TimeSeries(
+            rng.randint(0, 6), tuple(rng.randint(-9, 9) for _ in range(6))
+        )
+    elif reference_kind == "float":
+        reference = TimeSeries(
+            rng.randint(0, 6),
+            tuple(rng.random() * 10 - 5 for _ in range(5)),
+        )
+    else:
+        reference = TimeSeries(rng.randint(0, 6), ())
+    expected = get_backend("reference").batch_objectives(
+        schedules, reference, metric
+    )
+    actual = get_backend(backend).batch_objectives(schedules, reference, metric)
+    assert actual == expected
+
+
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
+def test_batch_objectives_metric_error_parity(backend):
+    """An unknown metric raises ``ValueError`` up front on every backend."""
+    with pytest.raises(ValueError):
+        get_backend("reference").batch_objectives([[]], None, "cubic")
+    with pytest.raises(ValueError):
+        get_backend(backend).batch_objectives([[]], None, "cubic")
+
+
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
+@pytest.mark.parametrize(
+    "schedule",
+    [
+        [(0, (True, 2))],  # bool values: the scalar TimeSeries rejects them
+        [(0, (1.5, 2))],  # float values
+        [(True, (1, 2))],  # bool start
+        [(-1, (1, 2))],  # negative start (time domain is natural numbers)
+        [(0, (1 << 45, 2))],  # beyond the exactly-packable magnitude
+        [(0, (10**30, 2))],  # beyond int64 entirely
+    ],
+    ids=["bool-value", "float-value", "bool-start", "negative-start", "huge", "unbounded"],
+)
+def test_batch_objectives_fallback_parity(backend, schedule):
+    """Inputs the packed grid cannot hold take the scalar path — same value
+    or same exception class as the reference backend, position included."""
+    reference_outcome = outcome(
+        lambda: get_backend("reference").batch_objectives([schedule, []])
+    )
+    vector_outcome = outcome(
+        lambda: get_backend(backend).batch_objectives([schedule, []])
+    )
+    assert vector_outcome == reference_outcome

@@ -13,9 +13,11 @@ from repro.scheduling import (
     ImbalanceObjective,
     Schedule,
     absolute_imbalance,
+    build_validated_schedule,
     imbalance_series,
     peak_load,
     random_assignment,
+    random_profile,
     squared_imbalance,
 )
 from repro.core.assignment import Assignment
@@ -52,6 +54,50 @@ class TestObjective:
     def test_objective_validation(self):
         with pytest.raises(ValueError):
             ImbalanceObjective("cubed")
+
+    def test_of_generation_equals_per_schedule_fold(self, small_fleet, supply):
+        """The bulk objective is bit-identical to the scalar fold, on every
+        registered backend — the invariant that keeps seeded scheduler
+        trajectories unchanged."""
+        from repro.backend import available_backends, use_backend
+
+        rng = random.Random(9)
+        schedules = [
+            build_validated_schedule(
+                small_fleet, [random_profile(f, rng) for f in small_fleet]
+            )
+            for _ in range(5)
+        ]
+        schedules.append(Schedule(()))
+        for metric in ("absolute", "squared"):
+            for reference in (None, supply):
+                objective = ImbalanceObjective(metric, reference)
+                expected = [objective.of_schedule(s) for s in schedules]
+                for backend in available_backends():
+                    with use_backend(backend):
+                        assert objective.of_generation(schedules) == expected
+
+    def test_schedulers_identical_across_backends(self, small_fleet, supply):
+        """Seeded evolutionary / hill-climbing runs produce the same
+        schedules whichever backend scores their generations."""
+        from repro.backend import available_backends, use_backend
+
+        def run():
+            evolved = EvolutionaryScheduler(
+                population_size=6, generations=4, seed=3
+            ).schedule(small_fleet, supply)
+            climbed = HillClimbingScheduler(
+                iterations=25, restarts=2, seed=3, warm_start=False
+            ).schedule(small_fleet, supply)
+            return (evolved.assignments, climbed.assignments)
+
+        results = {}
+        for backend in available_backends():
+            with use_backend(backend):
+                results[backend] = run()
+        baseline = results.pop("reference")
+        for backend, result in results.items():
+            assert result == baseline, backend
 
     def test_improvement_over(self, small_fleet, supply):
         objective = ImbalanceObjective("absolute", supply)

@@ -68,6 +68,23 @@ class TestMeasureWindow:
         assert window.maximum() == 3.0  # the 100.0 sample slid out
         assert window.samples() == [(1, 1.0), (2, 2.0), (3, 3.0)]
 
+    def test_sorted_view_is_memoised_and_invalidated_on_record(self):
+        # Repeated percentile reads between ticks reuse one sorted view...
+        window = self.build([4.0, 1.0, 3.0])
+        assert window.percentile(50) == 3.0
+        assert window._ordered() is window._ordered()
+        ordered = window._ordered()
+        # ...and the next push drops it, so statistics see the new sample
+        # (including one sliding an old sample out of the ring).
+        window.record(3, 2.0)
+        assert window._ordered() is not ordered
+        assert window.percentile(50) == 2.0
+        assert window.summary()["p90"] == 4.0
+        for time in range(4, 12):
+            window.record(time, float(time))
+        assert window.percentile(0) == window.minimum()
+        assert window.percentile(100) == 11.0
+
     def test_empty_window_guards(self):
         window = MeasureWindow(4)
         assert window.last is None

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Emit machine-readable benchmark results for cross-PR perf tracking.
+
+Imports each given benchmark module (by file path), calls its
+``bench_records()`` entry point — a list of dicts, each carrying at least
+``name``, ``ops_per_s`` and ``speedup`` — and writes the merged results,
+plus host metadata, as JSON.  CI runs this after the benchmark gates so the
+perf trajectory (op/s and speedup per benchmark) is recorded per push
+instead of living only in job logs.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_to_json.py \
+        --output BENCH_PR4.json benchmarks/bench_incremental_matrix.py
+
+Modules may accept no arguments in ``bench_records()``; pass
+``--gate-scale`` to request the (slower) CI-gate scales from modules that
+support a ``gate_scale`` keyword.  Exit status 0 on success, 2 on bad
+usage or a module without ``bench_records``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import inspect
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+
+def load_module(path: Path):
+    """Import a benchmark module from its file path."""
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def collect(path: Path, gate_scale: bool) -> list[dict]:
+    """The records of one benchmark module."""
+    module = load_module(path)
+    records = getattr(module, "bench_records", None)
+    if records is None:
+        raise AttributeError(f"{path} does not define bench_records()")
+    parameters = inspect.signature(records).parameters
+    if "gate_scale" in parameters:
+        return records(gate_scale=gate_scale)
+    return records()
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("modules", nargs="+", type=Path)
+    parser.add_argument("--output", type=Path, default=Path("BENCH_PR4.json"))
+    parser.add_argument(
+        "--gate-scale",
+        action="store_true",
+        help="also run the CI-gate scales (slower)",
+    )
+    args = parser.parse_args(argv)
+    payload: dict = {
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benchmarks": {},
+    }
+    for path in args.modules:
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+        try:
+            records = collect(path, args.gate_scale)
+        except AttributeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        payload["benchmarks"][path.stem] = records
+        for record in records:
+            print(
+                f"{path.stem}/{record.get('name', '?')}: "
+                f"{record.get('ops_per_s', float('nan')):.1f} op/s, "
+                f"{record.get('speedup', float('nan')):.2f}x"
+            )
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
