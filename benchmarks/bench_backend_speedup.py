@@ -135,6 +135,29 @@ def compare_backends(size: int, seed: int = 0) -> dict[str, dict[str, float]]:
     return results
 
 
+def bench_records(gate_scale: bool = False) -> list[dict]:
+    """Machine-readable records for ``tools/bench_to_json.py``.
+
+    The default scale keeps the cross-PR perf artifact cheap to emit; the
+    gate scale records the population the CI acceptance gate reasons about.
+    """
+    scale = 10_000 if gate_scale else 1_000
+    records = []
+    for operation, row in compare_backends(scale).items():
+        elapsed = row["numpy"]
+        records.append(
+            {
+                "name": f"{operation}_{scale}",
+                "scale": scale,
+                "reference_s": row["reference"],
+                "numpy_s": elapsed,
+                "ops_per_s": 1.0 / elapsed if elapsed else 0.0,
+                "speedup": row["speedup"],
+            }
+        )
+    return records
+
+
 def main() -> None:
     for size in SCALES:
         results = compare_backends(size)

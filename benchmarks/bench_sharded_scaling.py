@@ -185,6 +185,49 @@ def _print_report(results: dict[str, object]) -> None:
     print(json.dumps(results))
 
 
+def bench_records(gate_scale: bool = False) -> list[dict]:
+    """Machine-readable records for ``tools/bench_to_json.py``.
+
+    Sweeps a trimmed shard set at a scale far below the 1M CI gate — the
+    artifact tracks the *trajectory* of shard scaling and the cache's
+    packing-skip factor per PR, not the acceptance number itself (that
+    stays in the push-only gate job).
+    """
+    scale = 200_000 if gate_scale else 20_000
+    results = compare_shards(scale, [2, 4], repeats=2)
+    cache = results["cache"]
+    records = [
+        {
+            "name": f"matrix_cache_warm_{scale}",
+            "scale": scale,
+            "cold_s": cache["evaluate_set_cold"],
+            "warm_s": cache["evaluate_set_warm"],
+            "ops_per_s": (
+                1.0 / cache["evaluate_set_warm"]
+                if cache["evaluate_set_warm"]
+                else 0.0
+            ),
+            "speedup": cache["packing_skip_speedup"],
+        }
+    ]
+    for operation, row in results["ops"].items():
+        best_shards, best = max(
+            row["sharded"].items(), key=lambda item: item[1]["speedup"]
+        )
+        records.append(
+            {
+                "name": f"sharded_{operation}_{scale}",
+                "scale": scale,
+                "numpy_s": row["numpy"],
+                "sharded_s": best["seconds"],
+                "best_shards": int(best_shards),
+                "ops_per_s": 1.0 / best["seconds"] if best["seconds"] else 0.0,
+                "speedup": best["speedup"],
+            }
+        )
+    return records
+
+
 def main() -> None:
     _print_report(compare_shards(100_000, SHARD_SWEEP))
 

@@ -34,7 +34,15 @@ from repro.core import FlexOffer
 from repro.measures import evaluate_set
 from repro.stream import OfferArrived, OfferExpired, StreamingEngine
 
-from conftest import report
+try:
+    from conftest import report
+except ImportError:  # pragma: no cover - loaded by path (bench_to_json)
+
+    def report(title: str, lines) -> None:
+        """Plain-stdout stand-in when pytest's conftest is not importable."""
+        print(f"\n=== {title} ===")
+        for line in lines:
+            print(f"  {line}")
 
 #: Cheap per-offer measures so the naive baseline stays runnable at 100k.
 MEASURES = ["time", "energy", "vector"]
@@ -112,6 +120,26 @@ def run_scale(size: int, churn_events: int, naive_events: int) -> dict[str, floa
         "speedup_maintain": round(maintain_eps / naive_eps, 1),
         "speedup_query": round(query_eps / naive_eps, 1),
     }
+
+
+def bench_records(gate_scale: bool = False) -> list[dict]:
+    """Machine-readable records for ``tools/bench_to_json.py``."""
+    scales = [(10_000, 400, 5)] if gate_scale else [(1_000, 300, 5)]
+    records = []
+    for size, churn, naive in scales:
+        results = run_scale(size, churn, naive)
+        records.append(
+            {
+                "name": f"stream_churn_{size}",
+                "scale": size,
+                "ops_per_s": results["engine_maintain_events_per_sec"],
+                "query_ops_per_s": results["engine_query_events_per_sec"],
+                "naive_ops_per_s": results["naive_rebatch_events_per_sec"],
+                "speedup": results["speedup_maintain"],
+                "speedup_query": results["speedup_query"],
+            }
+        )
+    return records
 
 
 @pytest.mark.parametrize(

@@ -10,21 +10,15 @@ that uses them to track its wind forecast (Scenario 2).
 Run with:  python examples/aggregation_trading.py
 """
 
+from repro import FlexSession, SessionConfig, TradeRequest
 from repro.aggregation import (
     GroupingParameters,
     aggregate_all,
     compare_strategies,
     group_all_together,
-    group_by_grid,
 )
 from repro.analysis import format_loss_report, format_table
-from repro.market import (
-    Aggregator,
-    BalanceResponsibleParty,
-    FlexibilityPricer,
-    ImbalanceSettlement,
-    TradingSession,
-)
+from repro.market import BalanceResponsibleParty, ImbalanceSettlement
 from repro.scheduling import EarliestStartScheduler
 from repro.workloads import neighbourhood_scenario
 
@@ -38,27 +32,35 @@ def main() -> None:
           f"horizon {scenario.horizon} time units")
     print()
 
+    # One session is the Aggregator's book: the neighbourhood streams in,
+    # grouping/aggregation and market clearing are requests against it.
+    session = FlexSession(
+        SessionConfig(grouping=GroupingParameters(4, 2), measures=tuple(MEASURES))
+    )
+    session.ingest(originals)
+
     # --- Scenario 1: aggregation and its flexibility loss ----------------
-    strategies = {
-        "grouped(tes,tf)": aggregate_all(
-            group_by_grid(originals, GroupingParameters(4, 2)), prefix="grouped"
-        ),
-        "one-group": aggregate_all(group_all_together(originals), prefix="single"),
-    }
-    reports = compare_strategies(originals, strategies, MEASURES)
+    aggregated = session.aggregate()
+    with session.activate():
+        strategies = {
+            "grouped(tes,tf)": list(aggregated.aggregates),
+            "one-group": aggregate_all(
+                group_all_together(originals), prefix="single"
+            ),
+        }
+        reports = compare_strategies(originals, strategies, MEASURES)
     print(format_loss_report(reports, MEASURES))
     print()
 
     # --- Scenario 2: trade the aggregated lots ---------------------------
-    aggregator = Aggregator("neighbourhood-aggregator", GroupingParameters(4, 2))
-    aggregator.collect(originals)
-    lots = aggregator.aggregate()
-
-    session = TradingSession(
-        FlexibilityPricer(measure="product", energy_price=1.0, premium_per_unit=2.0),
-        budget=1e9,
+    # lots=None offers the session's own live aggregates — the same lots
+    # the aggregation request above produced.
+    trade = session.trade(
+        TradeRequest(
+            measure="product", energy_price=1.0, premium_per_unit=2.0, budget=1e9
+        )
     )
-    accepted, rejected = session.clear(lots)
+    accepted, rejected = trade.accepted, trade.rejected
     rows = [
         [bid.flex_offer.name, bid.flex_offer.time_flexibility,
          bid.flex_offer.energy_flexibility, bid.energy_price,
@@ -68,17 +70,20 @@ def main() -> None:
     print(format_table(
         ["lot", "tf", "ef", "energy price", "flexibility premium", "total"],
         rows,
-        title=f"Cleared lots ({len(accepted)} accepted, {len(rejected)} rejected)",
+        title=f"Cleared lots ({len(accepted)} accepted, {len(rejected)} rejected, "
+              f"revenue {trade.revenue:.1f})",
     ))
     print()
 
     # --- The buyer uses the flexibility against its wind forecast --------
-    brp = BalanceResponsibleParty("brp", scenario.supply)
     purchased = [bid.flex_offer for bid in accepted]
-    flexible = brp.schedule_flexibility(purchased)
-    baseline = EarliestStartScheduler().schedule(purchased)
-    settlement = ImbalanceSettlement(scenario.prices)
-    savings = settlement.savings(baseline, flexible, scenario.supply)
+    with session.activate():
+        brp = BalanceResponsibleParty("brp", scenario.supply)
+        flexible = brp.schedule_flexibility(purchased)
+        baseline = EarliestStartScheduler().schedule(purchased)
+        settlement = ImbalanceSettlement(scenario.prices)
+        savings = settlement.savings(baseline, flexible, scenario.supply)
+    session.close()
     print(f"BRP imbalance-cost savings from the purchased flexibility: {savings:.2f}")
 
 

@@ -15,8 +15,9 @@ Run with:  python examples/comparing_measures.py
 
 import random
 
+from repro import FlexSession
 from repro.analysis import format_table, measure_matrix, ranking_agreement
-from repro.backend import available_backends, get_backend, use_backend
+from repro.backend import available_backends
 from repro.devices import (
     Dishwasher,
     ElectricVehicle,
@@ -34,12 +35,12 @@ MEASURES = [
 
 
 def main() -> None:
-    # Run the bulk evaluation on the best available compute backend and say
-    # which one ran — the example doubles as a dispatch-layer smoke test.
-    backend = "numpy" if "numpy" in available_backends() else "reference"
-    with use_backend(backend):
+    # A session picks the best available backend; session.activate() routes
+    # the analysis helpers (measure_matrix) through the session's backend
+    # and cache — the example doubles as a dispatch-layer smoke test.
+    with FlexSession() as session, session.activate():
         print(
-            f"compute backend: {get_backend().name!r} "
+            f"compute backend: {session.backend_name!r} "
             f"(available: {', '.join(available_backends())})"
         )
         print()

@@ -11,14 +11,10 @@ charging immediately.
 Run with:  python examples/ev_charging_use_case.py
 """
 
+from repro import FlexSession, ScheduleRequest
 from repro.analysis import format_table
 from repro.market import ImbalanceSettlement
-from repro.measures import evaluate_set
-from repro.scheduling import (
-    EarliestStartScheduler,
-    GreedyImbalanceScheduler,
-    ImbalanceObjective,
-)
+from repro.scheduling import ImbalanceObjective
 from repro.workloads import ev_use_case_flexoffer, spot_price_profile, wind_production_profile
 
 
@@ -29,10 +25,13 @@ def main() -> None:
     print(f"  acceptable charge : {ev.cmin}% - {ev.cmax}% of a full battery")
     print()
 
-    # Flexibility of the single flex-offer under every applicable measure.
-    report = evaluate_set([ev])
+    # One session serves the whole use case: the EV's flex-offer streams
+    # in, measures and schedules are requests against the live population.
+    session = FlexSession()
+    session.ingest([ev])
+
     print("Flexibility of the EV flex-offer:")
-    for key, value in report.values.items():
+    for key, value in session.evaluate().report.values.items():
         print(f"  {key:15s} {value:.2f}")
     print()
 
@@ -42,8 +41,11 @@ def main() -> None:
     prices = spot_price_profile(horizon, seed=3)
     objective = ImbalanceObjective("absolute", wind)
 
-    naive = EarliestStartScheduler().schedule([ev])
-    smart = GreedyImbalanceScheduler(objective).schedule([ev], wind)
+    naive = session.schedule(ScheduleRequest("earliest")).schedule
+    smart = session.schedule(
+        ScheduleRequest("greedy", reference=wind)
+    ).schedule
+    session.close()
 
     settlement = ImbalanceSettlement(tuple(prices))
     naive_cost = settlement.settle(naive, wind).imbalance_cost

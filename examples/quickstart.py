@@ -2,13 +2,16 @@
 """Quickstart: build a flex-offer and evaluate all eight flexibility measures.
 
 Recreates the paper's Figure 1 flex-offer, prints every measure the paper
-proposes (Section 3), and regenerates the Table 1 characteristics matrix.
+proposes (Section 3), regenerates the Table 1 characteristics matrix, and
+runs the set-wise evaluation through the session service API
+(:class:`repro.FlexSession`), the recommended entry point.
 
 Run with:  python examples/quickstart.py
 """
 
 from repro import (
     FlexOffer,
+    FlexSession,
     absolute_area_flexibility,
     assignment_flexibility,
     energy_flexibility,
@@ -20,13 +23,7 @@ from repro import (
     vector_flexibility,
     vector_flexibility_norm,
 )
-from repro.backend import available_backends, get_backend, use_backend
-from repro.measures import evaluate_set
-
-
-def best_backend() -> str:
-    """The fastest registered backend for a one-shot example run."""
-    return "numpy" if "numpy" in available_backends() else "reference"
+from repro.backend import available_backends
 
 
 def main() -> None:
@@ -57,15 +54,18 @@ def main() -> None:
     print(format_characteristics_table())
     print()
 
-    # The same measures through the set-wise bulk path, on the best
-    # available compute backend — doubling as a dispatch-layer smoke test.
-    with use_backend(best_backend()):
-        report = evaluate_set([flex_offer])
+    # The same measures through the service API: a FlexSession owns the
+    # compute backend, the matrix cache and the streaming engine, and every
+    # response reports which backend served it — doubling as a smoke test.
+    with FlexSession() as session:
+        session.ingest([flex_offer])
+        result = session.evaluate()
         print(
-            f"evaluate_set on the {get_backend().name!r} backend "
-            f"(available: {', '.join(available_backends())}):"
+            f"session evaluate on the {result.stats.backend!r} backend "
+            f"(available: {', '.join(available_backends())}, "
+            f"{result.stats.duration_s * 1e3:.2f} ms):"
         )
-        for key, value in report.values.items():
+        for key, value in result.report.values.items():
             print(f"  {key:15s} {value:10.3f}")
 
 

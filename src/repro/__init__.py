@@ -15,6 +15,15 @@ Quickstart
 (4, 6)
 >>> product_flexibility(ev)
 24
+
+For anything beyond single-offer arithmetic, the recommended entry point
+is the session-scoped service API (:mod:`repro.service`):
+
+>>> from repro import FlexSession
+>>> with FlexSession(backend="reference") as session:
+...     _ = session.ingest([ev])
+...     session.evaluate().report.values["product"]
+24.0
 """
 
 from .backend import (
@@ -69,6 +78,21 @@ from .measures import (
     vector_flexibility,
     vector_flexibility_norm,
 )
+from .service import (
+    AggregateRequest,
+    AggregateResult,
+    EvaluateRequest,
+    EvaluateResult,
+    FlexSession,
+    RequestStats,
+    ScheduleRequest,
+    ScheduleResult,
+    SessionConfig,
+    StreamRequest,
+    StreamResult,
+    TradeRequest,
+    TradeResult,
+)
 from .stream import (
     EngineSnapshot,
     EventLog,
@@ -81,10 +105,24 @@ from .stream import (
     replay_population,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # service API (the recommended entry point)
+    "FlexSession",
+    "SessionConfig",
+    "EvaluateRequest",
+    "AggregateRequest",
+    "ScheduleRequest",
+    "TradeRequest",
+    "StreamRequest",
+    "EvaluateResult",
+    "AggregateResult",
+    "ScheduleResult",
+    "TradeResult",
+    "StreamResult",
+    "RequestStats",
     # compute backends
     "NUMPY_AVAILABLE",
     "available_backends",

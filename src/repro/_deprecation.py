@@ -1,0 +1,47 @@
+"""Shared deprecation machinery for the legacy top-level entry points.
+
+PR 5 moved the recommended public surface onto the session-scoped service
+API (:class:`repro.service.FlexSession`); the old process-global entry
+points keep working through thin shims that call :func:`warn_deprecated`.
+The helper guarantees the *exactly once per call site* contract the
+deprecation policy promises — a shim inside a hot loop must not flood the
+log — independent of the active warning filters (pytest's ``always`` filter
+would otherwise repeat the warning on every call).
+
+The warning is attributed to the *caller* of the shim (``stacklevel``),
+so the CI deprecation gate — ``DeprecationWarning`` raised as an error for
+warnings attributed to ``repro``'s own modules — fails exactly when package
+internals route through a shim, while downstream callers only ever see a
+normal, once-per-site warning.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+__all__ = ["warn_deprecated", "reset_deprecation_registry"]
+
+#: Call sites (filename, lineno) that already received their warning.
+_SEEN: set[tuple[str, int]] = set()
+
+
+def warn_deprecated(message: str, stacklevel: int = 2) -> None:
+    """Emit a :class:`DeprecationWarning` once per caller call site.
+
+    ``stacklevel`` counts like :func:`warnings.warn` from the *shim*'s
+    perspective: the default ``2`` attributes the warning to the shim's
+    caller.  Subsequent calls from the same ``(file, line)`` are silent
+    until :func:`reset_deprecation_registry`.
+    """
+    frame = sys._getframe(stacklevel)
+    key = (frame.f_code.co_filename, frame.f_lineno)
+    if key in _SEEN:
+        return
+    _SEEN.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
+
+
+def reset_deprecation_registry() -> None:
+    """Forget every recorded call site (test isolation hook)."""
+    _SEEN.clear()

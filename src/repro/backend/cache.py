@@ -50,7 +50,14 @@ from typing import Optional, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.flexoffer import FlexOffer
 
-__all__ = ["MatrixCache", "matrix_cache", "cached_matrix", "ENV_CACHE_VAR", "DEFAULT_CAPACITY"]
+__all__ = [
+    "MatrixCache",
+    "matrix_cache",
+    "cached_matrix",
+    "matrix_weight",
+    "ENV_CACHE_VAR",
+    "DEFAULT_CAPACITY",
+]
 
 #: Environment variable holding the process-wide cache capacity.
 ENV_CACHE_VAR = "REPRO_MATRIX_CACHE"
@@ -301,25 +308,32 @@ class MatrixCache:
         )
 
 
-#: The process-wide cache shared by every matrix-building backend.
+#: The process-wide cache shared by every matrix-building backend that was
+#: not handed a session-scoped cache of its own.
 matrix_cache = MatrixCache()
 
 
-def cached_matrix(flex_offers: Sequence["FlexOffer"]):
-    """The packed :class:`ProfileMatrix` of a population, via the cache.
+def matrix_weight(matrix) -> int:
+    """An entry's weight toward ``cell_budget``: its packed slice count."""
+    return int(matrix.offsets[-1]) if matrix.size else 0
 
-    Imports :mod:`repro.backend.matrix` lazily so this module stays
-    importable without NumPy (the streaming engine imports it for
-    invalidation even when only the reference backend is registered).
-    Propagates the packer's ``OverflowError`` uncached, preserving the
-    callers' fall-back-to-reference semantics.  Entries weigh their packed
-    slice count, so retention is bounded in bytes (``cell_budget``), not
-    just entries.
+
+def cached_matrix(
+    flex_offers: Sequence["FlexOffer"], cache: Optional[MatrixCache] = None
+):
+    """The packed :class:`ProfileMatrix` of a population, via a cache.
+
+    ``cache`` selects the store — a session-scoped :class:`MatrixCache`
+    injected by the service layer, or (``None``) the process-wide
+    :data:`matrix_cache`.  Imports :mod:`repro.backend.matrix` lazily so
+    this module stays importable without NumPy (the streaming engine
+    imports it for invalidation even when only the reference backend is
+    registered).  Propagates the packer's ``OverflowError`` uncached,
+    preserving the callers' fall-back-to-reference semantics.  Entries
+    weigh their packed slice count, so retention is bounded in bytes
+    (``cell_budget``), not just entries.
     """
     from .matrix import ProfileMatrix
 
-    return matrix_cache.get(
-        flex_offers,
-        ProfileMatrix,
-        weigher=lambda matrix: int(matrix.offsets[-1]) if matrix.size else 0,
-    )
+    store = cache if cache is not None else matrix_cache
+    return store.get(flex_offers, ProfileMatrix, weigher=matrix_weight)

@@ -10,11 +10,25 @@ per-object Python code (``reference``) or with packed NumPy arrays
 (``numpy``).  Callers never pick an implementation directly — they ask
 :func:`get_backend` for the active one, which resolves, in order,
 
-1. an explicit ``name`` argument,
-2. the backend activated by the innermost :func:`use_backend` context,
-3. the process default set via :func:`set_default_backend`,
-4. the ``REPRO_BACKEND`` environment variable,
-5. the ``reference`` backend.
+1. an explicit ``name`` argument (or an explicit backend *instance* — the
+   session façade routes its privately configured backends this way),
+2. the backend activated by the innermost :func:`use_backend` context
+   (a registered name or, again, an unregistered instance),
+3. the calling thread's default (set via the deprecated
+   :func:`set_default_backend` shim),
+4. the process-wide default fallback,
+5. the ``REPRO_BACKEND`` environment variable,
+6. the ``reference`` backend.
+
+Steps 3–4 were a single process-global before PR 5.  That global was a
+latent race under the sharded backend's thread pool: a worker thread
+resolving ``get_backend()`` mid-operation could observe another thread's
+freshly mutated default — in the worst case resolving *the sharded backend
+itself* inside one of its own workers.  The default is therefore
+thread-local with a process-wide fallback, so concurrent sessions (or
+tests) configuring different defaults can never leak into each other's
+worker threads.  New code should prefer :class:`repro.service.FlexSession`
+/ :func:`use_backend` over defaults entirely.
 
 Every backend must be *observationally equivalent* to the reference backend:
 identical values on integer paths, identical within 1e-9 on float paths, and
@@ -27,10 +41,11 @@ from __future__ import annotations
 
 import abc
 import os
+import threading
 from collections.abc import Sequence
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import TYPE_CHECKING, ClassVar, Optional
+from typing import TYPE_CHECKING, ClassVar, Optional, Union
 
 from ..core.errors import BackendError
 
@@ -39,6 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..measures.base import FlexibilityMeasure
 
 __all__ = [
+    "BackendSpec",
     "ComputeBackend",
     "register_backend",
     "available_backends",
@@ -292,10 +308,19 @@ class ComputeBackend(abc.ABC):
 # ---------------------------------------------------------------------- #
 # Registry and selection
 # ---------------------------------------------------------------------- #
+#: A backend selection: a registered name, or a (possibly unregistered)
+#: backend instance — the session façade's privately configured backends.
+BackendSpec = Union[str, ComputeBackend]
+
 _REGISTRY: dict[str, ComputeBackend] = {}
 _bootstrapped = False
-_default_name: Optional[str] = None
-_active_name: ContextVar[Optional[str]] = ContextVar("repro_backend", default=None)
+#: Process-wide default fallback (threads that never set their own).
+_process_default: Optional[str] = None
+#: Per-thread default name; worker threads never inherit another thread's.
+_thread_default = threading.local()
+_active: ContextVar[Optional[BackendSpec]] = ContextVar(
+    "repro_backend", default=None
+)
 
 
 def register_backend(backend: ComputeBackend, overwrite: bool = False) -> ComputeBackend:
@@ -349,15 +374,19 @@ def available_backends() -> tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
-def _resolve(name: Optional[str]) -> ComputeBackend:
+def _resolve(selection: Optional[BackendSpec]) -> ComputeBackend:
     _ensure_registered()
+    if selection is None:
+        selection = _active.get()
+    if selection is None:
+        selection = getattr(_thread_default, "name", None)
     resolved = (
-        name
-        or _active_name.get()
-        or _default_name
-        or os.environ.get(ENV_VAR)
-        or "reference"
+        selection
+        if selection is not None
+        else (_process_default or os.environ.get(ENV_VAR) or "reference")
     )
+    if isinstance(resolved, ComputeBackend):
+        return resolved
     try:
         return _REGISTRY[resolved]
     except KeyError:
@@ -367,32 +396,65 @@ def _resolve(name: Optional[str]) -> ComputeBackend:
         ) from None
 
 
-def get_backend(name: Optional[str] = None) -> ComputeBackend:
-    """The active compute backend (or the one registered under ``name``)."""
-    return _resolve(name)
+def get_backend(selection: Optional[BackendSpec] = None) -> ComputeBackend:
+    """The active compute backend.
+
+    ``selection`` may be a registered name, an explicit
+    :class:`ComputeBackend` instance (returned as-is — how the session
+    façade and the sharded workers carry privately configured backends
+    through the dispatch layer), or ``None`` for the context-resolved
+    active backend.
+    """
+    return _resolve(selection)
 
 
-def set_default_backend(name: Optional[str]) -> None:
-    """Set (or with ``None`` clear) the process-wide default backend."""
-    global _default_name
+def set_default_backend(name: Optional[str], process_wide: bool = False) -> None:
+    """Deprecated shim: set (or with ``None`` clear) the default backend.
+
+    .. deprecated:: 1.1
+        Configure a :class:`repro.service.FlexSession` (whose
+        :class:`~repro.service.SessionConfig` scopes the backend to the
+        session) or use the :func:`use_backend` context instead.
+
+    The default now lives in the *calling thread*, with an optional
+    ``process_wide`` fallback for threads that never set their own — the
+    pre-PR-5 process-global default let one thread's mutation leak into
+    the sharded backend's worker threads mid-operation.
+    """
+    from .._deprecation import warn_deprecated
+
+    warn_deprecated(
+        "set_default_backend() is deprecated; configure a "
+        "repro.service.FlexSession (session-scoped backend) or use the "
+        "use_backend() context instead",
+    )
     if name is not None:
         _resolve(name)  # validate eagerly so misconfiguration fails here
-    _default_name = name
+    if process_wide:
+        global _process_default
+        _process_default = name
+    else:
+        _thread_default.name = name
 
 
 @contextmanager
-def use_backend(name: str):
+def use_backend(selection: BackendSpec):
     """Context manager activating a backend for the dynamic extent.
 
-    Nested uses stack; the previous selection is restored on exit.  Yields
+    ``selection`` is a registered backend name or an explicit
+    :class:`ComputeBackend` instance.  Nested uses stack; the previous
+    selection is restored on exit.  The activation is context-local
+    (:mod:`contextvars`): pool worker threads never observe it.  Yields
     the activated backend instance::
 
         with use_backend("numpy") as backend:
             report = evaluate_set(population)   # vectorized
     """
-    backend = _resolve(name)
-    token = _active_name.set(backend.name)
+    backend = _resolve(selection)
+    token = _active.set(
+        backend if isinstance(selection, ComputeBackend) else backend.name
+    )
     try:
         yield backend
     finally:
-        _active_name.reset(token)
+        _active.reset(token)

@@ -47,19 +47,21 @@ _FALLBACK = ReferenceBackend()
 
 
 def _as_matrix(
-    flex_offers: Union[Sequence[FlexOffer], ProfileMatrix]
+    flex_offers: Union[Sequence[FlexOffer], ProfileMatrix], cache=None
 ) -> ProfileMatrix:
     """The packed matrix of a population-or-handle argument.
 
     Every bulk operation accepts either a raw offer sequence or an
     already-packed :class:`ProfileMatrix` (the ``prepare()`` / sharded
     slice handles); this is the single place that coercion lives.
-    Propagates the packer's ``OverflowError`` so each call site keeps its
-    own reference-backend fallback.
+    ``cache`` selects the memoisation store (``None`` → the process-wide
+    :data:`~repro.backend.cache.matrix_cache`).  Propagates the packer's
+    ``OverflowError`` so each call site keeps its own reference-backend
+    fallback.
     """
     if isinstance(flex_offers, ProfileMatrix):
         return flex_offers
-    return cached_matrix(flex_offers)
+    return cached_matrix(flex_offers, cache)
 
 
 def _support_mask(measure: "FlexibilityMeasure", matrix: ProfileMatrix) -> np.ndarray:
@@ -89,9 +91,29 @@ def _support_mask(measure: "FlexibilityMeasure", matrix: ProfileMatrix) -> np.nd
 
 
 class NumpyBackend(ComputeBackend):
-    """Bulk operations over packed ``(amin, amax)`` arrays."""
+    """Bulk operations over packed ``(amin, amax)`` arrays.
+
+    Parameters
+    ----------
+    cache:
+        The :class:`~repro.backend.cache.MatrixCache` memoising packed
+        matrices for this instance; ``None`` (the registered default
+        instance) shares the process-wide
+        :data:`~repro.backend.cache.matrix_cache`.  The service layer
+        constructs one backend per session with the session's own cache,
+        so two sessions' retention budgets never compete.
+    """
 
     name: ClassVar[str] = "numpy"
+
+    def __init__(self, cache=None) -> None:
+        self._cache = cache
+
+    def _matrix(
+        self, flex_offers: Union[Sequence[FlexOffer], ProfileMatrix]
+    ) -> ProfileMatrix:
+        """This instance's cache-routed :func:`_as_matrix`."""
+        return _as_matrix(flex_offers, self._cache)
 
     # ------------------------------------------------------------------ #
     # Measures
@@ -102,7 +124,7 @@ class NumpyBackend(ComputeBackend):
         flex_offers: Union[Sequence[FlexOffer], ProfileMatrix],
     ) -> list[float]:
         try:
-            matrix = _as_matrix(flex_offers)
+            matrix = self._matrix(flex_offers)
         except OverflowError:
             return _FALLBACK.measure_values(measure, flex_offers)
         return measure.batch_values(matrix)
@@ -115,7 +137,7 @@ class NumpyBackend(ComputeBackend):
         if isinstance(flex_offers, ProfileMatrix):
             return flex_offers
         try:
-            return cached_matrix(flex_offers)
+            return cached_matrix(flex_offers, self._cache)
         except OverflowError:
             return flex_offers
 
@@ -125,7 +147,7 @@ class NumpyBackend(ComputeBackend):
         flex_offers: Union[Sequence[FlexOffer], ProfileMatrix],
     ) -> list[bool]:
         try:
-            matrix = _as_matrix(flex_offers)
+            matrix = self._matrix(flex_offers)
         except OverflowError:
             return _FALLBACK.measure_support(measure, flex_offers)
         return [bool(flag) for flag in _support_mask(measure, matrix)]
@@ -137,7 +159,7 @@ class NumpyBackend(ComputeBackend):
         skip_unsupported: bool = True,
     ) -> tuple[dict[str, float], list[str]]:
         try:
-            matrix = _as_matrix(flex_offers)
+            matrix = self._matrix(flex_offers)
         except OverflowError:
             return _FALLBACK.evaluate_population(measures, flex_offers, skip_unsupported)
         values: dict[str, float] = {}
@@ -162,7 +184,7 @@ class NumpyBackend(ComputeBackend):
         flex_offers: Union[Sequence[FlexOffer], ProfileMatrix],
     ) -> list[dict[str, float]]:
         try:
-            matrix = _as_matrix(flex_offers)
+            matrix = self._matrix(flex_offers)
         except OverflowError:
             return _FALLBACK.per_offer_values(measures, flex_offers)
         results: list[dict[str, float]] = [{} for _ in range(matrix.size)]
@@ -187,7 +209,7 @@ class NumpyBackend(ComputeBackend):
         self, members: Union[Sequence[FlexOffer], ProfileMatrix]
     ) -> tuple[int, list[int], list[tuple[int, int]]]:
         try:
-            matrix = _as_matrix(members)
+            matrix = self._matrix(members)
         except OverflowError:
             return _FALLBACK.aggregate_columns(members)
         if matrix.size > (1 << 22):

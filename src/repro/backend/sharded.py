@@ -202,8 +202,16 @@ class ShardedBackend(ComputeBackend):
         Populations smaller than this run whole on the inner backend.
         ``None`` reads ``REPRO_SHARD_MIN``.
     inner:
-        Name of the inner backend; ``None`` picks ``numpy`` when registered,
-        else ``reference``.
+        The inner backend: a registered name, or (thread executor only) an
+        explicit :class:`ComputeBackend` instance — the service layer hands
+        a session-scoped ``NumpyBackend`` here so shard workers hit the
+        session's cache.  ``None`` picks ``numpy`` when registered, else
+        ``reference``.
+    cache:
+        The :class:`~repro.backend.cache.MatrixCache` consulted when carving
+        shard handles out of an already-cached whole-population matrix;
+        ``None`` (the registered default instance) uses the process-wide
+        :data:`~repro.backend.cache.matrix_cache`.
     """
 
     name: ClassVar[str] = "sharded"
@@ -213,7 +221,8 @@ class ShardedBackend(ComputeBackend):
         shards: Optional[int] = None,
         executor: Optional[str] = None,
         min_population: Optional[int] = None,
-        inner: Optional[str] = None,
+        inner: Optional[Union[str, ComputeBackend]] = None,
+        cache=None,
     ) -> None:
         # Explicit arguments fail fast; environment values degrade to the
         # documented defaults with a warning instead — the default instance
@@ -240,7 +249,19 @@ class ShardedBackend(ComputeBackend):
             raise BackendError(
                 f"min_population must be >= 0, got {min_population}"
             )
-        if inner is not None:
+        if isinstance(inner, ComputeBackend):
+            if inner is self or inner.name == self.name:
+                raise BackendError(
+                    "the sharded backend cannot be its own inner backend"
+                )
+            if executor == "process":
+                # Process workers live in separate memory: they can only
+                # resolve the inner backend by registered name.  The
+                # instance still serves every in-process path (delegated
+                # small populations), so its private cache keeps working
+                # where sharing is even possible.
+                get_backend(inner.name)
+        elif inner is not None:
             if inner == self.name:
                 raise BackendError(
                     "the sharded backend cannot be its own inner backend"
@@ -249,7 +270,8 @@ class ShardedBackend(ComputeBackend):
         self.shards = shards
         self.executor_kind = executor
         self.min_population = min_population
-        self._inner_name = inner
+        self._inner_spec = inner
+        self._cache = cache
         self._pool: Optional[Executor] = None
         self._pool_lock = threading.Lock()
 
@@ -259,14 +281,32 @@ class ShardedBackend(ComputeBackend):
     @property
     def inner(self) -> ComputeBackend:
         """The backend every shard runs on (resolved late, per call)."""
-        return get_backend(self._resolved_inner_name())
+        return get_backend(self._inner_ref())
 
-    def _resolved_inner_name(self) -> str:
-        if self._inner_name is not None:
-            return self._inner_name
+    def _inner_ref(self) -> Union[str, ComputeBackend]:
+        """What in-process code resolves the inner backend from."""
+        if self._inner_spec is not None:
+            return self._inner_spec
         from .dispatch import available_backends
 
         return "numpy" if "numpy" in available_backends() else "reference"
+
+    def _worker_ref(self) -> Union[str, ComputeBackend]:
+        """The inner-backend reference shipped to shard workers.
+
+        Thread workers share this process's memory and receive the
+        instance (or name) as-is; process workers receive the registered
+        *name* — instances are not picklable-safe across interpreters.
+        """
+        inner = self._inner_ref()
+        if self.executor_kind == "process" and isinstance(inner, ComputeBackend):
+            return inner.name
+        return inner
+
+    def _inner_is_numpy(self) -> bool:
+        inner = self._worker_ref()
+        name = inner.name if isinstance(inner, ComputeBackend) else inner
+        return name == "numpy"
 
     def _executor(self) -> Executor:
         """The lazily created, shared worker pool (double-checked lock)."""
@@ -330,13 +370,14 @@ class ShardedBackend(ComputeBackend):
         consumable by the reference backend's scalar loops).
         """
         chunks = self._partition(flex_offers)
-        if self.executor_kind != "thread" or self._resolved_inner_name() != "numpy":
+        if self.executor_kind != "thread" or not self._inner_is_numpy():
             return chunks
         try:
             from .matrix import ProfileMatrix
         except ImportError:  # pragma: no cover - numpy inner implies numpy
             return chunks
-        matrix = matrix_cache.peek(flex_offers)
+        cache = self._cache if self._cache is not None else matrix_cache
+        matrix = cache.peek(flex_offers)
         if (
             not isinstance(matrix, ProfileMatrix)
             or matrix.size != len(flex_offers)
@@ -370,7 +411,7 @@ class ShardedBackend(ComputeBackend):
         flex_offers = list(flex_offers)
         if self._delegates(flex_offers):
             return self.inner.measure_values(measure, flex_offers)
-        inner = self._resolved_inner_name()
+        inner = self._worker_ref()
         outcomes = self._map(
             _shard_values_outcome,
             [(inner, measure, chunk) for chunk in self._shard_handles(flex_offers)],
@@ -388,7 +429,7 @@ class ShardedBackend(ComputeBackend):
         flex_offers = list(flex_offers)
         if self._delegates(flex_offers):
             return self.inner.measure_support(measure, flex_offers)
-        inner = self._resolved_inner_name()
+        inner = self._worker_ref()
         verdicts: list[bool] = []
         for shard in self._map(
             _shard_support,
@@ -408,7 +449,7 @@ class ShardedBackend(ComputeBackend):
             return self.inner.evaluate_population(
                 measures, flex_offers, skip_unsupported
             )
-        inner = self._resolved_inner_name()
+        inner = self._worker_ref()
         chunks = self._shard_handles(flex_offers)
         # One fan-out per call: each shard packs once, then reports support
         # verdicts and value outcomes for every decomposable measure.
@@ -463,7 +504,7 @@ class ShardedBackend(ComputeBackend):
         flex_offers = list(flex_offers)
         if self._delegates(flex_offers):
             return self.inner.per_offer_values(measures, flex_offers)
-        inner = self._resolved_inner_name()
+        inner = self._worker_ref()
         results: list[dict[str, float]] = []
         for shard in self._map(
             _shard_per_offer,
@@ -481,7 +522,7 @@ class ShardedBackend(ComputeBackend):
         members = list(members)
         if self._delegates(members):
             return self.inner.aggregate_columns(members)
-        inner = self._resolved_inner_name()
+        inner = self._worker_ref()
         shards = self._map(
             _shard_aggregate,
             [(inner, chunk) for chunk in self._partition(members)],
@@ -516,7 +557,7 @@ class ShardedBackend(ComputeBackend):
         flex_offers = list(flex_offers)
         if self._delegates(flex_offers):
             return self.inner.feasible_profiles(flex_offers, target)
-        inner = self._resolved_inner_name()
+        inner = self._worker_ref()
         profiles: list[tuple[int, ...]] = []
         for shard in self._map(
             _shard_profiles,
@@ -540,7 +581,7 @@ class ShardedBackend(ComputeBackend):
         values = list(values)[:count]
         if self._delegates(flex_offers):
             return self.inner.assignment_feasibility(flex_offers, starts, values)
-        inner = self._resolved_inner_name()
+        inner = self._worker_ref()
         offer_chunks = self._partition(flex_offers)
         start_chunks = self._partition(starts)
         value_chunks = self._partition(values)
@@ -580,7 +621,7 @@ class ShardedBackend(ComputeBackend):
         schedules = list(schedules)
         if self._delegates(schedules):
             return self.inner.batch_objectives(schedules, reference, metric)
-        inner = self._resolved_inner_name()
+        inner = self._worker_ref()
         results: list[float] = []
         for shard in self._map(
             _shard_objectives,
@@ -595,7 +636,7 @@ class ShardedBackend(ComputeBackend):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<ShardedBackend shards={self.shards} executor={self.executor_kind!r} "
-            f"inner={self._resolved_inner_name()!r} "
+            f"inner={self._inner_ref()!r} "
             f"min_population={self.min_population}>"
         )
 

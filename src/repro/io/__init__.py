@@ -1,19 +1,27 @@
-"""Serialisation helpers (JSON and CSV) for flex-offers and schedules."""
+"""Serialisation helpers (JSON and CSV) for flex-offers, schedules and the
+service layer's request/response objects."""
 
 from .csv_io import (
     flexoffers_from_csv,
     flexoffers_to_csv,
     measurements_to_csv,
     read_flexoffers_csv,
+    request_stats_to_csv,
     write_flexoffers_csv,
 )
 from .serialization import (
     assignment_from_dict,
     assignment_to_dict,
+    event_from_dict,
+    event_to_dict,
     flexoffer_from_dict,
     flexoffer_to_dict,
     flexoffers_from_json,
     flexoffers_to_json,
+    request_from_dict,
+    request_to_dict,
+    result_from_dict,
+    result_to_dict,
     schedule_from_dict,
     schedule_to_dict,
     timeseries_from_dict,
@@ -31,9 +39,16 @@ __all__ = [
     "schedule_from_dict",
     "timeseries_to_dict",
     "timeseries_from_dict",
+    "event_to_dict",
+    "event_from_dict",
+    "request_to_dict",
+    "request_from_dict",
+    "result_to_dict",
+    "result_from_dict",
     "flexoffers_to_csv",
     "flexoffers_from_csv",
     "write_flexoffers_csv",
     "read_flexoffers_csv",
     "measurements_to_csv",
+    "request_stats_to_csv",
 ]

@@ -22,6 +22,7 @@ __all__ = [
     "write_flexoffers_csv",
     "read_flexoffers_csv",
     "measurements_to_csv",
+    "request_stats_to_csv",
 ]
 
 _FIELDNAMES = (
@@ -116,3 +117,36 @@ def measurements_to_csv(
     for row in rows:
         writer.writerow({name: row.get(name, "") for name in names})
     return buffer.getvalue()
+
+
+#: Columns of the service request-stats export, one row per served request.
+_STATS_FIELDNAMES = (
+    "kind",
+    "backend",
+    "duration_s",
+    "population",
+    "cache_hits",
+    "cache_misses",
+)
+
+
+def request_stats_to_csv(results: Iterable[object]) -> str:
+    """Serialise service responses' stats blocks into a CSV access log.
+
+    Accepts any mix of :mod:`repro.service` ``*Result`` objects (their
+    ``stats`` block is read) or bare
+    :class:`~repro.service.RequestStats` instances — one row per request,
+    in iteration order.  This is the session-side counterpart of a web
+    server's access log: request kind, serving backend, wall-clock and
+    cache-hit columns, ready for a spreadsheet.
+    """
+    rows = []
+    for result in results:
+        stats = getattr(result, "stats", result)
+        try:
+            rows.append({name: getattr(stats, name) for name in _STATS_FIELDNAMES})
+        except AttributeError as error:
+            raise SerializationError(
+                f"not a service result or stats block: {result!r}"
+            ) from error
+    return measurements_to_csv(rows, _STATS_FIELDNAMES)

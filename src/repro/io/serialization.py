@@ -4,6 +4,12 @@ Flex-offers are exchanged between prosumers, Aggregators and BRPs (Scenario 2
 of the paper), so the library needs a stable wire format.  The format is
 deliberately plain JSON — a dictionary per flex-offer with the paper's field
 names — so that other tools can produce and consume it without this library.
+
+PR 5 extends the format to the service layer: stream events, every
+:mod:`repro.service` request and every ``*Result`` round-trip through
+tagged dictionaries (``{"kind": ..., ...}``), so a remote client can POST
+a request body at a :class:`~repro.service.FlexSession` host and log the
+typed responses.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import json
 from collections.abc import Iterable, Sequence
 from typing import Any
 
+from ..aggregation.base import AggregatedFlexOffer
 from ..core.assignment import Assignment
 from ..core.errors import SerializationError
 from ..core.flexoffer import FlexOffer
@@ -29,6 +36,12 @@ __all__ = [
     "schedule_from_dict",
     "timeseries_to_dict",
     "timeseries_from_dict",
+    "event_to_dict",
+    "event_from_dict",
+    "request_to_dict",
+    "request_from_dict",
+    "result_to_dict",
+    "result_from_dict",
 ]
 
 
@@ -124,3 +137,403 @@ def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
     except (KeyError, TypeError) as error:
         raise SerializationError(f"malformed schedule payload: {error}") from error
     return Schedule(assignments)
+
+
+# --------------------------------------------------------------------- #
+# Stream events
+# --------------------------------------------------------------------- #
+
+
+def event_to_dict(event) -> dict[str, Any]:
+    """A JSON-ready, kind-tagged dictionary for one stream event."""
+    from ..stream.events import OfferArrived, OfferAssigned, OfferExpired, Tick
+
+    if isinstance(event, OfferArrived):
+        return {
+            "kind": "arrived",
+            "offer_id": event.offer_id,
+            "flex_offer": flexoffer_to_dict(event.flex_offer),
+        }
+    if isinstance(event, OfferExpired):
+        return {"kind": "expired", "offer_id": event.offer_id}
+    if isinstance(event, OfferAssigned):
+        return {
+            "kind": "assigned",
+            "offer_id": event.offer_id,
+            "start_time": event.start_time,
+            "price": event.price,
+        }
+    if isinstance(event, Tick):
+        return {"kind": "tick", "time": event.time}
+    raise SerializationError(f"not a serialisable stream event: {event!r}")
+
+
+def event_from_dict(payload: dict[str, Any]):
+    """Rebuild a stream event from its kind-tagged dictionary form."""
+    from ..stream.events import OfferArrived, OfferAssigned, OfferExpired, Tick
+
+    try:
+        kind = payload["kind"]
+        if kind == "arrived":
+            return OfferArrived(
+                payload["offer_id"], flexoffer_from_dict(payload["flex_offer"])
+            )
+        if kind == "expired":
+            return OfferExpired(payload["offer_id"])
+        if kind == "assigned":
+            return OfferAssigned(
+                payload["offer_id"],
+                start_time=payload.get("start_time"),
+                price=payload.get("price"),
+            )
+        if kind == "tick":
+            return Tick(int(payload["time"]))
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"malformed event payload: {error}") from error
+    raise SerializationError(f"unknown event kind {payload.get('kind')!r}")
+
+
+# --------------------------------------------------------------------- #
+# Service requests
+# --------------------------------------------------------------------- #
+
+
+def _lot_to_dict(lot) -> dict[str, Any]:
+    """One tradable lot: a plain flex-offer or an aggregate with members."""
+    if isinstance(lot, AggregatedFlexOffer):
+        return {
+            "flex_offer": flexoffer_to_dict(lot.flex_offer),
+            "members": [flexoffer_to_dict(member) for member in lot.members],
+            "member_offsets": list(lot.member_offsets),
+        }
+    return flexoffer_to_dict(lot)
+
+
+def _lot_from_dict(payload: dict[str, Any]):
+    if "members" in payload:
+        try:
+            return AggregatedFlexOffer(
+                flexoffer_from_dict(payload["flex_offer"]),
+                tuple(flexoffer_from_dict(item) for item in payload["members"]),
+                tuple(int(offset) for offset in payload["member_offsets"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise SerializationError(
+                f"malformed aggregate payload: {error}"
+            ) from error
+    return flexoffer_from_dict(payload)
+
+
+def _optional_offers(offers) -> Any:
+    return (
+        None
+        if offers is None
+        else [flexoffer_to_dict(flex_offer) for flex_offer in offers]
+    )
+
+
+def request_to_dict(request) -> dict[str, Any]:
+    """A JSON-ready, kind-tagged dictionary for any service request.
+
+    ``ScheduleRequest.options`` must hold JSON-compatible values (the
+    scheduler constructor knobs all are); an ``objective`` option —
+    an in-process object — is rejected.
+    """
+    from ..service.requests import (
+        AggregateRequest,
+        EvaluateRequest,
+        ScheduleRequest,
+        StreamRequest,
+        TradeRequest,
+    )
+
+    if isinstance(request, EvaluateRequest):
+        return {
+            "kind": "evaluate",
+            "measures": None if request.measures is None else list(request.measures),
+            "offers": _optional_offers(request.offers),
+            "skip_unsupported": request.skip_unsupported,
+        }
+    if isinstance(request, AggregateRequest):
+        return {
+            "kind": "aggregate",
+            "offers": _optional_offers(request.offers),
+            "prefix": request.prefix,
+        }
+    if isinstance(request, ScheduleRequest):
+        options = dict(request.options)
+        if "objective" in options:
+            raise SerializationError(
+                "an in-process objective option cannot be serialised; "
+                "use the request's metric/reference fields"
+            )
+        return {
+            "kind": "schedule",
+            "scheduler": request.scheduler,
+            "offers": _optional_offers(request.offers),
+            "reference": (
+                None
+                if request.reference is None
+                else timeseries_to_dict(request.reference)
+            ),
+            "metric": request.metric,
+            "options": options,
+        }
+    if isinstance(request, TradeRequest):
+        return {
+            "kind": "trade",
+            "lots": (
+                None
+                if request.lots is None
+                else [_lot_to_dict(lot) for lot in request.lots]
+            ),
+            "measure": request.measure,
+            "energy_price": request.energy_price,
+            "premium_per_unit": request.premium_per_unit,
+            "budget": "inf" if request.budget == float("inf") else request.budget,
+        }
+    if isinstance(request, StreamRequest):
+        return {
+            "kind": "stream",
+            "events": [event_to_dict(event) for event in request.events],
+            "bulk": request.bulk,
+        }
+    raise SerializationError(f"not a serialisable service request: {request!r}")
+
+
+def request_from_dict(payload: dict[str, Any]):
+    """Rebuild a service request from :func:`request_to_dict` output."""
+    from ..service.requests import (
+        AggregateRequest,
+        EvaluateRequest,
+        ScheduleRequest,
+        StreamRequest,
+        TradeRequest,
+    )
+
+    def offers(key: str):
+        value = payload.get(key)
+        if value is None:
+            return None
+        return tuple(flexoffer_from_dict(item) for item in value)
+
+    try:
+        kind = payload["kind"]
+        if kind == "evaluate":
+            measures = payload.get("measures")
+            return EvaluateRequest(
+                measures=None if measures is None else tuple(measures),
+                offers=offers("offers"),
+                skip_unsupported=payload.get("skip_unsupported", True),
+            )
+        if kind == "aggregate":
+            return AggregateRequest(
+                offers=offers("offers"), prefix=payload.get("prefix", "aggregate")
+            )
+        if kind == "schedule":
+            reference = payload.get("reference")
+            return ScheduleRequest(
+                scheduler=payload.get("scheduler", "greedy"),
+                offers=offers("offers"),
+                reference=(
+                    None if reference is None else timeseries_from_dict(reference)
+                ),
+                metric=payload.get("metric", "absolute"),
+                options=payload.get("options", {}),
+            )
+        if kind == "trade":
+            lots = payload.get("lots")
+            budget = payload.get("budget", "inf")
+            return TradeRequest(
+                lots=(
+                    None
+                    if lots is None
+                    else tuple(_lot_from_dict(item) for item in lots)
+                ),
+                measure=payload.get("measure", "vector"),
+                energy_price=payload.get("energy_price", 30.0),
+                premium_per_unit=payload.get("premium_per_unit", 2.0),
+                budget=float("inf") if budget == "inf" else float(budget),
+            )
+        if kind == "stream":
+            return StreamRequest(
+                events=tuple(
+                    event_from_dict(item) for item in payload.get("events", ())
+                ),
+                bulk=payload.get("bulk", False),
+            )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"malformed request payload: {error}") from error
+    raise SerializationError(f"unknown request kind {payload.get('kind')!r}")
+
+
+# --------------------------------------------------------------------- #
+# Service results
+# --------------------------------------------------------------------- #
+
+
+def _stats_to_dict(stats) -> dict[str, Any]:
+    return {
+        "kind": stats.kind,
+        "backend": stats.backend,
+        "duration_s": stats.duration_s,
+        "population": stats.population,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+    }
+
+
+def _stats_from_dict(payload: dict[str, Any]):
+    from ..service.results import RequestStats
+
+    return RequestStats(
+        kind=payload["kind"],
+        backend=payload["backend"],
+        duration_s=float(payload["duration_s"]),
+        population=int(payload["population"]),
+        cache_hits=int(payload.get("cache_hits", 0)),
+        cache_misses=int(payload.get("cache_misses", 0)),
+    )
+
+
+def _bid_to_dict(bid) -> dict[str, Any]:
+    return {
+        "flex_offer": flexoffer_to_dict(bid.flex_offer),
+        "energy_price": bid.energy_price,
+        "flexibility_premium": bid.flexibility_premium,
+    }
+
+
+def _bid_from_dict(payload: dict[str, Any]):
+    from ..market.trading import Bid
+
+    return Bid(
+        flexoffer_from_dict(payload["flex_offer"]),
+        energy_price=float(payload["energy_price"]),
+        flexibility_premium=float(payload["flexibility_premium"]),
+    )
+
+
+def result_to_dict(result) -> dict[str, Any]:
+    """A JSON-ready, kind-tagged dictionary for any service result.
+
+    The tag mirrors the originating request kind (``result["kind"]`` ==
+    ``result.stats.kind``), so a response log interleaving every request
+    type stays self-describing.
+    """
+    from ..service.results import (
+        AggregateResult,
+        EvaluateResult,
+        ScheduleResult,
+        StreamResult,
+        TradeResult,
+    )
+
+    if isinstance(result, EvaluateResult):
+        return {
+            "kind": "evaluate",
+            "report": {
+                "size": result.report.size,
+                "values": dict(result.report.values),
+                "skipped": list(result.report.skipped),
+            },
+            "stats": _stats_to_dict(result.stats),
+        }
+    if isinstance(result, AggregateResult):
+        return {
+            "kind": "aggregate",
+            "groups": [
+                [flexoffer_to_dict(flex_offer) for flex_offer in group]
+                for group in result.groups
+            ],
+            "aggregates": [_lot_to_dict(aggregate) for aggregate in result.aggregates],
+            "stats": _stats_to_dict(result.stats),
+        }
+    if isinstance(result, ScheduleResult):
+        return {
+            "kind": "schedule",
+            "schedule": schedule_to_dict(result.schedule),
+            "objective_value": result.objective_value,
+            "scheduler": result.scheduler,
+            "stats": _stats_to_dict(result.stats),
+        }
+    if isinstance(result, TradeResult):
+        return {
+            "kind": "trade",
+            "accepted": [_bid_to_dict(bid) for bid in result.accepted],
+            "rejected": [_bid_to_dict(bid) for bid in result.rejected],
+            "revenue": result.revenue,
+            "stats": _stats_to_dict(result.stats),
+        }
+    if isinstance(result, StreamResult):
+        return {
+            "kind": "stream",
+            "applied": result.applied,
+            "live": result.live,
+            "time": result.time,
+            "engine_stats": dict(result.engine_stats),
+            "stats": _stats_to_dict(result.stats),
+        }
+    raise SerializationError(f"not a serialisable service result: {result!r}")
+
+
+def result_from_dict(payload: dict[str, Any]):
+    """Rebuild a service result from :func:`result_to_dict` output."""
+    from ..measures.setwise import FlexibilitySetReport
+    from ..service.results import (
+        AggregateResult,
+        EvaluateResult,
+        ScheduleResult,
+        StreamResult,
+        TradeResult,
+    )
+
+    try:
+        kind = payload["kind"]
+        stats = _stats_from_dict(payload["stats"])
+        if kind == "evaluate":
+            report = payload["report"]
+            return EvaluateResult(
+                report=FlexibilitySetReport(
+                    int(report["size"]),
+                    dict(report["values"]),
+                    tuple(report["skipped"]),
+                ),
+                stats=stats,
+            )
+        if kind == "aggregate":
+            return AggregateResult(
+                groups=tuple(
+                    tuple(flexoffer_from_dict(item) for item in group)
+                    for group in payload["groups"]
+                ),
+                aggregates=tuple(
+                    _lot_from_dict(item) for item in payload["aggregates"]
+                ),
+                stats=stats,
+            )
+        if kind == "schedule":
+            return ScheduleResult(
+                schedule=schedule_from_dict(payload["schedule"]),
+                objective_value=float(payload["objective_value"]),
+                scheduler=payload["scheduler"],
+                stats=stats,
+            )
+        if kind == "trade":
+            return TradeResult(
+                accepted=tuple(_bid_from_dict(item) for item in payload["accepted"]),
+                rejected=tuple(_bid_from_dict(item) for item in payload["rejected"]),
+                revenue=float(payload["revenue"]),
+                stats=stats,
+            )
+        if kind == "stream":
+            return StreamResult(
+                applied=int(payload["applied"]),
+                live=int(payload["live"]),
+                time=payload["time"],
+                stats=stats,
+                engine_stats=dict(payload.get("engine_stats", {})),
+            )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"malformed result payload: {error}") from error
+    raise SerializationError(f"unknown result kind {payload.get('kind')!r}")

@@ -18,7 +18,11 @@ scheduler's offspring — collect raw candidates first, screen them with one
 construct the assignments through the trusted fast path.  The restart
 initial schedules are likewise *scored* in one bulk call
 (:meth:`~repro.scheduling.objective.ImbalanceObjective.of_generation`),
-which is bit-identical to the per-schedule fold it replaced.
+which is bit-identical to the per-schedule fold it replaced — and so is
+the hill-climbing inner loop itself: candidate mutations are evaluated in
+small speculative batches (``speculation``) through the same bulk call
+without changing the accept/reject draw order (see
+:meth:`HillClimbingScheduler._climb`).
 """
 
 from __future__ import annotations
@@ -129,6 +133,17 @@ class HillClimbingScheduler(Scheduler):
     warm_start:
         When ``True`` (default) the search starts from the earliest-start
         baseline schedule, otherwise from a random schedule.
+    speculation:
+        Number of candidate mutations scored per bulk objective call (the
+        backend's ``batch_objectives``).  Candidates are drawn in the same
+        rng order as the one-at-a-time loop and scored speculatively
+        against the current schedule; on an acceptance the not-yet-visited
+        candidates of the batch are re-scored against the new incumbent,
+        so every accept/reject decision — and therefore the final schedule
+        — is bit-identical to ``speculation=1`` (the former scalar inner
+        loop).  Rejection-heavy searches, the hill-climbing steady state,
+        amortise one vectorized pass over up to ``speculation``
+        candidates.
     """
 
     name = "hill-climbing"
@@ -140,17 +155,21 @@ class HillClimbingScheduler(Scheduler):
         seed: int = 0,
         objective: Optional[ImbalanceObjective] = None,
         warm_start: bool = True,
+        speculation: int = 8,
     ) -> None:
         """Validate and store the search parameters (see class docstring)."""
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
         if restarts < 1:
             raise ValueError("restarts must be >= 1")
+        if speculation < 1:
+            raise ValueError("speculation must be >= 1")
         self.iterations = iterations
         self.restarts = restarts
         self.seed = seed
         self.objective = objective or ImbalanceObjective()
         self.warm_start = warm_start
+        self.speculation = speculation
 
     def _initial(self, flex_offers: Sequence[FlexOffer], rng: random.Random) -> Schedule:
         """The restart's starting schedule (baseline or batch-validated random)."""
@@ -193,15 +212,55 @@ class HillClimbingScheduler(Scheduler):
         initials = [self._initial(flex_offers, rng) for rng in rngs]
         initial_values = objective.of_generation(initials)
         for rng, current, current_value in zip(rngs, initials, initial_values):
-            for _ in range(self.iterations):
-                index = rng.randrange(len(flex_offers))
-                mutated = current.replacing(
-                    index, random_assignment(flex_offers[index], rng)
-                )
-                mutated_value = objective.of_schedule(mutated)
-                if mutated_value < current_value:
-                    current, current_value = mutated, mutated_value
+            current, current_value = self._climb(
+                flex_offers, objective, rng, current, current_value
+            )
             if current_value < best_overall_value:
                 best_overall, best_overall_value = current, current_value
         assert best_overall is not None
         return best_overall
+
+    def _climb(
+        self,
+        flex_offers: Sequence[FlexOffer],
+        objective: ImbalanceObjective,
+        rng: random.Random,
+        current: Schedule,
+        current_value: float,
+    ) -> tuple[Schedule, float]:
+        """One restart's inner loop, batched through ``batch_objectives``.
+
+        Mutations are drawn ``speculation`` at a time — the draw sequence
+        is exactly the scalar loop's, since drawing never depends on
+        acceptance — and scored in one bulk objective call against the
+        current schedule.  The verdicts are then consumed in draw order:
+        a rejection's speculative score is already exact; an acceptance
+        invalidates the scores of the batch's unvisited tail (they were
+        computed against the replaced incumbent), which is re-scored
+        against the new one without drawing anything.  Because the bulk
+        objective is bit-identical to the scalar fold, the accept/reject
+        trajectory equals the one-at-a-time loop's exactly.
+        """
+        remaining = self.iterations
+        while remaining > 0:
+            batch = min(self.speculation, remaining)
+            remaining -= batch
+            draws = []
+            for _ in range(batch):
+                index = rng.randrange(len(flex_offers))
+                draws.append((index, random_assignment(flex_offers[index], rng)))
+            position = 0
+            while position < len(draws):
+                candidates = [
+                    current.replacing(index, assignment)
+                    for index, assignment in draws[position:]
+                ]
+                values = objective.of_generation(candidates)
+                advanced = 0
+                for mutated, mutated_value in zip(candidates, values):
+                    advanced += 1
+                    if mutated_value < current_value:
+                        current, current_value = mutated, mutated_value
+                        break
+                position += advanced
+        return current, current_value

@@ -1,0 +1,57 @@
+"""``repro.service`` — the session-scoped request/response service API.
+
+The recommended entry point to the library: a
+:class:`FlexSession` owns a streaming engine, a compute backend and a
+matrix cache — all scoped by one :class:`SessionConfig` instead of
+process-global env knobs — and serves typed requests
+(:class:`EvaluateRequest`, :class:`AggregateRequest`,
+:class:`ScheduleRequest`, :class:`TradeRequest`, :class:`StreamRequest`)
+as frozen results carrying timings, backend provenance and cache-hit
+stats.
+
+>>> from repro.service import FlexSession, SessionConfig
+>>> from repro import FlexOffer
+>>> with FlexSession(SessionConfig(backend="reference")) as session:
+...     _ = session.ingest([FlexOffer(1, 6, [(1, 3), (2, 4)])])
+...     session.evaluate().report.values["time"]
+5.0
+"""
+
+from .config import ServiceError, SessionConfig
+from .requests import (
+    AggregateRequest,
+    EvaluateRequest,
+    Request,
+    ScheduleRequest,
+    StreamRequest,
+    TradeRequest,
+)
+from .results import (
+    AggregateResult,
+    EvaluateResult,
+    RequestStats,
+    ScheduleResult,
+    StreamResult,
+    TradeResult,
+)
+from .session import FlexSession
+
+__all__ = [
+    "ServiceError",
+    "SessionConfig",
+    "FlexSession",
+    # requests
+    "Request",
+    "EvaluateRequest",
+    "AggregateRequest",
+    "ScheduleRequest",
+    "TradeRequest",
+    "StreamRequest",
+    # results
+    "RequestStats",
+    "EvaluateResult",
+    "AggregateResult",
+    "ScheduleResult",
+    "TradeResult",
+    "StreamResult",
+]

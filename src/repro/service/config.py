@@ -1,0 +1,236 @@
+"""Session configuration: the typed replacement for the env-knob sprawl.
+
+Four PRs of organic growth configured the library through process-global
+environment variables (``REPRO_BACKEND``, ``REPRO_SHARDS``,
+``REPRO_MATRIX_CACHE``, ``REPRO_MATRIX_COMPACT``, …) read at scattered
+points — import time, registry bootstrap, matrix construction — which made
+it impossible for two differently-tuned workloads to share a process.
+:class:`SessionConfig` collapses all of that into one frozen value object
+read **once, at construction**: the environment variables survive only as
+defaults for fields left at ``None``, so existing deployment recipes keep
+working, while two configs in one process are completely independent.
+
+>>> config = SessionConfig(backend="reference", cache_entries=4)
+>>> config.backend
+'reference'
+>>> config.cache_entries
+4
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+from dataclasses import dataclass, field, fields
+from typing import Optional
+
+from ..aggregation.grouping import GroupingParameters
+from ..backend.cache import (
+    DEFAULT_CAPACITY,
+    DEFAULT_CELL_BUDGET,
+    ENV_CACHE_VAR,
+    ENV_CELL_VAR,
+)
+from ..backend.dispatch import ENV_VAR, _env_float, _env_int
+from ..backend.sharded import (
+    DEFAULT_MIN_POPULATION,
+    ENV_EXECUTOR,
+    ENV_MIN_POPULATION,
+    ENV_SHARDS,
+)
+from ..core.errors import FlexError
+
+#: Compaction-ratio knob name.  Mirrored from :mod:`repro.backend.matrix`
+#: (which imports NumPy at module level and therefore cannot be imported
+#: here unconditionally — the config must build on NumPy-free hosts too).
+ENV_COMPACT_VAR = "REPRO_MATRIX_COMPACT"
+
+__all__ = ["ServiceError", "SessionConfig"]
+
+
+class ServiceError(FlexError):
+    """Raised on invalid service configurations or requests."""
+
+
+def _frozen_set(config: "SessionConfig", name: str, value) -> None:
+    object.__setattr__(config, name, value)
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything a :class:`~repro.service.FlexSession` needs, in one value.
+
+    Every ``None`` field resolves — eagerly, in ``__post_init__`` — from
+    the corresponding environment variable and then from the library
+    default, so the environment is consulted exactly once per config and
+    never again for the session's lifetime.  Two sessions built from two
+    configs therefore cannot observe each other's knobs, caches or
+    backends.
+
+    Parameters
+    ----------
+    backend:
+        Compute-backend name (``reference`` / ``numpy`` / ``sharded`` or
+        any registered custom backend).  Default: ``REPRO_BACKEND``, else
+        ``numpy`` when available, else ``reference``.
+    shards, shard_executor, shard_min_population:
+        Sharded-backend tuning, applied only when ``backend="sharded"``.
+        Defaults: ``REPRO_SHARDS`` / ``REPRO_SHARD_EXECUTOR`` /
+        ``REPRO_SHARD_MIN`` and then the backend's own defaults.
+    cache_entries, cache_cells:
+        The session matrix cache's entry capacity and total packed-slice
+        budget.  Defaults: ``REPRO_MATRIX_CACHE`` /
+        ``REPRO_MATRIX_CACHE_CELLS`` and then the library defaults.
+    compact_threshold:
+        Live-matrix tombstone ratio triggering compaction.  Default:
+        ``REPRO_MATRIX_COMPACT``, else the matrix default (resolved by the
+        matrix layer; ``None`` is preserved here when neither is set).
+    measures:
+        Measure keys the session engine maintains (``None`` = every
+        registered measure, like ``evaluate_set``).
+    tracked_measures, window_capacity, auto_expire, grouping:
+        Forwarded to the session's :class:`~repro.stream.StreamingEngine`.
+    seed:
+        Seed for the session's stochastic defaults (seeded schedulers that
+        were not given an explicit seed draw this one).
+    """
+
+    backend: Optional[str] = None
+    shards: Optional[int] = None
+    shard_executor: Optional[str] = None
+    shard_min_population: Optional[int] = None
+    cache_entries: Optional[int] = None
+    cache_cells: Optional[int] = None
+    compact_threshold: Optional[float] = None
+    measures: Optional[tuple[str, ...]] = None
+    tracked_measures: Optional[tuple[str, ...]] = None
+    window_capacity: int = 0
+    auto_expire: bool = False
+    grouping: GroupingParameters = field(default_factory=GroupingParameters)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        from ..backend.dispatch import available_backends
+
+        self._resolve_backend(available_backends())
+        self._resolve_sharding()
+        self._resolve_cache()
+        if self.compact_threshold is None:
+            _frozen_set(
+                self, "compact_threshold", _env_float(ENV_COMPACT_VAR, 0.0, 1.0)
+            )
+        elif not 0.0 <= self.compact_threshold <= 1.0:
+            raise ServiceError(
+                f"compact_threshold must lie in [0, 1], got {self.compact_threshold}"
+            )
+        for name in ("measures", "tracked_measures"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, tuple):
+                if isinstance(value, str) or not isinstance(value, Iterable):
+                    raise ServiceError(
+                        f"{name} must be an iterable of measure keys, got {value!r}"
+                    )
+                _frozen_set(self, name, tuple(value))
+        if self.window_capacity < 0:
+            raise ServiceError(
+                f"window_capacity must be >= 0, got {self.window_capacity}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Field resolution (environment consulted exactly once, here)
+    # ------------------------------------------------------------------ #
+    def _resolve_backend(self, registered: tuple[str, ...]) -> None:
+        backend = self.backend
+        if backend is None:
+            backend = os.environ.get(ENV_VAR)
+        if backend is None:
+            backend = "numpy" if "numpy" in registered else "reference"
+        if backend not in registered:
+            raise ServiceError(
+                f"unknown compute backend {backend!r}; available: "
+                f"{sorted(registered)}"
+            )
+        _frozen_set(self, "backend", backend)
+
+    def _resolve_sharding(self) -> None:
+        if self.shards is None:
+            _frozen_set(
+                self, "shards", _env_int(ENV_SHARDS, minimum=1) or (os.cpu_count() or 1)
+            )
+        elif self.shards < 1:
+            raise ServiceError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_executor is None:
+            executor = os.environ.get(ENV_EXECUTOR, "thread")
+            if executor not in ("thread", "process"):
+                executor = "thread"
+            _frozen_set(self, "shard_executor", executor)
+        elif self.shard_executor not in ("thread", "process"):
+            raise ServiceError(
+                f"shard_executor must be 'thread' or 'process', "
+                f"got {self.shard_executor!r}"
+            )
+        if self.shard_min_population is None:
+            value = _env_int(ENV_MIN_POPULATION, minimum=0)
+            _frozen_set(
+                self,
+                "shard_min_population",
+                DEFAULT_MIN_POPULATION if value is None else value,
+            )
+        elif self.shard_min_population < 0:
+            raise ServiceError(
+                f"shard_min_population must be >= 0, "
+                f"got {self.shard_min_population}"
+            )
+
+    def _resolve_cache(self) -> None:
+        if self.cache_entries is None:
+            value = _env_int(ENV_CACHE_VAR, minimum=0)
+            _frozen_set(
+                self, "cache_entries", DEFAULT_CAPACITY if value is None else value
+            )
+        elif self.cache_entries < 0:
+            raise ServiceError(
+                f"cache_entries must be >= 0, got {self.cache_entries}"
+            )
+        if self.cache_cells is None:
+            value = _env_int(ENV_CELL_VAR, minimum=0)
+            _frozen_set(
+                self, "cache_cells", DEFAULT_CELL_BUDGET if value is None else value
+            )
+        elif self.cache_cells < 0:
+            raise ServiceError(f"cache_cells must be >= 0, got {self.cache_cells}")
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-ready dictionary (grouping expanded to its two fields)."""
+        payload: dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "grouping":
+                value = {
+                    "earliest_start_tolerance": self.grouping.earliest_start_tolerance,
+                    "time_flexibility_tolerance": self.grouping.time_flexibility_tolerance,
+                    "max_group_size": self.grouping.max_group_size,
+                }
+            elif isinstance(value, tuple):
+                value = list(value)
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "SessionConfig":
+        """Rebuild a config from :meth:`as_dict` output."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ServiceError(f"unknown SessionConfig fields: {unknown}")
+        arguments = dict(payload)
+        grouping = arguments.get("grouping")
+        if isinstance(grouping, dict):
+            arguments["grouping"] = GroupingParameters(**grouping)
+        for name in ("measures", "tracked_measures"):
+            if isinstance(arguments.get(name), list):
+                arguments[name] = tuple(arguments[name])
+        return cls(**arguments)

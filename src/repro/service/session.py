@@ -1,0 +1,427 @@
+"""The :class:`FlexSession` façade: one session-scoped service entry point.
+
+Before PR 5 every workload wired :class:`~repro.stream.StreamingEngine`,
+schedulers, pricers and compute backends together by hand, in a different
+order each time, against process-global state (the default backend, the
+shared matrix cache, the env knobs).  A :class:`FlexSession` owns all of
+that per instance:
+
+* a :class:`~repro.service.SessionConfig` — the env knobs, read once;
+* a private :class:`~repro.backend.cache.MatrixCache` with the config's
+  retention budgets;
+* a private compute backend routed through that cache (for ``numpy`` /
+  ``sharded``; the stateless ``reference`` backend is shared);
+* one :class:`~repro.stream.StreamingEngine` maintaining the live
+  population and its packed matrix in O(Δ) per event.
+
+Requests (:class:`~repro.service.EvaluateRequest`, …) go in; frozen
+``*Result`` objects with timings, backend provenance and cache-hit stats
+come out.  Every request runs inside a
+:func:`~repro.backend.use_backend` activation of the session backend, so
+all downstream bulk calls — ``evaluate_set``, the batch assignment
+helpers, ``of_generation``, bulk pricing — dispatch to the session's
+backend and cache without any global mutation.  Two sessions with
+different configs therefore coexist in one process and produce results
+bit-identical to each running alone, which the old process-global knobs
+made impossible.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Optional, Union
+
+from ..aggregation.alignment import aggregate_all
+from ..aggregation.base import AggregatedFlexOffer
+from ..aggregation.grouping import group_by_grid
+from ..backend.cache import MatrixCache
+from ..backend.dispatch import ComputeBackend, get_backend, use_backend
+from ..core.flexoffer import FlexOffer
+from ..market.trading import FlexibilityPricer, TradingSession
+from ..measures.setwise import evaluate_set
+from ..scheduling.evolutionary import EvolutionaryScheduler
+from ..scheduling.greedy import EarliestStartScheduler, GreedyImbalanceScheduler
+from ..scheduling.objective import ImbalanceObjective
+from ..scheduling.stochastic import HillClimbingScheduler
+from ..stream.engine import StreamingEngine
+from ..stream.events import OfferArrived, Tick
+from ..stream.replay import population_events
+from .config import ServiceError, SessionConfig
+from .requests import (
+    AggregateRequest,
+    EvaluateRequest,
+    Request,
+    ScheduleRequest,
+    StreamRequest,
+    TradeRequest,
+)
+from .results import (
+    AggregateResult,
+    EvaluateResult,
+    RequestStats,
+    ScheduleResult,
+    StreamResult,
+    TradeResult,
+)
+
+__all__ = ["FlexSession"]
+
+#: Scheduler names accepted by :class:`ScheduleRequest`:
+#: ``name -> (class, takes a seed, takes an objective)``.  The session
+#: injects its configured seed and the request's objective only where the
+#: constructor accepts them.
+_SCHEDULERS = {
+    "earliest": (EarliestStartScheduler, False, False),
+    "greedy": (GreedyImbalanceScheduler, False, True),
+    "hill-climbing": (HillClimbingScheduler, True, True),
+    "evolutionary": (EvolutionaryScheduler, True, True),
+}
+
+
+class FlexSession:
+    """Session-scoped request/response façade over the whole library.
+
+    Parameters
+    ----------
+    config:
+        The session's :class:`SessionConfig`; ``None`` builds one from the
+        environment defaults.  Keyword arguments are accepted as a
+        shorthand for ``FlexSession(SessionConfig(**kwargs))``.
+
+    Usage::
+
+        with FlexSession(backend="numpy") as session:
+            session.ingest(population)
+            report = session.evaluate().report
+            schedule = session.schedule(
+                ScheduleRequest("hill-climbing", reference=wind)
+            ).schedule
+    """
+
+    def __init__(self, config: Optional[SessionConfig] = None, **overrides) -> None:
+        if config is None:
+            config = SessionConfig(**overrides)
+        elif overrides:
+            raise ServiceError(
+                "pass either a SessionConfig or keyword overrides, not both"
+            )
+        self.config = config
+        self.cache = MatrixCache(
+            capacity=config.cache_entries, cell_budget=config.cache_cells
+        )
+        #: Whether close() may tear the backend down: only backends this
+        #: session constructed — never a shared registered instance.
+        self._owns_backend = False
+        self._backend = self._build_backend(config)
+        self.engine = StreamingEngine(
+            parameters=config.grouping,
+            measures=config.measures,
+            window_capacity=config.window_capacity,
+            auto_expire=config.auto_expire,
+            tracked_measures=config.tracked_measures,
+            cache=self.cache,
+            backend=self._backend,
+            compact_threshold=config.compact_threshold,
+        )
+        self.requests_served = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Construction / lifecycle
+    # ------------------------------------------------------------------ #
+    def _build_backend(self, config: SessionConfig) -> ComputeBackend:
+        """The session's private backend, routed through the session cache.
+
+        ``numpy`` and ``sharded`` get fresh instances bound to
+        :attr:`cache`; any other name (``reference``, custom registrations)
+        resolves to the registered instance, which the session treats as
+        borrowed — reads only, never :meth:`close`.
+        """
+        if config.backend == "numpy":
+            from ..backend.numpy_backend import NumpyBackend
+
+            self._owns_backend = True
+            return NumpyBackend(cache=self.cache)
+        if config.backend == "sharded":
+            from ..backend.dispatch import available_backends
+            from ..backend.sharded import ShardedBackend
+
+            inner: Optional[Union[str, ComputeBackend]] = None
+            if "numpy" in available_backends():
+                from ..backend.numpy_backend import NumpyBackend
+
+                # Session-cached inner instance for every in-process code
+                # path (delegation and thread-pool workers); process-pool
+                # workers resolve it by name in their own memory spaces.
+                inner = NumpyBackend(cache=self.cache)
+            self._owns_backend = True
+            return ShardedBackend(
+                shards=config.shards,
+                executor=config.shard_executor,
+                min_population=config.shard_min_population,
+                inner=inner,
+                cache=self.cache,
+            )
+        return get_backend(config.backend)
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the session's compute backend (response provenance)."""
+        return self._backend.name
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` ran."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release session resources (the sharded pool, the cache).
+
+        Idempotent.  The session must not serve further requests after
+        closing.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        close = getattr(self._backend, "close", None)
+        if self._owns_backend and callable(close):
+            close()
+        self.cache.clear()
+
+    def __enter__(self) -> "FlexSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @contextmanager
+    def activate(self):
+        """Activate the session backend for arbitrary library calls.
+
+        Everything inside the ``with`` block — ``evaluate_set``, batch
+        assignment helpers, schedulers called directly — dispatches through
+        the session's backend and cache, exactly like a served request.
+        Yields the session.
+        """
+        self._check_open()
+        with use_backend(self._backend):
+            yield self
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("the session is closed")
+
+    @contextmanager
+    def _serve(self, kind: str, population: int):
+        """Shared request plumbing: activation, timing, cache deltas."""
+        self._check_open()
+        hits, misses = self.cache.hits, self.cache.misses
+        started = time.perf_counter()
+
+        def finish(count: Optional[int] = None) -> RequestStats:
+            return RequestStats(
+                kind=kind,
+                backend=self.backend_name,
+                duration_s=time.perf_counter() - started,
+                population=population if count is None else count,
+                cache_hits=self.cache.hits - hits,
+                cache_misses=self.cache.misses - misses,
+            )
+
+        with use_backend(self._backend):
+            yield finish
+        self.requests_served += 1
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, request: Request
+    ) -> Union[
+        EvaluateResult, AggregateResult, ScheduleResult, TradeResult, StreamResult
+    ]:
+        """Serve any request (the io-driven entry point)."""
+        if isinstance(request, EvaluateRequest):
+            return self.evaluate(request)
+        if isinstance(request, AggregateRequest):
+            return self.aggregate(request)
+        if isinstance(request, ScheduleRequest):
+            return self.schedule(request)
+        if isinstance(request, TradeRequest):
+            return self.trade(request)
+        if isinstance(request, StreamRequest):
+            return self.stream(request)
+        raise ServiceError(f"not a service request: {request!r}")
+
+    def evaluate(self, request: Optional[EvaluateRequest] = None) -> EvaluateResult:
+        """Set-wise flexibility of the live (or an explicit) population."""
+        request = request if request is not None else EvaluateRequest()
+        if request.offers is None:
+            offers = self.engine.live_offers()
+            self.engine.live_matrix()  # publish → the backend hits the cache
+        else:
+            offers = list(request.offers)
+        measures = (
+            request.measures
+            if request.measures is not None
+            else self.engine.measures
+        )
+        with self._serve("evaluate", len(offers)) as finish:
+            report = evaluate_set(offers, measures, request.skip_unsupported)
+            return EvaluateResult(report=report, stats=finish())
+
+    def aggregate(self, request: Optional[AggregateRequest] = None) -> AggregateResult:
+        """Grid-group and aggregate the live (or an explicit) population."""
+        request = request if request is not None else AggregateRequest()
+        if request.offers is None:
+            with self._serve("aggregate", len(self.engine)) as finish:
+                groups = tuple(tuple(group) for group in self.engine.groups())
+                aggregates = tuple(self.engine.aggregates(request.prefix))
+                return AggregateResult(
+                    groups=groups, aggregates=aggregates, stats=finish()
+                )
+        offers = list(request.offers)
+        with self._serve("aggregate", len(offers)) as finish:
+            groups = tuple(
+                tuple(group)
+                for group in group_by_grid(offers, self.config.grouping)
+            )
+            aggregates = tuple(aggregate_all(groups, prefix=request.prefix))
+            return AggregateResult(
+                groups=groups, aggregates=aggregates, stats=finish()
+            )
+
+    def schedule(self, request: Optional[ScheduleRequest] = None) -> ScheduleResult:
+        """Schedule the live (or an explicit) population."""
+        request = request if request is not None else ScheduleRequest()
+        try:
+            scheduler_class, seeded, takes_objective = _SCHEDULERS[request.scheduler]
+        except KeyError:
+            raise ServiceError(
+                f"unknown scheduler {request.scheduler!r}; "
+                f"available: {sorted(_SCHEDULERS)}"
+            ) from None
+        options = dict(request.options)
+        objective = ImbalanceObjective(request.metric, request.reference)
+        if takes_objective:
+            objective = options.setdefault("objective", objective)
+        if seeded:
+            options.setdefault("seed", self.config.seed)
+        # Score with the objective the scheduler actually optimises: a
+        # caller-supplied options["objective"] wins inside the scheduler,
+        # and an explicit request reference overrides its reference there
+        # (the Scheduler.schedule contract) — mirror both here so
+        # ``objective_value`` always measures the optimised objective.
+        if request.reference is not None:
+            objective = ImbalanceObjective(objective.metric, request.reference)
+        scheduler = scheduler_class(**options)
+        offers = (
+            self.engine.live_offers()
+            if request.offers is None
+            else list(request.offers)
+        )
+        if request.offers is None:
+            self.engine.live_matrix()
+        with self._serve("schedule", len(offers)) as finish:
+            schedule = scheduler.schedule(offers, request.reference)
+            value = objective.of_schedule(schedule) if len(schedule) else 0.0
+            return ScheduleResult(
+                schedule=schedule,
+                objective_value=value,
+                scheduler=request.scheduler,
+                stats=finish(),
+            )
+
+    def trade(self, request: Optional[TradeRequest] = None) -> TradeResult:
+        """Price and clear a book of lots (live aggregates by default)."""
+        request = request if request is not None else TradeRequest()
+        pricer = FlexibilityPricer(
+            measure=request.measure,
+            energy_price=request.energy_price,
+            premium_per_unit=request.premium_per_unit,
+        )
+        market = TradingSession(pricer, budget=request.budget)
+        with self._serve("trade", 0) as finish:
+            if request.lots is None:
+                lots: list[Union[FlexOffer, AggregatedFlexOffer]] = list(
+                    self.engine.aggregates()
+                )
+            else:
+                lots = list(request.lots)
+            accepted, rejected = market.clear(lots)
+            revenue = float(sum(bid.total_price for bid in accepted))
+            return TradeResult(
+                accepted=tuple(accepted),
+                rejected=tuple(rejected),
+                revenue=revenue,
+                stats=finish(len(lots)),
+            )
+
+    def stream(self, request: Optional[StreamRequest] = None) -> StreamResult:
+        """Apply a batch of events to the session engine."""
+        request = request if request is not None else StreamRequest()
+        with self._serve("stream", len(request.events)) as finish:
+            if request.bulk and request.events and all(
+                isinstance(event, OfferArrived) for event in request.events
+            ):
+                self.engine.bulk_arrive(request.events)
+            else:
+                for event in request.events:
+                    self.engine.apply(event)
+            return StreamResult(
+                applied=len(request.events),
+                live=len(self.engine),
+                time=self.engine.time,
+                stats=finish(),
+                engine_stats=self.engine.stats.as_dict(),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Conveniences
+    # ------------------------------------------------------------------ #
+    def ingest(self, flex_offers, bulk: bool = True) -> StreamResult:
+        """Stream a batch population in (ids via ``offer_identifier``).
+
+        The successor of the deprecated module-level
+        ``replay_population``: same ids, same final engine state, but the
+        engine, backend and cache are the session's own.  ``bulk=True``
+        batches the per-offer measure evaluation through the session
+        backend.
+        """
+        events = tuple(
+            population_events(list(flex_offers), start_index=self.engine.stats.arrived)
+        )
+        return self.stream(StreamRequest(events=events, bulk=bulk))
+
+    def tick(self, time_value: int) -> StreamResult:
+        """Advance the session clock (auto-expiry + window sampling)."""
+        return self.stream(StreamRequest(events=(Tick(time_value),)))
+
+    def report(self):
+        """Shorthand: the live population's :class:`FlexibilitySetReport`."""
+        return self.evaluate().report
+
+    def snapshot(self, prefix: str = "aggregate"):
+        """A batch-equivalent :class:`~repro.stream.EngineSnapshot`."""
+        self._check_open()
+        with use_backend(self._backend):
+            return self.engine.snapshot(prefix)
+
+    def stats(self) -> dict[str, object]:
+        """Session-level counters: requests, engine events, cache health."""
+        return {
+            "backend": self.backend_name,
+            "requests_served": self.requests_served,
+            "live": len(self.engine),
+            "engine": self.engine.stats.as_dict(),
+            "cache": self.cache.stats(),
+            "closed": self._closed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else f"{len(self.engine)} live"
+        return (
+            f"FlexSession(backend={self.backend_name!r}, {state}, "
+            f"{self.requests_served} requests)"
+        )

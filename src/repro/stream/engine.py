@@ -148,6 +148,19 @@ class StreamingEngine:
         Optional hooks called *after* the engine's own state change, with
         ``(offer_id, flex_offer, event)`` — the integration points for a
         scheduler re-planning on churn or a market session observing fills.
+    cache:
+        The :class:`~repro.backend.cache.MatrixCache` the engine publishes
+        its live matrix into (and invalidates on mutation); ``None`` uses
+        the process-wide :data:`~repro.backend.cache.matrix_cache`.  The
+        service layer injects the session's own cache here so interleaved
+        sessions never evict each other's packed state.
+    backend:
+        Backend selection (registered name or instance) for the engine's
+        own bulk calls (:meth:`bulk_arrive`); ``None`` resolves the active
+        backend per call, exactly as before.
+    compact_threshold:
+        Tombstone ratio at which the live matrix auto-compacts; ``None``
+        reads ``REPRO_MATRIX_COMPACT`` and falls back to the default.
     """
 
     def __init__(
@@ -160,8 +173,14 @@ class StreamingEngine:
         on_assigned: Optional[EngineHook] = None,
         on_expired: Optional[EngineHook] = None,
         tracked_measures: Optional[Iterable[str]] = None,
+        cache=None,
+        backend=None,
+        compact_threshold: Optional[float] = None,
     ) -> None:
         self.parameters = parameters
+        self._cache = cache if cache is not None else matrix_cache
+        self._backend_spec = backend
+        self._compact_threshold = compact_threshold
         self.measures: list[FlexibilityMeasure] = resolve_measures(measures)
         self.auto_expire = auto_expire
         self.on_arrived = on_arrived
@@ -199,7 +218,7 @@ class StreamingEngine:
         #: Matrix-cache generation last synchronised with: lets a mutation
         #: skip the O(live) cache-invalidation scan when nothing was packed
         #: since the previous mutation (the common streaming case).
-        self._cache_generation_seen = matrix_cache.generation
+        self._cache_generation_seen = self._cache.generation
         #: Incrementally maintained packed state (matrix + value columns);
         #: ``None`` without NumPy or after an unpackable offer arrived, in
         #: which case every read path falls back to the per-offer dicts.
@@ -215,7 +234,10 @@ class StreamingEngine:
             from .live import LivePopulation
         except ImportError:  # pragma: no cover - exercised only without numpy
             return None
-        return LivePopulation([measure.key for measure in self.measures])
+        return LivePopulation(
+            [measure.key for measure in self.measures],
+            compact_threshold=self._compact_threshold,
+        )
 
     # ------------------------------------------------------------------ #
     # Event consumption
@@ -266,15 +288,17 @@ class StreamingEngine:
         # The arrival batch is one-shot, so nothing it packs (whole-batch or
         # per-shard chunk matrices under the sharded backend) may take up
         # matrix-cache capacity or bump the generation counter.
-        with matrix_cache.bypass():
-            batched = get_backend().per_offer_values(self.measures, arriving)
+        with self._cache.bypass():
+            batched = get_backend(self._backend_spec).per_offer_values(
+                self.measures, arriving
+            )
         # One invalidation for the whole batch: the per-insert scan would be
         # O(live) each.
         self._note_mutation()
         for event, cached in zip(events, batched):
             self._apply_arrival(event, cached=cached, sync_cache=False)
             self.stats.events += 1
-        self._cache_generation_seen = matrix_cache.generation
+        self._cache_generation_seen = self._cache.generation
         return self
 
     def _note_mutation(self) -> None:
@@ -294,11 +318,11 @@ class StreamingEngine:
         # over the cell budget), so it is dropped unconditionally.
         self._published = None
         if self._published_key is not None:
-            matrix_cache.discard_key(self._published_key)
+            self._cache.discard_key(self._published_key)
             self._published_key = None
-        if matrix_cache.generation != self._cache_generation_seen:
-            matrix_cache.discard(self.live_offers())
-            self._cache_generation_seen = matrix_cache.generation
+        if self._cache.generation != self._cache_generation_seen:
+            self._cache.discard(self.live_offers())
+            self._cache_generation_seen = self._cache.generation
 
     def _apply_arrival(
         self,
@@ -427,6 +451,15 @@ class StreamingEngine:
         """
         return [self._index.get(offer_id) for offer_id in self._index]
 
+    def groups(self) -> list[list[FlexOffer]]:
+        """The grid grouping of the live population (``group_by_grid`` shape).
+
+        The same groups :meth:`snapshot` reports, exposed directly so
+        callers (the service façade's aggregate requests) need not pay for
+        a full snapshot's report.
+        """
+        return [list(group) for group in self._index.groups()]
+
     def _measure_values_list(self, measure: FlexibilityMeasure) -> list:
         """Per-offer values of one (fully supported) measure, arrival order.
 
@@ -507,11 +540,11 @@ class StreamingEngine:
             return None
         if self._published is None:
             snapshot = self._live.population_matrix().snapshot()
-            key = matrix_cache.key_of(snapshot.offers)
+            key = self._cache.key_of(snapshot.offers)
             weight = int(snapshot.offsets[-1]) if snapshot.size else 0
-            if matrix_cache.put(key, snapshot, weight=weight):
+            if self._cache.put(key, snapshot, weight=weight):
                 self._published_key = key
-                self._cache_generation_seen = matrix_cache.generation
+                self._cache_generation_seen = self._cache.generation
             self._published = snapshot
         return self._published
 

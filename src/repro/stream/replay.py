@@ -143,13 +143,35 @@ def market_events(
     return log
 
 
+def _replay_population(
+    flex_offers: Sequence[FlexOffer],
+    engine: Optional[StreamingEngine] = None,
+    bulk: bool = False,
+    **engine_kwargs: object,
+) -> StreamingEngine:
+    """Internal, non-deprecated body of :func:`replay_population`."""
+    if engine is None:
+        engine = StreamingEngine(**engine_kwargs)  # type: ignore[arg-type]
+    events = population_events(flex_offers)
+    if bulk:
+        return engine.bulk_arrive(events)
+    return engine.replay(events)
+
+
 def replay_population(
     flex_offers: Sequence[FlexOffer],
     engine: Optional[StreamingEngine] = None,
     bulk: bool = False,
     **engine_kwargs: object,
 ) -> StreamingEngine:
-    """Stream a batch population through an engine and return it.
+    """Deprecated shim: stream a batch population through an engine.
+
+    .. deprecated:: 1.1
+        Module-level engine construction predates the session façade; use
+        :meth:`repro.service.FlexSession.ingest` (which owns the engine,
+        its backend and its matrix cache) or construct a
+        :class:`StreamingEngine` explicitly and feed it
+        :func:`population_events`.
 
     ``engine_kwargs`` are forwarded to :class:`StreamingEngine` when no
     engine is given (``parameters=...``, ``measures=...``, ...).  With
@@ -158,9 +180,11 @@ def replay_population(
     evaluation through the active compute backend — same final state, one
     vectorized pass instead of per-event measure loops.
     """
-    if engine is None:
-        engine = StreamingEngine(**engine_kwargs)  # type: ignore[arg-type]
-    events = population_events(flex_offers)
-    if bulk:
-        return engine.bulk_arrive(events)
-    return engine.replay(events)
+    from .._deprecation import warn_deprecated
+
+    warn_deprecated(
+        "replay_population() is deprecated; use "
+        "repro.service.FlexSession.ingest() or an explicit StreamingEngine "
+        "with population_events()",
+    )
+    return _replay_population(flex_offers, engine, bulk, **engine_kwargs)

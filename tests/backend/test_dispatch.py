@@ -10,6 +10,7 @@ the dispatch API.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from pathlib import Path
 
 import pytest
@@ -74,8 +75,9 @@ def test_numpy_backend_is_registered_when_numpy_exists():
 def test_unknown_backend_raises_backend_error():
     with pytest.raises(BackendError):
         get_backend("no-such-backend")
-    with pytest.raises(BackendError):
-        set_default_backend("no-such-backend")
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(BackendError):
+            set_default_backend("no-such-backend")
 
 
 def test_environment_variable_sets_the_default(monkeypatch):
@@ -88,10 +90,142 @@ def test_environment_variable_sets_the_default(monkeypatch):
 
 def test_set_default_backend_round_trip():
     try:
-        set_default_backend("reference")
+        with pytest.warns(DeprecationWarning):
+            set_default_backend("reference")
         assert get_backend().name == "reference"
     finally:
-        set_default_backend(None)
+        with pytest.warns(DeprecationWarning):
+            set_default_backend(None)
+
+
+# --------------------------------------------------------------------- #
+# Thread-local defaults (the PR 5 global-state regression fixes)
+# --------------------------------------------------------------------- #
+
+
+@contextmanager
+def _warned_default(name, process_wide=False):
+    """Set a default through the shim, silencing its deprecation warning."""
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        set_default_backend(name, process_wide=process_wide)
+    try:
+        yield
+    finally:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            set_default_backend(None, process_wide=process_wide)
+
+
+def test_default_backend_is_thread_local():
+    """Regression (PR 5): one thread's default must be invisible to pool
+    worker threads — the old process-global default leaked mid-operation."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    with _warned_default("sharded"):
+        assert get_backend().name == "sharded"
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            seen_by_worker = pool.submit(lambda: get_backend().name).result()
+        # The worker never set a default of its own, so it resolves the
+        # process fallback — not the caller's sharded selection (which,
+        # resolved inside a sharded worker, would recurse into the pool).
+        assert seen_by_worker == "reference"
+    assert get_backend().name == "reference"
+
+
+def test_threads_can_hold_different_defaults_concurrently():
+    import threading
+
+    results: dict[str, str] = {}
+    barrier = threading.Barrier(2)
+
+    def worker(label: str, backend_name: str) -> None:
+        with _warned_default(backend_name):
+            barrier.wait()  # both defaults set at the same time
+            results[label] = get_backend().name
+            barrier.wait()
+
+    threads = [
+        threading.Thread(target=worker, args=("a", "reference")),
+        threading.Thread(target=worker, args=("b", "sharded")),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert results == {"a": "reference", "b": "sharded"}
+
+
+def test_process_wide_fallback_reaches_worker_threads():
+    from concurrent.futures import ThreadPoolExecutor
+
+    with _warned_default("sharded", process_wide=True):
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            assert pool.submit(lambda: get_backend().name).result() == "sharded"
+    assert get_backend().name == "reference"
+
+
+def test_thread_local_default_beats_process_fallback():
+    with _warned_default("sharded", process_wide=True):
+        with _warned_default("reference"):
+            assert get_backend().name == "reference"
+        assert get_backend().name == "sharded"
+
+
+@requires_numpy
+def test_sharded_operation_is_immune_to_foreign_defaults():
+    """The latent bug scenario end-to-end: a sharded bulk call must keep
+    producing correct results while another thread flips its default."""
+    from repro.backend import ShardedBackend
+    from repro.measures import get_measure
+
+    offers = OFFERS * 40
+    backend = ShardedBackend(shards=2, min_population=1)
+    measure = get_measure("time")
+    try:
+        with _warned_default("sharded"):
+            values = backend.measure_values(measure, offers)
+        expected = get_backend("reference").measure_values(measure, offers)
+        assert values == expected
+    finally:
+        backend.close()
+
+
+def test_use_backend_accepts_instances():
+    """The session façade's route: an unregistered instance activates."""
+
+    class Tagged(ReferenceBackend):
+        name = "tagged-instance-test"
+
+    instance = Tagged()
+    assert "tagged-instance-test" not in available_backends()
+    with use_backend(instance) as active:
+        assert active is instance
+        assert get_backend() is instance
+        with use_backend("reference"):
+            assert get_backend().name == "reference"
+        assert get_backend() is instance
+    assert get_backend().name == "reference"
+    assert get_backend(instance) is instance  # explicit selection too
+
+
+def test_deprecation_warns_exactly_once_per_call_site():
+    import warnings
+
+    from repro._deprecation import reset_deprecation_registry
+
+    reset_deprecation_registry()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(3):
+            set_default_backend(None)  # one call site, looped
+        set_default_backend(None)  # a second, distinct call site
+    deprecations = [
+        entry for entry in caught if entry.category is DeprecationWarning
+    ]
+    assert len(deprecations) == 2
 
 
 @requires_numpy

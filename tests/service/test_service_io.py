@@ -1,0 +1,185 @@
+"""Round-trip tests of the service request/response wire format."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core import FlexOffer, SerializationError, TimeSeries
+from repro.io import (
+    event_from_dict,
+    event_to_dict,
+    request_from_dict,
+    request_to_dict,
+    request_stats_to_csv,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.scheduling import ImbalanceObjective
+from repro.service import (
+    AggregateRequest,
+    EvaluateRequest,
+    FlexSession,
+    RequestStats,
+    ScheduleRequest,
+    StreamRequest,
+    TradeRequest,
+)
+from repro.stream import OfferArrived, OfferAssigned, OfferExpired, Tick
+
+
+def offers(count: int, seed: int = 0) -> tuple[FlexOffer, ...]:
+    rng = random.Random(seed)
+    return tuple(
+        FlexOffer(
+            rng.randrange(0, 6),
+            rng.randrange(6, 9),
+            [(1, 3), (0, rng.randint(1, 4))],
+            name=f"o{index}",
+        )
+        for index in range(count)
+    )
+
+
+EVENTS = (
+    OfferArrived("a-1", offers(1)[0]),
+    OfferExpired("a-1"),
+    OfferAssigned("a-2", start_time=4, price=17.5),
+    Tick(9),
+)
+
+
+class TestEventRoundTrip:
+    @pytest.mark.parametrize("event", EVENTS, ids=lambda e: type(e).__name__)
+    def test_event_round_trips(self, event):
+        payload = event_to_dict(event)
+        json.dumps(payload)
+        assert event_from_dict(payload) == event
+
+    def test_unknown_event_kind_raises(self):
+        with pytest.raises(SerializationError):
+            event_from_dict({"kind": "exploded"})
+        with pytest.raises(SerializationError):
+            event_to_dict(object())
+
+
+REQUESTS = [
+    EvaluateRequest(),
+    EvaluateRequest(measures=("time", "energy"), offers=offers(3), skip_unsupported=False),
+    AggregateRequest(offers=offers(4), prefix="lot"),
+    AggregateRequest(),
+    ScheduleRequest(
+        "hill-climbing",
+        offers=offers(3),
+        reference=TimeSeries(2, (1, 2, 3)),
+        metric="squared",
+        options={"iterations": 5, "restarts": 1},
+    ),
+    ScheduleRequest(),
+    TradeRequest(lots=offers(2), measure="product", energy_price=2.0, budget=40.0),
+    TradeRequest(),
+    StreamRequest(events=EVENTS, bulk=False),
+    StreamRequest(),
+]
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize(
+        "request_object", REQUESTS, ids=lambda r: type(r).__name__
+    )
+    def test_request_round_trips(self, request_object):
+        payload = request_to_dict(request_object)
+        json.dumps(payload)  # JSON-compatible, not merely a dict
+        rebuilt = request_from_dict(payload)
+        assert request_to_dict(rebuilt) == payload
+
+    def test_infinite_budget_survives_json(self):
+        payload = request_to_dict(TradeRequest())
+        parsed = json.loads(json.dumps(payload))
+        assert request_from_dict(parsed).budget == float("inf")
+
+    def test_trade_request_with_aggregate_lots_round_trips(self):
+        with FlexSession(backend="reference") as session:
+            session.ingest(offers(6))
+            lots = tuple(session.engine.aggregates())
+        request = TradeRequest(lots=lots)
+        payload = request_to_dict(request)
+        json.dumps(payload)
+        rebuilt = request_from_dict(payload)
+        assert rebuilt.lots == lots
+
+    def test_in_process_objective_option_is_rejected(self):
+        request = ScheduleRequest(options={"objective": ImbalanceObjective()})
+        with pytest.raises(SerializationError):
+            request_to_dict(request)
+
+    def test_unknown_request_kind_raises(self):
+        with pytest.raises(SerializationError):
+            request_from_dict({"kind": "teleport"})
+        with pytest.raises(SerializationError):
+            request_to_dict(object())
+
+
+class TestResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def served(self):
+        with FlexSession(backend="reference", seed=3) as session:
+            session.ingest(offers(10))
+            yield [
+                session.evaluate(),
+                session.aggregate(),
+                session.schedule(
+                    ScheduleRequest(
+                        "hill-climbing", options={"iterations": 4, "restarts": 1}
+                    )
+                ),
+                session.trade(TradeRequest(budget=1e5)),
+                session.stream(StreamRequest((Tick(2),))),
+            ]
+
+    def test_results_round_trip(self, served):
+        for result in served:
+            payload = result_to_dict(result)
+            json.dumps(payload)
+            rebuilt = result_from_dict(payload)
+            assert result_to_dict(rebuilt) == payload
+            assert payload["kind"] == result.stats.kind
+
+    def test_evaluate_report_values_survive_exactly(self, served):
+        evaluate = served[0]
+        rebuilt = result_from_dict(result_to_dict(evaluate))
+        assert rebuilt.report == evaluate.report
+
+    def test_schedule_round_trip_preserves_assignments(self, served):
+        schedule_result = served[2]
+        rebuilt = result_from_dict(result_to_dict(schedule_result))
+        assert rebuilt.schedule == schedule_result.schedule
+        assert rebuilt.objective_value == schedule_result.objective_value
+
+    def test_request_stats_csv(self, served):
+        text = request_stats_to_csv(served)
+        lines = text.strip().splitlines()
+        assert lines[0] == "kind,backend,duration_s,population,cache_hits,cache_misses"
+        assert len(lines) == len(served) + 1
+        assert lines[1].startswith("evaluate,reference,")
+        # Bare stats blocks work too.
+        bare = request_stats_to_csv([result.stats for result in served])
+        assert bare == text
+
+    def test_request_stats_csv_rejects_garbage(self):
+        with pytest.raises(SerializationError):
+            request_stats_to_csv([object()])
+
+    def test_unknown_result_kind_raises(self):
+        stats = {
+            "kind": "evaluate",
+            "backend": "reference",
+            "duration_s": 0.0,
+            "population": 0,
+        }
+        with pytest.raises(SerializationError):
+            result_from_dict({"kind": "nonsense", "stats": stats})
+        with pytest.raises(SerializationError):
+            result_to_dict(RequestStats("x", "reference", 0.0, 0))

@@ -44,7 +44,8 @@ class TestBatchEquivalence:
     def test_population_replay_equals_batch(self):
         scenario = neighbourhood_scenario(households=10, seed=7, horizon=32)
         parameters = GroupingParameters()
-        engine = replay_population(scenario.flex_offers, parameters=parameters)
+        with pytest.warns(DeprecationWarning):
+            engine = replay_population(scenario.flex_offers, parameters=parameters)
         assert_batch_equivalent(engine, list(scenario.flex_offers), parameters)
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
@@ -68,7 +69,8 @@ class TestBatchEquivalence:
         # so some measures are unsupported — skipped must match batch.
         scenario = balancing_scenario(units=12, seed=11, horizon=32)
         parameters = GroupingParameters()
-        engine = replay_population(scenario.flex_offers, parameters=parameters)
+        with pytest.warns(DeprecationWarning):
+            engine = replay_population(scenario.flex_offers, parameters=parameters)
         batch = evaluate_set(list(scenario.flex_offers))
         report = engine.report()
         assert report == batch
@@ -251,3 +253,50 @@ class TestIdentifiers:
         assert named.fingerprint == anonymous.fingerprint
         different = FlexOffer(1, 7, [(1, 3)])
         assert named.fingerprint != different.fingerprint
+
+
+class TestInjectableState:
+    """PR 5: the engine's cache, backend and compaction are per instance."""
+
+    def test_engine_publishes_into_an_injected_cache(self):
+        pytest.importorskip("numpy")
+        from repro.backend import MatrixCache, matrix_cache
+
+        private = MatrixCache(capacity=4, cell_budget=10_000)
+        engine = StreamingEngine(measures=["time"], cache=private)
+        offers = [FlexOffer(i, i + 2, [(1, 3)]) for i in range(5)]
+        for index, offer in enumerate(offers):
+            engine.apply(OfferArrived(f"o{index}", offer))
+        published = engine.live_matrix()
+        assert published is not None
+        assert private.peek(engine.live_offers()) is published
+        assert matrix_cache.peek(engine.live_offers()) is None
+        # Mutation drops the entry from the *injected* cache, O(1).
+        engine.apply(OfferExpired("o0"))
+        assert private.peek(offers) is None
+
+    def test_engine_backend_spec_routes_bulk_arrive(self):
+        pytest.importorskip("numpy")
+        from repro.backend import MatrixCache
+        from repro.backend.numpy_backend import NumpyBackend
+
+        cache = MatrixCache(capacity=4)
+        backend = NumpyBackend(cache=cache)
+        offers = [FlexOffer(i % 3, i % 3 + 1, [(1, 2), (0, 2)]) for i in range(6)]
+        engine = StreamingEngine(
+            measures=["time", "vector"], cache=cache, backend=backend
+        )
+        engine.bulk_arrive((f"o{i}", offer) for i, offer in enumerate(offers))
+        baseline = StreamingEngine(measures=["time", "vector"])
+        for index, offer in enumerate(offers):
+            baseline.apply(OfferArrived(f"o{index}", offer))
+        assert engine.snapshot() == baseline.snapshot()
+
+    def test_engine_compact_threshold_parameter(self):
+        pytest.importorskip("numpy")
+        engine = StreamingEngine(measures=["time"], compact_threshold=0.0)
+        for index in range(4):
+            engine.apply(OfferArrived(f"o{index}", FlexOffer(0, 2, [(1, 3)])))
+        engine.apply(OfferExpired("o1"))
+        # Threshold 0 compacts on every tombstone: no dead rows linger.
+        assert engine._live.matrix.dead_count == 0

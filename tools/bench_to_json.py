@@ -8,10 +8,14 @@ plus host metadata, as JSON.  CI runs this after the benchmark gates so the
 perf trajectory (op/s and speedup per benchmark) is recorded per push
 instead of living only in job logs.
 
-Usage::
+Usage (the CI cross-PR dashboard emits all four benchmark modules)::
 
     PYTHONPATH=src python tools/bench_to_json.py \
-        --output BENCH_PR4.json benchmarks/bench_incremental_matrix.py
+        --output BENCH_PR5.json \
+        benchmarks/bench_incremental_matrix.py \
+        benchmarks/bench_backend_speedup.py \
+        benchmarks/bench_sharded_scaling.py \
+        benchmarks/bench_stream_throughput.py
 
 Modules may accept no arguments in ``bench_records()``; pass
 ``--gate-scale`` to request the (slower) CI-gate scales from modules that
@@ -56,7 +60,7 @@ def collect(path: Path, gate_scale: bool) -> list[dict]:
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("modules", nargs="+", type=Path)
-    parser.add_argument("--output", type=Path, default=Path("BENCH_PR4.json"))
+    parser.add_argument("--output", type=Path, default=Path("BENCH_PR5.json"))
     parser.add_argument(
         "--gate-scale",
         action="store_true",
