@@ -78,6 +78,14 @@ from .measures import (
     vector_flexibility,
     vector_flexibility_norm,
 )
+from .server import (
+    Gateway,
+    GatewayClient,
+    GatewayConfig,
+    GatewayServer,
+    SessionRegistry,
+    serve,
+)
 from .service import (
     AggregateRequest,
     AggregateResult,
@@ -105,7 +113,7 @@ from .stream import (
     replay_population,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -123,6 +131,13 @@ __all__ = [
     "TradeResult",
     "StreamResult",
     "RequestStats",
+    # multi-tenant gateway
+    "serve",
+    "Gateway",
+    "GatewayServer",
+    "GatewayConfig",
+    "GatewayClient",
+    "SessionRegistry",
     # compute backends
     "NUMPY_AVAILABLE",
     "available_backends",

@@ -9,9 +9,10 @@ from __future__ import annotations
 
 import csv
 import io
-from collections.abc import Iterable, Mapping, Sequence
+import threading
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, TextIO, Union
 
 from ..core.errors import SerializationError
 from ..core.flexoffer import FlexOffer
@@ -23,6 +24,8 @@ __all__ = [
     "read_flexoffers_csv",
     "measurements_to_csv",
     "request_stats_to_csv",
+    "request_stats_rows",
+    "RequestStatsLog",
 ]
 
 _FIELDNAMES = (
@@ -130,7 +133,54 @@ _STATS_FIELDNAMES = (
 )
 
 
-def request_stats_to_csv(results: Iterable[object]) -> str:
+def _stats_row(result: object) -> str:
+    """One complete CSV line (trailing newline included) for one request.
+
+    Formatting the full row before any write is what makes concurrent
+    appenders safe: a row always reaches the underlying stream in a
+    single ``write()`` call, never as interleavable fragments.
+    """
+    stats = getattr(result, "stats", result)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    try:
+        writer.writerow([getattr(stats, name) for name in _STATS_FIELDNAMES])
+    except AttributeError as error:
+        raise SerializationError(
+            f"not a service result or stats block: {result!r}"
+        ) from error
+    return buffer.getvalue()
+
+
+def _stats_header() -> str:
+    """The access log's header line (trailing newline included)."""
+    buffer = io.StringIO()
+    csv.writer(buffer).writerow(_STATS_FIELDNAMES)
+    return buffer.getvalue()
+
+
+def request_stats_rows(
+    results: Iterable[object], header: bool = True
+) -> Iterator[str]:
+    """Lock-free row iterator over service responses' stats blocks.
+
+    Yields one *complete* CSV line per item (the header first when
+    ``header=True``), each safe to hand to ``file.write()`` as a single
+    call.  This is the concurrency-friendly core of
+    :func:`request_stats_to_csv`: an appender that writes whole yielded
+    rows can interleave with other appenders without corrupting any row.
+    """
+    if header:
+        yield _stats_header()
+    for result in results:
+        yield _stats_row(result)
+
+
+def request_stats_to_csv(
+    results: Iterable[object],
+    stream: Optional[TextIO] = None,
+    header: bool = True,
+) -> str:
     """Serialise service responses' stats blocks into a CSV access log.
 
     Accepts any mix of :mod:`repro.service` ``*Result`` objects (their
@@ -139,14 +189,100 @@ def request_stats_to_csv(results: Iterable[object]) -> str:
     in iteration order.  This is the session-side counterpart of a web
     server's access log: request kind, serving backend, wall-clock and
     cache-hit columns, ready for a spreadsheet.
+
+    With ``stream`` given (an open text handle), the same rows are also
+    written to it — each row in one ``write()`` call, so concurrent
+    appenders sharing the handle cannot interleave partial rows.
+    ``header=False`` skips the header line (appending to an existing
+    log).  The CSV text is returned either way.
     """
-    rows = []
-    for result in results:
-        stats = getattr(result, "stats", result)
-        try:
-            rows.append({name: getattr(stats, name) for name in _STATS_FIELDNAMES})
-        except AttributeError as error:
-            raise SerializationError(
-                f"not a service result or stats block: {result!r}"
-            ) from error
-    return measurements_to_csv(rows, _STATS_FIELDNAMES)
+    rows = list(request_stats_rows(results, header=header))
+    if stream is not None:
+        for row in rows:
+            stream.write(row)
+    return "".join(rows)
+
+
+class RequestStatsLog:
+    """A concurrency-safe, append-only request-stats access log.
+
+    The gateway's worker threads (and any other producer) append
+    :class:`~repro.service.RequestStats` rows as requests complete; each
+    row is fully formatted first and written under a lock in a single
+    ``write()``+``flush()``, so the log never contains a partial or
+    interleaved row no matter how many threads append.
+
+    Parameters
+    ----------
+    target:
+        A path (opened in append mode, owned and closed by the log) or an
+        open text handle (borrowed — flushed but never closed).
+    header:
+        Write the header line before the first row.  Defaults to writing
+        it only when appending to the start of a fresh file (for borrowed
+        handles: always, unless disabled).
+
+    >>> import io
+    >>> from repro.service.results import RequestStats
+    >>> sink = io.StringIO()
+    >>> log = RequestStatsLog(sink)
+    >>> log.append(RequestStats("evaluate", "numpy", 0.25, 4))
+    >>> print(sink.getvalue().strip())
+    kind,backend,duration_s,population,cache_hits,cache_misses
+    evaluate,numpy,0.25,4,0,0
+    """
+
+    def __init__(
+        self,
+        target: Union[str, Path, TextIO],
+        header: Optional[bool] = None,
+    ) -> None:
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            if header is None:
+                header = not (path.exists() and path.stat().st_size > 0)
+            self._stream: TextIO = path.open("a", encoding="utf-8", newline="")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+            if header is None:
+                header = True
+        self._lock = threading.Lock()
+        self._header_pending = bool(header)
+        self.rows_written = 0
+        self._closed = False
+
+    def append(self, result: object) -> None:
+        """Append one result's (or bare stats block's) row, atomically."""
+        row = _stats_row(result)  # formatted (and validated) outside the lock
+        with self._lock:
+            if self._closed:
+                raise SerializationError("the access log is closed")
+            if self._header_pending:
+                self._stream.write(_stats_header())
+                self._header_pending = False
+            self._stream.write(row)
+            self._stream.flush()
+            self.rows_written += 1
+
+    def extend(self, results: Iterable[object]) -> None:
+        """Append many rows (each one still an atomic write)."""
+        for result in results:
+            self.append(result)
+
+    def close(self) -> None:
+        """Flush, and close the stream if this log opened it.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._stream.flush()
+            if self._owns_stream:
+                self._stream.close()
+
+    def __enter__(self) -> "RequestStatsLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

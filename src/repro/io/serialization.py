@@ -42,6 +42,8 @@ __all__ = [
     "request_from_dict",
     "result_to_dict",
     "result_from_dict",
+    "error_to_dict",
+    "error_from_dict",
 ]
 
 
@@ -537,3 +539,56 @@ def result_from_dict(payload: dict[str, Any]):
     except (KeyError, TypeError, ValueError) as error:
         raise SerializationError(f"malformed result payload: {error}") from error
     raise SerializationError(f"unknown result kind {payload.get('kind')!r}")
+
+
+# --------------------------------------------------------------------- #
+# Gateway errors
+# --------------------------------------------------------------------- #
+
+
+def error_to_dict(error) -> dict[str, Any]:
+    """A JSON-ready, kind-tagged dictionary for one gateway error.
+
+    The body every non-2xx :mod:`repro.server` response carries:
+    ``kind`` is always ``"error"``, ``error`` is the stable
+    machine-readable code, ``status`` the HTTP status, ``detail`` the
+    human-readable message and ``retry_after`` (seconds, only on
+    backpressure rejections) the client's retry hint.
+    """
+    from ..server.limits import GatewayError
+
+    if not isinstance(error, GatewayError):
+        raise SerializationError(f"not a serialisable gateway error: {error!r}")
+    payload: dict[str, Any] = {
+        "kind": "error",
+        "error": error.code,
+        "status": error.status,
+        "detail": error.detail,
+    }
+    if error.retry_after is not None:
+        payload["retry_after"] = error.retry_after
+    return payload
+
+
+def error_from_dict(payload: dict[str, Any]):
+    """Rebuild a typed gateway error from :func:`error_to_dict` output.
+
+    The returned exception's class is resolved from the wire ``error``
+    code, so ``raise error_from_dict(body)`` on the client side surfaces
+    the same typed error the server raised.
+    """
+    from ..server.limits import error_class_for_code
+
+    if not isinstance(payload, dict) or payload.get("kind") != "error":
+        raise SerializationError(f"not an error payload: {payload!r}")
+    try:
+        error_class = error_class_for_code(payload["error"])
+        error = error_class(
+            str(payload["detail"]),
+            retry_after=payload.get("retry_after"),
+        )
+    except (KeyError, TypeError, ValueError) as error_:
+        raise SerializationError(
+            f"malformed error payload: {error_}"
+        ) from error_
+    return error

@@ -1,0 +1,581 @@
+"""The asyncio HTTP/JSON gateway in front of the session registry.
+
+This is the "millions of users" front door the ROADMAP asks for: one
+process, one event loop, many isolated tenants.  The stack is stdlib
+only — ``asyncio.start_server`` plus a deliberately minimal HTTP/1.1
+parser (request line, headers, ``Content-Length`` bodies, keep-alive) —
+because the wire format is the point, not the web framework: every body
+is a kind-tagged :mod:`repro.io` JSON document, so the whole service
+surface (requests, results, stream events, errors) round-trips through
+the same serialisation layer the library already tests.
+
+Request path
+------------
+``POST /sessions/{name}/requests`` maps the body through
+:func:`~repro.io.request_from_dict` →
+:meth:`~repro.service.FlexSession.submit` →
+:func:`~repro.io.result_to_dict`.  Sessions are synchronous objects, so
+the submit runs on a worker-thread pool via ``loop.run_in_executor`` —
+safe because backend activation is thread-local (the PR 5 dispatch fix):
+each worker thread activates only the serving session's backend.
+Admission is gated twice before the pool is touched: the global
+:class:`~repro.server.limits.ConcurrencyGate` bounds in-flight work and
+the per-tenant :class:`~repro.server.limits.SessionGate` serialises one
+session's requests behind a bounded queue.  Saturation of either returns
+429 with ``Retry-After``; deadline overruns return 504 after a clean
+hand-off (the session is never released while a worker thread still owns
+it).
+
+Routes
+------
+====== ================================ =======================================
+Method Path                             Meaning
+====== ================================ =======================================
+GET    ``/healthz``                     Gateway counters and queue depths
+GET    ``/sessions``                    Live session names (LRU order)
+PUT    ``/sessions/{name}``             Create a tenant (optional config body)
+GET    ``/sessions/{name}``             One tenant's stats block
+DELETE ``/sessions/{name}``             Evict (close) a tenant
+POST   ``/sessions/{name}/requests``    Serve one service request
+====== ================================ =======================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import suppress
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from ..core.errors import FlexError, SerializationError
+from ..io.csv_io import RequestStatsLog
+from ..io.serialization import error_to_dict, request_from_dict, result_to_dict
+from ..service.config import ServiceError, SessionConfig
+from .limits import (
+    BadRequestError,
+    ConcurrencyGate,
+    GatewayError,
+    InternalError,
+    MethodNotAllowedError,
+    NotFoundError,
+    PayloadTooLargeError,
+    RequestTimeoutError,
+)
+from .registry import SessionRegistry
+
+__all__ = ["GatewayConfig", "Response", "Gateway", "GatewayServer", "serve"]
+
+#: Reason phrases for the statuses the gateway produces.
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Everything the gateway needs, in one frozen value object.
+
+    Parameters
+    ----------
+    host, port:
+        TCP bind address for :func:`serve` (``port=0`` picks a free one).
+        The in-process transport ignores both.
+    max_sessions, idle_ttl:
+        :class:`~repro.server.SessionRegistry` capacity cap and idle-TTL
+        expiry (seconds; ``None`` disables expiry).
+    max_concurrency, max_pending:
+        Global admission: requests executing at once on the worker pool,
+        and the bounded wait queue behind them.  Defaults: worker count,
+        and ``32 * max_concurrency``.
+    session_queue_depth:
+        Per-tenant bounded queue depth (requests waiting behind the one
+        executing before 429s start).
+    request_timeout_s:
+        Deadline for one request's execution phase; ``None`` disables.
+    max_body_bytes:
+        Largest accepted request body (413 beyond it).
+    retry_after_s:
+        The ``Retry-After`` hint on 429 responses.
+    workers:
+        Worker-thread pool size.  Default: ``min(32, cpu_count + 4)``.
+    session_defaults:
+        :class:`~repro.service.SessionConfig` for tenants created without
+        an explicit config.
+    access_log:
+        Path or open text handle receiving one CSV
+        :class:`~repro.service.RequestStats` row per served request
+        (through the concurrency-safe :class:`~repro.io.RequestStatsLog`
+        appender); ``None`` disables the access log.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_sessions: int = 4096
+    idle_ttl: Optional[float] = None
+    max_concurrency: Optional[int] = None
+    max_pending: Optional[int] = None
+    session_queue_depth: int = 8
+    request_timeout_s: Optional[float] = 30.0
+    max_body_bytes: int = 8 * 1024 * 1024
+    retry_after_s: float = 0.05
+    workers: Optional[int] = None
+    session_defaults: Optional[SessionConfig] = None
+    access_log: Optional[Union[str, Path, Any]] = None
+
+    def __post_init__(self) -> None:
+        import os
+
+        if self.workers is None:
+            object.__setattr__(
+                self, "workers", min(32, (os.cpu_count() or 1) + 4)
+            )
+        if self.max_concurrency is None:
+            object.__setattr__(self, "max_concurrency", self.workers)
+        if self.max_pending is None:
+            object.__setattr__(self, "max_pending", 32 * self.max_concurrency)
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be positive, got {self.request_timeout_s}"
+            )
+        if self.max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class Response:
+    """One gateway response: status, JSON payload, optional retry hint."""
+
+    status: int
+    payload: dict
+    retry_after: Optional[float] = None
+
+    def encode(self, close: bool = False) -> bytes:
+        """The full HTTP/1.1 response bytes for this payload."""
+        body = json.dumps(self.payload).encode("utf-8")
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            "content-type: application/json",
+            f"content-length: {len(body)}",
+            "connection: " + ("close" if close else "keep-alive"),
+        ]
+        if self.retry_after is not None:
+            lines.append(f"retry-after: {self.retry_after:g}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+class _MemoryWriter:
+    """Duck-typed ``StreamWriter`` feeding a peer reader directly.
+
+    The in-process transport of the load harness: client and server each
+    hold a real :class:`asyncio.StreamReader` fed by the peer's writer, so
+    thousands of concurrent tenants exercise the full HTTP path without a
+    socket (or file descriptor) each.
+    """
+
+    def __init__(self, peer: asyncio.StreamReader) -> None:
+        self._peer = peer
+        self._closed = False
+
+    def write(self, data: bytes) -> None:
+        if not self._closed:
+            self._peer.feed_data(data)
+
+    async def drain(self) -> None:
+        await asyncio.sleep(0)  # yield, like a real transport under load
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._peer.feed_eof()
+
+    def is_closing(self) -> bool:
+        return self._closed
+
+    async def wait_closed(self) -> None:
+        return None
+
+    def get_extra_info(self, name: str, default=None):
+        return default
+
+
+class Gateway:
+    """The multi-tenant request broker behind the HTTP front-end.
+
+    Owns the :class:`~repro.server.SessionRegistry`, the admission gates,
+    the worker-thread pool and the access log.  :meth:`handle` is the
+    transport-independent core — the HTTP glue (:meth:`handle_connection`)
+    and the in-process transport (:meth:`connect_in_process`) both feed
+    it.
+    """
+
+    def __init__(
+        self, config: Optional[GatewayConfig] = None, **overrides
+    ) -> None:
+        if config is None:
+            config = GatewayConfig(**overrides)
+        elif overrides:
+            raise ValueError(
+                "pass either a GatewayConfig or keyword overrides, not both"
+            )
+        self.config = config
+        self.registry = SessionRegistry(
+            max_sessions=config.max_sessions,
+            idle_ttl=config.idle_ttl,
+            default_config=config.session_defaults,
+            queue_depth=config.session_queue_depth,
+            retry_after=config.retry_after_s,
+        )
+        self.gate = ConcurrencyGate(
+            limit=config.max_concurrency,
+            max_pending=config.max_pending,
+            retry_after=config.retry_after_s,
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.workers, thread_name_prefix="repro-gateway"
+        )
+        self.access_log: Optional[RequestStatsLog] = (
+            None
+            if config.access_log is None
+            else RequestStatsLog(config.access_log)
+        )
+        self.served = 0
+        self.failed = 0
+        self.timeouts = 0
+        self._connections: set = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Transport-independent request handling
+    # ------------------------------------------------------------------ #
+    async def handle(self, method: str, path: str, body: bytes = b"") -> Response:
+        """Serve one request; every failure becomes a structured error body."""
+        try:
+            if len(body) > self.config.max_body_bytes:
+                raise PayloadTooLargeError(
+                    f"body of {len(body)} bytes exceeds the "
+                    f"{self.config.max_body_bytes}-byte budget"
+                )
+            return await self._route(method.upper(), path)(body)
+        except GatewayError as error:
+            self.failed += 1
+            return Response(
+                error.status, error_to_dict(error), retry_after=error.retry_after
+            )
+        except (SerializationError, ServiceError, FlexError) as error:
+            # Library-level rejections of a well-formed HTTP request:
+            # malformed wire payloads, unknown schedulers, invalid
+            # flex-offers — all client mistakes, all 400s.
+            self.failed += 1
+            wrapped = BadRequestError(str(error))
+            return Response(wrapped.status, error_to_dict(wrapped))
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - the 500 boundary
+            self.failed += 1
+            wrapped = InternalError(f"{type(error).__name__}: {error}")
+            return Response(wrapped.status, error_to_dict(wrapped))
+
+    def _route(self, method: str, path: str):
+        """Resolve ``(method, path)`` to a body-consuming handler."""
+        parts = [part for part in path.split("/") if part]
+        if parts == ["healthz"]:
+            if method != "GET":
+                raise MethodNotAllowedError(f"{method} not allowed on {path}")
+            return self._handle_health
+        if not parts or parts[0] != "sessions" or len(parts) > 3:
+            raise NotFoundError(f"no route for {path!r}")
+        if len(parts) == 1:
+            if method != "GET":
+                raise MethodNotAllowedError(f"{method} not allowed on {path}")
+            return self._handle_list
+        name = parts[1]
+        if len(parts) == 2:
+            if method == "PUT":
+                return lambda body: self._handle_create(name, body)
+            if method == "GET":
+                return lambda body: self._handle_stats(name, body)
+            if method == "DELETE":
+                return lambda body: self._handle_evict(name, body)
+            raise MethodNotAllowedError(f"{method} not allowed on {path}")
+        if parts[2] != "requests":
+            raise NotFoundError(f"no route for {path!r}")
+        if method != "POST":
+            raise MethodNotAllowedError(f"{method} not allowed on {path}")
+        return lambda body: self._handle_submit(name, body)
+
+    @staticmethod
+    def _parse_json(body: bytes) -> Any:
+        try:
+            return json.loads(body.decode("utf-8")) if body else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BadRequestError(f"malformed JSON body: {error}") from error
+
+    async def _handle_health(self, body: bytes) -> Response:
+        return Response(200, {"kind": "health", "status": "ok", **self.stats()})
+
+    async def _handle_list(self, body: bytes) -> Response:
+        return Response(
+            200, {"kind": "sessions", "sessions": self.registry.names()}
+        )
+
+    async def _handle_create(self, name: str, body: bytes) -> Response:
+        payload = self._parse_json(body)
+        config = None
+        if payload is not None:
+            if not isinstance(payload, dict):
+                raise BadRequestError("session config must be a JSON object")
+            config = SessionConfig.from_dict(payload)
+        session = self.registry.create(name, config)
+        return Response(
+            201,
+            {
+                "kind": "session",
+                "name": name,
+                "backend": session.backend_name,
+                "config": session.config.as_dict(),
+            },
+        )
+
+    async def _handle_stats(self, name: str, body: bytes) -> Response:
+        entry = self.registry.entry(name)
+        return Response(200, {"kind": "session-stats", **entry.stats()})
+
+    async def _handle_evict(self, name: str, body: bytes) -> Response:
+        self.registry.evict(name)
+        return Response(200, {"kind": "evicted", "name": name})
+
+    async def _handle_submit(self, name: str, body: bytes) -> Response:
+        payload = self._parse_json(body)
+        if not isinstance(payload, dict):
+            raise BadRequestError("request body must be a JSON object")
+        request = request_from_dict(payload)
+        entry = self.registry.entry(name)
+        async with self.gate.admit():
+            async with entry.gate.admit():
+                result = await self._submit_on_worker(entry.session, request)
+        entry.served += 1
+        self.served += 1
+        if self.access_log is not None:
+            self.access_log.append(result.stats)
+        return Response(200, result_to_dict(result))
+
+    async def _submit_on_worker(self, session, request):
+        """Run one submit on the pool, under the configured deadline.
+
+        On timeout the worker future is cancelled if it has not started;
+        if it is already running, the (timed-out) request is awaited to
+        completion before the session gate is released — a worker thread
+        never touches a session the gateway considers free.
+        """
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, session.submit, request)
+        timeout = self.config.request_timeout_s
+        if timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            future.cancel()
+            with suppress(Exception, asyncio.CancelledError):
+                await future
+            raise RequestTimeoutError(
+                f"request exceeded the {timeout:g}s deadline"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # HTTP transport
+    # ------------------------------------------------------------------ #
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer
+    ) -> None:
+        """Serve one HTTP/1.1 keep-alive connection until EOF."""
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, target, _version = (
+                        request_line.decode("latin-1").split(None, 2)
+                    )
+                except ValueError:
+                    error = BadRequestError("malformed request line")
+                    writer.write(
+                        Response(400, error_to_dict(error)).encode(close=True)
+                    )
+                    await writer.drain()
+                    break
+                headers = await self._read_headers(reader)
+                if headers is None:
+                    break
+                length = int(headers.get("content-length", "0") or "0")
+                if length > self.config.max_body_bytes:
+                    # Refuse before buffering: the body never gets read,
+                    # so the connection cannot be reused afterwards.
+                    error = PayloadTooLargeError(
+                        f"declared body of {length} bytes exceeds the "
+                        f"{self.config.max_body_bytes}-byte budget"
+                    )
+                    writer.write(
+                        Response(413, error_to_dict(error)).encode(close=True)
+                    )
+                    await writer.drain()
+                    break
+                body = await reader.readexactly(length) if length else b""
+                path = target.partition("?")[0]
+                response = await self.handle(method, path, body)
+                close = headers.get("connection", "").lower() == "close"
+                writer.write(response.encode(close=close))
+                await writer.drain()
+                if close:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            # CancelledError too: server shutdown cancels in-flight
+            # connection tasks while they are closing their writer.
+            with suppress(Exception, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _read_headers(reader: asyncio.StreamReader):
+        """The request's header map (lower-cased), or ``None`` on EOF."""
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                return headers
+            if not line:
+                return None
+            key, _, value = line.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+
+    def connect_in_process(self):
+        """A client ``(reader, writer)`` pair served without a socket.
+
+        The server side of the pair runs :meth:`handle_connection` as a
+        task on the current loop; the client side speaks ordinary
+        HTTP/1.1 over it.  This is the transport the load harness uses to
+        hold thousands of concurrent tenant connections without consuming
+        a file descriptor per tenant.
+        """
+        client_reader = asyncio.StreamReader()
+        server_reader = asyncio.StreamReader()
+        client_writer = _MemoryWriter(server_reader)
+        server_writer = _MemoryWriter(client_reader)
+        task = asyncio.ensure_future(
+            self.handle_connection(server_reader, server_writer)
+        )
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+        return client_reader, client_writer
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Gateway counters: served/failed totals, gates, registry."""
+        return {
+            "served": self.served,
+            "failed": self.failed,
+            "timeouts": self.timeouts,
+            "gate": self.gate.stats(),
+            "registry": self.registry.stats(),
+            "workers": self.config.workers,
+        }
+
+    def close(self) -> None:
+        """Shut the pool down and close every session.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        self.registry.close()
+        if self.access_log is not None:
+            self.access_log.close()
+
+
+class GatewayServer:
+    """A started gateway bound to a TCP port (what :func:`serve` returns)."""
+
+    def __init__(self, gateway: Gateway, server: asyncio.AbstractServer) -> None:
+        self.gateway = gateway
+        self.server = server
+        self._sweeper: Optional[asyncio.Task] = None
+        if gateway.config.idle_ttl is not None:
+            self._sweeper = asyncio.ensure_future(
+                self._sweep_loop(gateway.config.idle_ttl / 2)
+            )
+
+    async def _sweep_loop(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            self.gateway.registry.sweep()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return self.server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        """The bound host address."""
+        return self.server.sockets[0].getsockname()[0]
+
+    async def close(self) -> None:
+        """Stop accepting, drain the pool, close every session."""
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            with suppress(asyncio.CancelledError):
+                await self._sweeper
+        self.server.close()
+        await self.server.wait_closed()
+        self.gateway.close()
+
+    async def __aenter__(self) -> "GatewayServer":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+async def serve(
+    config: Optional[GatewayConfig] = None, **overrides
+) -> GatewayServer:
+    """Start the gateway on its configured TCP address.
+
+    Usage::
+
+        async with await serve(port=0, max_sessions=100) as server:
+            print(f"listening on {server.host}:{server.port}")
+            ...
+
+    Returns a :class:`GatewayServer`; ``await server.close()`` (or the
+    ``async with`` exit) stops the listener and closes every session.
+    """
+    gateway = Gateway(config, **overrides)
+    server = await asyncio.start_server(
+        gateway.handle_connection, gateway.config.host, gateway.config.port
+    )
+    return GatewayServer(gateway, server)

@@ -1,0 +1,164 @@
+"""A minimal asyncio HTTP/1.1 client for the gateway's wire format.
+
+Used by the load harness, the tests and any in-process consumer that
+wants typed access to a running gateway without an HTTP library: one
+keep-alive connection per client, JSON bodies in, parsed JSON bodies
+out.  Works over both transports — real TCP
+(:meth:`GatewayClient.open_tcp`) and the in-process memory pipe
+(:meth:`GatewayClient.in_process`), which is how thousands of concurrent
+tenants fit in one process without a file descriptor each.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Optional
+
+from ..io.serialization import (
+    error_from_dict,
+    request_to_dict,
+    result_from_dict,
+)
+
+__all__ = ["ClientResponse", "GatewayClient"]
+
+
+class ClientResponse:
+    """One parsed gateway response: status, headers, JSON payload."""
+
+    def __init__(self, status: int, headers: dict, payload: Any) -> None:
+        self.status = status
+        self.headers = headers
+        self.payload = payload
+
+    @property
+    def ok(self) -> bool:
+        """Whether the response is a 2xx."""
+        return 200 <= self.status < 300
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """The ``Retry-After`` hint, when the server sent one."""
+        value = self.headers.get("retry-after")
+        return None if value is None else float(value)
+
+    def error(self):
+        """The typed :class:`~repro.server.limits.GatewayError` of a
+        non-2xx response (rebuilt from the structured body)."""
+        return error_from_dict(self.payload)
+
+    def result(self):
+        """The typed service ``*Result`` of a 2xx submit response."""
+        if not self.ok:
+            raise self.error()
+        return result_from_dict(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = self.payload.get("kind") if isinstance(self.payload, dict) else None
+        return f"ClientResponse(status={self.status}, kind={kind!r})"
+
+
+class GatewayClient:
+    """One keep-alive connection to a gateway.
+
+    Construct via :meth:`open_tcp` (a real socket) or :meth:`in_process`
+    (the memory transport of a local :class:`~repro.server.Gateway`).
+    Not safe for concurrent use — one client per tenant task, which is
+    exactly the load-harness shape.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer, host: str = "localhost"
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._host = host
+
+    @classmethod
+    async def open_tcp(cls, host: str, port: int) -> "GatewayClient":
+        """Connect over TCP."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, host=f"{host}:{port}")
+
+    @classmethod
+    def in_process(cls, gateway) -> "GatewayClient":
+        """Connect over the gateway's in-process memory transport."""
+        reader, writer = gateway.connect_in_process()
+        return cls(reader, writer, host="in-process")
+
+    async def request(
+        self, method: str, path: str, payload: Any = None
+    ) -> ClientResponse:
+        """One request/response exchange (JSON body in, JSON body out)."""
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"host: {self._host}",
+            f"content-length: {len(body)}",
+        ]
+        self._writer.write(
+            ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> ClientResponse:
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("gateway closed the connection")
+        status = int(status_line.split(None, 2)[1])
+        headers: dict = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ConnectionError("truncated response headers")
+            key, _, value = line.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        raw = await self._reader.readexactly(length) if length else b""
+        payload = json.loads(raw.decode("utf-8")) if raw else None
+        return ClientResponse(status, headers, payload)
+
+    # ------------------------------------------------------------------ #
+    # Typed conveniences over the gateway routes
+    # ------------------------------------------------------------------ #
+    async def create_session(
+        self, name: str, config: Optional[dict] = None
+    ) -> ClientResponse:
+        """``PUT /sessions/{name}`` (``config`` is a SessionConfig dict)."""
+        return await self.request("PUT", f"/sessions/{name}", config)
+
+    async def submit(self, name: str, request) -> ClientResponse:
+        """``POST /sessions/{name}/requests`` with a typed service request
+        (serialised through :func:`~repro.io.request_to_dict`) or a
+        ready-made wire dict."""
+        payload = (
+            request if isinstance(request, dict) else request_to_dict(request)
+        )
+        return await self.request("POST", f"/sessions/{name}/requests", payload)
+
+    async def session_stats(self, name: str) -> ClientResponse:
+        """``GET /sessions/{name}``."""
+        return await self.request("GET", f"/sessions/{name}")
+
+    async def evict_session(self, name: str) -> ClientResponse:
+        """``DELETE /sessions/{name}``."""
+        return await self.request("DELETE", f"/sessions/{name}")
+
+    async def health(self) -> ClientResponse:
+        """``GET /healthz``."""
+        return await self.request("GET", "/healthz")
+
+    async def close(self) -> None:
+        """Close the underlying connection."""
+        self._writer.close()
+        await self._writer.wait_closed()
+
+    async def __aenter__(self) -> "GatewayClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,260 @@
+"""The named, capacity-bounded registry of tenant sessions.
+
+One gateway process serves many tenants; each tenant owns a named
+:class:`~repro.service.FlexSession` — its own engine, compute backend and
+matrix-cache budgets, fully isolated from every other tenant (the PR 5
+interleaving guarantee).  The registry is the multi-tenant bookkeeping on
+top:
+
+* **create / get / evict** by name, each tenant optionally carrying its
+  own :class:`~repro.service.SessionConfig`;
+* a **max-sessions cap** with LRU eviction of *idle* sessions (a session
+  with requests in flight or queued is never evicted under it);
+* optional **idle-TTL expiry**: sessions untouched for ``idle_ttl``
+  seconds are closed and dropped on the next sweep.
+
+The registry itself is cheap bookkeeping guarded by a thread lock, so it
+can be inspected from worker threads; all structural mutation happens on
+the gateway's event-loop thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..service.config import SessionConfig
+from ..service.session import FlexSession
+from .limits import (
+    RegistryFullError,
+    SessionExistsError,
+    SessionGate,
+    UnknownSessionError,
+)
+
+__all__ = ["SessionEntry", "SessionRegistry"]
+
+
+@dataclass
+class SessionEntry:
+    """One tenant's slot: the session, its queue gate and LRU bookkeeping."""
+
+    name: str
+    session: FlexSession
+    gate: SessionGate
+    created_at: float
+    last_used: float
+    served: int = 0
+
+    def stats(self) -> dict:
+        """A JSON-ready health block for this tenant."""
+        payload = dict(self.session.stats())
+        payload.update(
+            name=self.name,
+            served=self.served,
+            queued=self.gate.waiting,
+            rejected=self.gate.rejected,
+        )
+        return payload
+
+
+class SessionRegistry:
+    """Named tenant sessions behind one gateway.
+
+    Parameters
+    ----------
+    max_sessions:
+        Hard cap on live sessions.  Creating beyond it evicts the
+        least-recently-used *idle* session; when every session is busy the
+        create is refused with :class:`RegistryFullError` (HTTP 429).
+    idle_ttl:
+        Seconds of inactivity after which a session may be swept.  ``None``
+        disables TTL expiry.
+    default_config:
+        :class:`SessionConfig` for tenants created without an explicit
+        config (``None`` resolves the environment defaults once, lazily).
+    queue_depth, retry_after:
+        Per-session :class:`SessionGate` parameters.
+    clock:
+        Monotonic time source (injectable for TTL tests).
+
+    >>> registry = SessionRegistry(max_sessions=8)
+    >>> session = registry.create("tenant-a")
+    >>> registry.get("tenant-a") is session
+    True
+    >>> registry.evict("tenant-a").closed
+    True
+    >>> len(registry)
+    0
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = 1024,
+        idle_ttl: Optional[float] = None,
+        default_config: Optional[SessionConfig] = None,
+        queue_depth: int = 8,
+        retry_after: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if idle_ttl is not None and idle_ttl <= 0:
+            raise ValueError(f"idle_ttl must be positive, got {idle_ttl}")
+        self.max_sessions = max_sessions
+        self.idle_ttl = idle_ttl
+        self.queue_depth = queue_depth
+        self.retry_after = retry_after
+        self._clock = clock
+        self._default_config = default_config
+        self._entries: "OrderedDict[str, SessionEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.created = 0
+        self.evicted = 0
+        self.expired = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def create(
+        self, name: str, config: Optional[SessionConfig] = None
+    ) -> FlexSession:
+        """Create (and register) the named tenant's session.
+
+        Raises :class:`SessionExistsError` on a name collision and
+        :class:`RegistryFullError` when the cap is reached and no idle
+        session can be evicted.
+        """
+        with self._lock:
+            self.sweep()
+            if name in self._entries:
+                raise SessionExistsError(f"session {name!r} already exists")
+            if len(self._entries) >= self.max_sessions:
+                if not self._evict_lru_idle():
+                    raise RegistryFullError(
+                        f"session cap reached ({self.max_sessions}) and "
+                        "every session is busy",
+                        retry_after=self.retry_after,
+                    )
+            if config is None:
+                config = self._default()
+            session = FlexSession(config)
+            now = self._clock()
+            self._entries[name] = SessionEntry(
+                name=name,
+                session=session,
+                gate=SessionGate(self.queue_depth, self.retry_after),
+                created_at=now,
+                last_used=now,
+            )
+            self.created += 1
+            return session
+
+    def entry(self, name: str) -> SessionEntry:
+        """The named tenant's entry; touches its LRU position.
+
+        Raises :class:`UnknownSessionError` for unknown (or already
+        evicted/expired) names.
+        """
+        with self._lock:
+            try:
+                entry = self._entries[name]
+            except KeyError:
+                raise UnknownSessionError(f"unknown session {name!r}") from None
+            self._entries.move_to_end(name)
+            entry.last_used = self._clock()
+            return entry
+
+    def get(self, name: str) -> FlexSession:
+        """The named tenant's session (LRU-touching); 404-shaped on a miss."""
+        return self.entry(name).session
+
+    def evict(self, name: str) -> FlexSession:
+        """Close and drop the named session, returning it (now closed)."""
+        with self._lock:
+            try:
+                entry = self._entries.pop(name)
+            except KeyError:
+                raise UnknownSessionError(f"unknown session {name!r}") from None
+            self.evicted += 1
+        entry.session.close()
+        return entry.session
+
+    def sweep(self, now: Optional[float] = None) -> List[str]:
+        """Evict sessions idle past ``idle_ttl``; returns the evicted names.
+
+        Busy sessions (requests running or queued) are left alone even
+        when expired — their TTL clock restarts when the request finishes.
+        """
+        if self.idle_ttl is None:
+            return []
+        now = self._clock() if now is None else now
+        swept = []
+        with self._lock:
+            for name in list(self._entries):
+                entry = self._entries[name]
+                if entry.gate.busy:
+                    continue
+                if now - entry.last_used > self.idle_ttl:
+                    del self._entries[name]
+                    entry.session.close()
+                    self.expired += 1
+                    swept.append(name)
+        return swept
+
+    def close(self) -> None:
+        """Close every session and empty the registry."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            entry.session.close()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def names(self) -> List[str]:
+        """Live session names, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def stats(self) -> dict:
+        """Registry-level counters for the gateway health block."""
+        with self._lock:
+            return {
+                "sessions": len(self._entries),
+                "max_sessions": self.max_sessions,
+                "idle_ttl": self.idle_ttl,
+                "created": self.created,
+                "evicted": self.evicted,
+                "expired": self.expired,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _default(self) -> SessionConfig:
+        """The shared default config (environment resolved exactly once)."""
+        if self._default_config is None:
+            self._default_config = SessionConfig()
+        return self._default_config
+
+    def _evict_lru_idle(self) -> bool:
+        """Drop the least-recently-used idle session; False if all busy."""
+        for name in list(self._entries):
+            entry = self._entries[name]
+            if not entry.gate.busy:
+                del self._entries[name]
+                entry.session.close()
+                self.evicted += 1
+                return True
+        return False

@@ -1,0 +1,122 @@
+"""Concurrent-appender guarantees of the request-stats access log.
+
+The PR 6 satellite: :func:`repro.io.request_stats_to_csv` and friends
+must stay safe when many gateway worker threads append at once — every
+row lands complete, never interleaved, and all of them parse back with
+the exporter's own column schema.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import threading
+
+import pytest
+
+from repro.core import SerializationError
+from repro.io import (
+    RequestStatsLog,
+    request_stats_rows,
+    request_stats_to_csv,
+)
+from repro.service.results import RequestStats
+
+HEADER = "kind,backend,duration_s,population,cache_hits,cache_misses"
+
+
+def stats(kind: str = "evaluate", population: int = 4) -> RequestStats:
+    return RequestStats(kind, "reference", 0.125, population)
+
+
+def test_rows_iterator_yields_complete_lines():
+    rows = list(request_stats_rows([stats("evaluate"), stats("schedule")]))
+    assert rows[0].strip() == HEADER
+    assert all(row.endswith("\r\n") or row.endswith("\n") for row in rows)
+    assert rows[1].split(",")[0] == "evaluate"
+    assert rows[2].split(",")[0] == "schedule"
+    headerless = list(request_stats_rows([stats()], header=False))
+    assert len(headerless) == 1
+
+
+def test_to_csv_writes_whole_rows_to_a_stream():
+    sink = io.StringIO()
+    text = request_stats_to_csv([stats()], stream=sink)
+    assert sink.getvalue() == text
+    assert text.splitlines()[0] == HEADER
+
+
+def test_to_csv_rejects_non_stats():
+    with pytest.raises(SerializationError):
+        request_stats_to_csv(["not stats"])
+
+
+def test_log_appends_header_once_and_counts_rows(tmp_path):
+    path = tmp_path / "access.csv"
+    with RequestStatsLog(path) as log:
+        log.extend([stats(), stats("trade")])
+        assert log.rows_written == 2
+    # Re-opening the same file appends without a second header.
+    with RequestStatsLog(path) as log:
+        log.append(stats("stream"))
+    lines = path.read_text().strip().splitlines()
+    assert lines[0] == HEADER
+    assert [line.split(",")[0] for line in lines[1:]] == [
+        "evaluate",
+        "trade",
+        "stream",
+    ]
+
+
+def test_log_close_is_idempotent_and_append_after_close_raises():
+    sink = io.StringIO()
+    log = RequestStatsLog(sink)
+    log.append(stats())
+    log.close()
+    log.close()
+    assert not sink.closed  # borrowed handles are never closed
+    with pytest.raises(SerializationError):
+        log.append(stats())
+
+
+def test_concurrent_appenders_never_interleave_rows(tmp_path):
+    """N threads x M rows: every row is complete and parseable, the
+    header appears exactly once, and nothing is lost."""
+    path = tmp_path / "concurrent.csv"
+    threads, rows_each = 8, 50
+    log = RequestStatsLog(path)
+    start = threading.Barrier(threads)
+
+    def appender(thread_index: int) -> None:
+        start.wait()
+        for row_index in range(rows_each):
+            log.append(
+                RequestStats(
+                    f"kind-{thread_index}",
+                    "reference",
+                    0.001,
+                    row_index,
+                )
+            )
+
+    workers = [
+        threading.Thread(target=appender, args=(index,))
+        for index in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    log.close()
+
+    text = path.read_text()
+    lines = text.strip().splitlines()
+    assert lines[0] == HEADER
+    assert text.count(HEADER) == 1
+    assert log.rows_written == threads * rows_each
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert len(parsed) == threads * rows_each
+    # Every (thread, row) pair arrived exactly once, fully formed.
+    seen = {(row["kind"], row["population"]) for row in parsed}
+    assert len(seen) == threads * rows_each
+    assert all(row["backend"] == "reference" for row in parsed)

@@ -1,0 +1,219 @@
+"""SessionRegistry lifecycle: create/get/evict, LRU cap, idle-TTL expiry."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.server import (
+    RegistryFullError,
+    SessionExistsError,
+    SessionRegistry,
+    UnknownSessionError,
+)
+from repro.service import SessionConfig
+
+
+class FakeClock:
+    """An injectable monotonic clock the tests can advance by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def registry() -> SessionRegistry:
+    reg = SessionRegistry(
+        max_sessions=3, default_config=SessionConfig(backend="reference")
+    )
+    yield reg
+    reg.close()
+
+
+def test_create_get_evict_roundtrip(registry):
+    session = registry.create("tenant-a")
+    assert registry.get("tenant-a") is session
+    assert "tenant-a" in registry
+    assert len(registry) == 1
+    evicted = registry.evict("tenant-a")
+    assert evicted is session
+    assert evicted.closed
+    assert len(registry) == 0
+
+
+def test_create_duplicate_name_is_a_409(registry):
+    registry.create("tenant-a")
+    with pytest.raises(SessionExistsError) as excinfo:
+        registry.create("tenant-a")
+    assert excinfo.value.status == 409
+
+
+def test_get_unknown_name_is_a_404(registry):
+    with pytest.raises(UnknownSessionError) as excinfo:
+        registry.get("nope")
+    assert excinfo.value.status == 404
+    with pytest.raises(UnknownSessionError):
+        registry.evict("nope")
+
+
+def test_cap_evicts_least_recently_used_idle_session(registry):
+    first = registry.create("a")
+    registry.create("b")
+    registry.create("c")
+    # Touch "a" so "b" becomes the LRU candidate.
+    registry.get("a")
+    registry.create("d")
+    assert registry.names() == ["c", "a", "d"]
+    assert first.closed is False
+    assert registry.get("a") is first
+    with pytest.raises(UnknownSessionError):
+        registry.get("b")
+    assert registry.evicted == 1
+
+
+def test_cap_with_all_sessions_busy_is_a_429():
+    registry = SessionRegistry(
+        max_sessions=1, default_config=SessionConfig(backend="reference")
+    )
+    try:
+        registry.create("busy")
+        entry = registry.entry("busy")
+
+        async def while_busy():
+            async with entry.gate.admit():
+                with pytest.raises(RegistryFullError) as excinfo:
+                    registry.create("overflow")
+                assert excinfo.value.status == 429
+                assert excinfo.value.retry_after is not None
+
+        asyncio.run(while_busy())
+        # Once idle again, the LRU eviction path unblocks creation.
+        registry.create("next")
+        assert registry.names() == ["next"]
+    finally:
+        registry.close()
+
+
+def test_idle_ttl_expires_untouched_sessions():
+    clock = FakeClock()
+    registry = SessionRegistry(
+        max_sessions=8,
+        idle_ttl=10.0,
+        default_config=SessionConfig(backend="reference"),
+        clock=clock,
+    )
+    try:
+        stale = registry.create("stale")
+        registry.create("fresh")
+        clock.advance(8.0)
+        registry.get("fresh")  # touches only "fresh"
+        clock.advance(4.0)  # "stale" is now 12s idle, "fresh" 4s
+        assert registry.sweep() == ["stale"]
+        assert stale.closed
+        assert registry.names() == ["fresh"]
+        assert registry.expired == 1
+        # Sweeping again finds nothing new.
+        assert registry.sweep() == []
+    finally:
+        registry.close()
+
+
+def test_idle_ttl_spares_busy_sessions():
+    clock = FakeClock()
+    registry = SessionRegistry(
+        max_sessions=8,
+        idle_ttl=5.0,
+        default_config=SessionConfig(backend="reference"),
+        clock=clock,
+    )
+    try:
+        registry.create("held")
+        entry = registry.entry("held")
+        clock.advance(60.0)
+
+        async def while_busy():
+            async with entry.gate.admit():
+                assert registry.sweep() == []
+
+        asyncio.run(while_busy())
+        assert registry.sweep() == ["held"]
+    finally:
+        registry.close()
+
+
+def test_create_sweeps_expired_sessions_first():
+    clock = FakeClock()
+    registry = SessionRegistry(
+        max_sessions=8,
+        idle_ttl=5.0,
+        default_config=SessionConfig(backend="reference"),
+        clock=clock,
+    )
+    try:
+        registry.create("old")
+        clock.advance(30.0)
+        registry.create("new")
+        assert registry.names() == ["new"]
+        assert registry.expired == 1
+    finally:
+        registry.close()
+
+
+def test_per_tenant_configs_are_isolated(registry):
+    small = registry.create("small", SessionConfig(backend="reference", cache_entries=1))
+    large = registry.create("large", SessionConfig(backend="reference", cache_entries=8))
+    assert small.config.cache_entries == 1
+    assert large.config.cache_entries == 8
+    assert small.cache is not large.cache
+
+
+def test_default_config_resolved_lazily_and_shared():
+    registry = SessionRegistry(
+        max_sessions=4, default_config=SessionConfig(backend="reference")
+    )
+    try:
+        a = registry.create("a")
+        b = registry.create("b")
+        # One shared (immutable) config, but independent session resources.
+        assert a.config is b.config
+        assert a.cache is not b.cache
+        assert a.engine is not b.engine
+    finally:
+        registry.close()
+
+
+def test_stats_and_validation():
+    registry = SessionRegistry(
+        max_sessions=2, default_config=SessionConfig(backend="reference")
+    )
+    try:
+        registry.create("a")
+        stats = registry.stats()
+        assert stats["sessions"] == 1
+        assert stats["max_sessions"] == 2
+        assert stats["created"] == 1
+        entry = registry.entry("a")
+        block = entry.stats()
+        assert block["name"] == "a"
+        assert block["served"] == 0
+        assert block["queued"] == 0
+    finally:
+        registry.close()
+    with pytest.raises(ValueError):
+        SessionRegistry(max_sessions=0)
+    with pytest.raises(ValueError):
+        SessionRegistry(idle_ttl=0.0)
+
+
+def test_close_closes_every_session(registry):
+    sessions = [registry.create(f"t{i}") for i in range(3)]
+    registry.close()
+    assert all(session.closed for session in sessions)
+    assert len(registry) == 0

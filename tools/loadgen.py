@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""Asyncio load generator for the :mod:`repro.server` gateway.
+
+Drives thousands of concurrent tenants — each with its own named session
+and keep-alive connection — through a closed-loop mix of
+``stream`` / ``evaluate`` / ``schedule`` / ``trade`` traffic, and reports
+latency percentiles (p50/p95/p99) plus sustained RPS.  This is the
+"millions of users" proof harness of the ROADMAP: per-tenant isolation at
+gateway scale, backpressure instead of queue growth, and a measurable
+latency distribution.
+
+Two transports:
+
+* ``memory`` (default) — the gateway's in-process asyncio transport.  No
+  sockets, no file descriptors per tenant, so 1k+ concurrent tenants fit
+  in any CI box; every byte still travels the full HTTP parse/serve path.
+* ``tcp`` — real sockets against a gateway started in-process (or an
+  external one via ``--host``/``--port``).
+
+Usage::
+
+    PYTHONPATH=src python tools/loadgen.py --tenants 1000 --requests 4
+    PYTHONPATH=src python tools/loadgen.py --transport tcp --tenants 200
+    PYTHONPATH=src python tools/loadgen.py --json   # machine-readable
+
+Requests rejected with 429 are retried after the server's ``Retry-After``
+hint (counted in the summary); any other non-2xx is a hard failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core import FlexOffer  # noqa: E402
+from repro.io import request_to_dict  # noqa: E402
+from repro.server import Gateway, GatewayClient, GatewayConfig, serve  # noqa: E402
+from repro.service import (  # noqa: E402
+    EvaluateRequest,
+    ScheduleRequest,
+    SessionConfig,
+    StreamRequest,
+    TradeRequest,
+)
+from repro.stream import Tick, population_events  # noqa: E402
+
+#: The per-tenant closed-loop traffic cycle (after the initial ingest).
+MIX = ("evaluate", "schedule", "trade", "stream")
+
+
+def tenant_population(index: int, size: int) -> List[FlexOffer]:
+    """A small deterministic population unique to one tenant."""
+    offers = []
+    for i in range(size):
+        start = 1 + (index + i) % 8
+        width = 2 + (index + 3 * i) % 4
+        offers.append(
+            FlexOffer(
+                start,
+                start + width,
+                [(1 + i % 2, 3 + i % 3), (2, 4)],
+                name=f"tenant{index}-offer{i}",
+            )
+        )
+    return offers
+
+
+def tenant_requests(index: int, count: int, offers_per_tenant: int):
+    """The tenant's wire-format request bodies: ingest, then the mix."""
+    offers = tenant_population(index, offers_per_tenant)
+    bodies = [
+        request_to_dict(
+            StreamRequest(events=tuple(population_events(offers)), bulk=True)
+        )
+    ]
+    clock = 0
+    for step in range(max(0, count - 1)):
+        kind = MIX[(index + step) % len(MIX)]
+        if kind == "evaluate":
+            bodies.append(request_to_dict(EvaluateRequest()))
+        elif kind == "schedule":
+            bodies.append(request_to_dict(ScheduleRequest("earliest")))
+        elif kind == "trade":
+            bodies.append(request_to_dict(TradeRequest(budget=1e9)))
+        else:
+            clock += 1
+            bodies.append(request_to_dict(StreamRequest(events=(Tick(clock),))))
+    return bodies[:count]
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of an ascending list, linear interpolation."""
+    if not sorted_values:
+        return float("nan")
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+async def _drive_tenant(
+    client_factory,
+    index: int,
+    requests: int,
+    offers_per_tenant: int,
+    backend: str,
+    latencies_ms: List[float],
+    counters: dict,
+    max_retries: int = 50,
+) -> None:
+    """One tenant's closed loop: create the session, run the mix, evict."""
+    client: GatewayClient = await client_factory()
+    name = f"tenant-{index}"
+    try:
+        response = await client.create_session(name, {"backend": backend})
+        while response.status == 429 and counters["retries"] < 10**6:
+            counters["retries"] += 1
+            await asyncio.sleep(response.retry_after or 0.01)
+            response = await client.create_session(name, {"backend": backend})
+        if response.status != 201:
+            counters["failures"] += 1
+            return
+        for body in tenant_requests(index, requests, offers_per_tenant):
+            attempts = 0
+            while True:
+                started = time.perf_counter()
+                response = await client.submit(name, body)
+                if response.status == 429 and attempts < max_retries:
+                    attempts += 1
+                    counters["retries"] += 1
+                    await asyncio.sleep(response.retry_after or 0.01)
+                    continue
+                break
+            if response.ok:
+                latencies_ms.append((time.perf_counter() - started) * 1e3)
+                counters["completed"] += 1
+            else:
+                counters["failures"] += 1
+    except (ConnectionError, OSError):
+        counters["failures"] += 1
+    finally:
+        try:
+            await client.close()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def run_load(
+    tenants: int = 1000,
+    requests: int = 4,
+    offers_per_tenant: int = 4,
+    backend: str = "reference",
+    transport: str = "memory",
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    workers: Optional[int] = None,
+    max_concurrency: Optional[int] = None,
+    max_pending: Optional[int] = None,
+    session_queue_depth: int = 8,
+    request_timeout_s: Optional[float] = 30.0,
+    access_log=None,
+) -> dict:
+    """Run the mixed-traffic load and return the latency/throughput summary.
+
+    When ``host``/``port`` are not given, a gateway is started in-process
+    with a session cap sized to the tenant count and ``max_pending``
+    defaulting to one waiting slot per tenant (bounded, closed-loop: each
+    tenant holds at most one request in flight, so the wait queue cannot
+    exceed the tenant count — anything above it is a saturation bug and
+    should 429).
+    """
+    latencies_ms: List[float] = []
+    counters = {"completed": 0, "failures": 0, "retries": 0}
+    external = host is not None and port is not None
+
+    gateway = None
+    server = None
+    if not external:
+        config = GatewayConfig(
+            max_sessions=max(tenants + 8, 16),
+            workers=workers,
+            max_concurrency=max_concurrency,
+            max_pending=tenants + 64 if max_pending is None else max_pending,
+            session_queue_depth=session_queue_depth,
+            request_timeout_s=request_timeout_s,
+            session_defaults=SessionConfig(backend=backend),
+            access_log=access_log,
+        )
+        if transport == "memory":
+            gateway = Gateway(config)
+        else:
+            server = await serve(config)
+            gateway = server.gateway
+            host, port = server.host, server.port
+
+    if transport == "memory":
+
+        async def client_factory():
+            return GatewayClient.in_process(gateway)
+
+    else:
+
+        async def client_factory():
+            return await GatewayClient.open_tcp(host, port)
+
+    started = time.perf_counter()
+    try:
+        await asyncio.gather(
+            *(
+                _drive_tenant(
+                    client_factory,
+                    index,
+                    requests,
+                    offers_per_tenant,
+                    backend,
+                    latencies_ms,
+                    counters,
+                )
+                for index in range(tenants)
+            )
+        )
+    finally:
+        elapsed = time.perf_counter() - started
+        gateway_stats = gateway.stats() if gateway is not None else {}
+        if server is not None:
+            await server.close()
+        elif gateway is not None:
+            gateway.close()
+
+    latencies_ms.sort()
+    return {
+        "tenants": tenants,
+        "requests_per_tenant": requests,
+        "transport": transport,
+        "backend": backend,
+        "completed": counters["completed"],
+        "failures": counters["failures"],
+        "retries_429": counters["retries"],
+        "elapsed_s": elapsed,
+        "rps": counters["completed"] / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": percentile(latencies_ms, 0.50),
+        "p95_ms": percentile(latencies_ms, 0.95),
+        "p99_ms": percentile(latencies_ms, 0.99),
+        "max_ms": latencies_ms[-1] if latencies_ms else float("nan"),
+        "gateway": gateway_stats,
+    }
+
+
+def format_summary(summary: dict) -> str:
+    """A human-readable one-screen report of one load run."""
+    lines = [
+        f"tenants            {summary['tenants']}",
+        f"transport          {summary['transport']} ({summary['backend']} backend)",
+        f"completed          {summary['completed']} "
+        f"({summary['failures']} failed, {summary['retries_429']} retried on 429)",
+        f"elapsed            {summary['elapsed_s']:.2f} s",
+        f"throughput         {summary['rps']:.0f} req/s",
+        f"latency p50        {summary['p50_ms']:.1f} ms",
+        f"latency p95        {summary['p95_ms']:.1f} ms",
+        f"latency p99        {summary['p99_ms']:.1f} ms",
+        f"latency max        {summary['max_ms']:.1f} ms",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Mixed-traffic load generator for the repro.server gateway"
+    )
+    parser.add_argument("--tenants", type=int, default=1000)
+    parser.add_argument(
+        "--requests", type=int, default=4, help="requests per tenant"
+    )
+    parser.add_argument("--offers", type=int, default=4, help="offers per tenant")
+    parser.add_argument(
+        "--backend", default="reference", help="per-tenant session backend"
+    )
+    parser.add_argument(
+        "--transport", choices=("memory", "tcp"), default="memory"
+    )
+    parser.add_argument("--host", default=None, help="external gateway host")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--max-concurrency", type=int, default=None)
+    parser.add_argument("--max-pending", type=int, default=None)
+    parser.add_argument("--access-log", default=None)
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    summary = asyncio.run(
+        run_load(
+            tenants=args.tenants,
+            requests=args.requests,
+            offers_per_tenant=args.offers,
+            backend=args.backend,
+            transport=args.transport,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_concurrency=args.max_concurrency,
+            max_pending=args.max_pending,
+            access_log=args.access_log,
+        )
+    )
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(format_summary(summary))
+    return 0 if summary["failures"] == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
