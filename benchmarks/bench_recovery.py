@@ -1,0 +1,161 @@
+"""PR 7 — crash recovery vs. full event replay.
+
+Durability exists so a restarted session does *not* pay O(history): the
+:class:`~repro.persist.SessionPersister` restores the newest snapshot
+(O(live population)) and replays only the WAL tail past its watermark.
+This benchmark builds a churn history (arrivals + expiries keeping a
+bounded live population), checkpoints shortly before the "crash", then
+measures
+
+* ``replay``   — a fresh engine applying the full event history, and
+* ``recover``  — snapshot restore + WAL-tail replay of the same state,
+
+asserting bit-identical results and a >= 10x recovery speedup at the
+100k-event acceptance scale.  Recovery cost tracks ``live + tail``, not
+``history``, so the gap *widens* with longer histories.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import FlexOffer
+from repro.persist import SessionPersister
+from repro.stream import OfferArrived, OfferExpired, StreamingEngine
+
+try:
+    from conftest import report
+except ImportError:  # pragma: no cover - loaded by path (bench_to_json)
+
+    def report(title: str, lines) -> None:
+        """Plain-stdout stand-in when pytest's conftest is not importable."""
+        print(f"\n=== {title} ===")
+        for line in lines:
+            print(f"  {line}")
+
+#: Cheap per-offer measures so event application is not the bottleneck.
+MEASURES = ["time", "energy", "vector"]
+
+#: (total events in the history, live population held, WAL tail after the
+#: last checkpoint)
+SCALES = [
+    (10_000, 1_000, 64),
+    (100_000, 2_000, 64),
+]
+
+
+def synthetic_offer(rng: random.Random, index: int) -> FlexOffer:
+    earliest = rng.randrange(0, 96)
+    slices = []
+    for _ in range(rng.randint(1, 4)):
+        low = rng.randint(0, 3)
+        slices.append((low, low + rng.randint(0, 3)))
+    return FlexOffer(earliest, earliest + rng.randrange(0, 8), slices,
+                     name=f"syn-{index}")
+
+
+def churn_history(total_events: int, live_size: int, seed: int = 0) -> list:
+    """``total_events`` arrivals/expiries holding ~``live_size`` offers live."""
+    rng = random.Random(seed)
+    events: list = []
+    for index in range(live_size):
+        events.append(OfferArrived(f"o{index}", synthetic_offer(rng, index)))
+    oldest = 0
+    index = live_size
+    while len(events) < total_events:
+        events.append(OfferExpired(f"o{oldest}"))
+        oldest += 1
+        if len(events) < total_events:
+            events.append(OfferArrived(f"o{index}", synthetic_offer(rng, index)))
+            index += 1
+    return events
+
+
+def run_scale(total_events: int, live_size: int, tail_events: int) -> dict:
+    events = churn_history(total_events, live_size)
+    checkpoint_at = len(events) - tail_events
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "session"
+        persister = SessionPersister(directory, fsync=False)
+        engine = StreamingEngine(measures=MEASURES)
+        for position, event in enumerate(events):
+            engine.apply(event)
+            persister.log_event(event)
+            if position + 1 == checkpoint_at:
+                persister.checkpoint(engine)
+        persister.commit()
+        persister.wal.close()  # the crash: no final checkpoint
+        reference = json.dumps(engine.export_state(), sort_keys=True)
+
+        # --- full replay baseline -------------------------------------- #
+        start = time.perf_counter()
+        replayed = StreamingEngine(measures=MEASURES)
+        for event in events:
+            replayed.apply(event)
+        replay_seconds = time.perf_counter() - start
+        assert json.dumps(replayed.export_state(), sort_keys=True) == reference
+
+        # --- snapshot + tail recovery ---------------------------------- #
+        start = time.perf_counter()
+        recovering = SessionPersister(directory, fsync=False)
+        recovered = StreamingEngine(measures=MEASURES)
+        stats, _ = recovering.recover(recovered)
+        recovery_seconds = time.perf_counter() - start
+        recovering.close()
+        assert json.dumps(recovered.export_state(), sort_keys=True) == reference
+        assert stats.replayed == tail_events
+
+    return {
+        "events": total_events,
+        "live": live_size,
+        "tail": tail_events,
+        "replay_seconds": round(replay_seconds, 4),
+        "recovery_seconds": round(recovery_seconds, 4),
+        "speedup": round(replay_seconds / recovery_seconds, 1),
+    }
+
+
+def bench_records(gate_scale: bool = False) -> list[dict]:
+    """Machine-readable records for ``tools/bench_to_json.py``."""
+    scales = [SCALES[1]] if gate_scale else [SCALES[0]]
+    records = []
+    for total_events, live_size, tail_events in scales:
+        results = run_scale(total_events, live_size, tail_events)
+        records.append(
+            {
+                "name": f"recovery_{total_events}",
+                "scale": total_events,
+                "replay_seconds": results["replay_seconds"],
+                "recovery_seconds": results["recovery_seconds"],
+                "speedup": results["speedup"],
+            }
+        )
+    return records
+
+
+@pytest.mark.parametrize(
+    "total_events,live_size,tail_events", SCALES, ids=lambda value: str(value)
+)
+def test_recovery_speedup(total_events, live_size, tail_events):
+    results = run_scale(total_events, live_size, tail_events)
+
+    report(f"Snapshot+tail recovery vs full replay ({total_events} events)", [
+        f"full replay : {results['replay_seconds']:>8.3f} s",
+        f"recovery    : {results['recovery_seconds']:>8.3f} s",
+        f"speedup     : {results['speedup']:.0f}x",
+    ])
+    print(json.dumps(results, indent=2))
+
+    # The acceptance gate: recovery must beat full replay by >= 10x at the
+    # 100k-event scale (and already decisively below it).
+    if total_events >= 100_000:
+        assert results["speedup"] >= 10
+    else:
+        assert results["speedup"] > 2

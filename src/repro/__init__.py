@@ -30,8 +30,13 @@ from .backend import (
     NUMPY_AVAILABLE,
     available_backends,
     get_backend,
-    set_default_backend,
     use_backend,
+)
+from .persist import (
+    RecoveryStats,
+    SessionPersister,
+    SnapshotStore,
+    WriteAheadLog,
 )
 from .core import (
     Assignment,
@@ -110,10 +115,9 @@ from .stream import (
     StreamingEngine,
     Tick,
     population_events,
-    replay_population,
 )
 
-__version__ = "1.2.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "__version__",
@@ -142,8 +146,12 @@ __all__ = [
     "NUMPY_AVAILABLE",
     "available_backends",
     "get_backend",
-    "set_default_backend",
     "use_backend",
+    # durability
+    "SessionPersister",
+    "RecoveryStats",
+    "WriteAheadLog",
+    "SnapshotStore",
     # core model
     "TimeSeries",
     "EnergySlice",
@@ -197,5 +205,4 @@ __all__ = [
     "OfferAssigned",
     "Tick",
     "population_events",
-    "replay_population",
 ]

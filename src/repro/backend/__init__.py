@@ -4,8 +4,8 @@ The paper's measures, aggregates and assignment computations are all
 per-slice arithmetic over ``[amin, amax]`` ranges — exactly the shape NumPy
 vectorizes.  This package provides
 
-* a small dispatch API — :func:`get_backend`, :func:`use_backend`,
-  :func:`set_default_backend`, the ``REPRO_BACKEND`` environment variable —
+* a small dispatch API — :func:`get_backend`, :func:`use_backend`, the
+  ``REPRO_BACKEND`` environment variable —
   behind which bulk callers (``evaluate_set``, ``aggregate_start_aligned``,
   the batch assignment helpers, the streaming engine's bulk ingestion)
   select an implementation;
@@ -37,7 +37,6 @@ from .dispatch import (
     available_backends,
     get_backend,
     register_backend,
-    set_default_backend,
     use_backend,
 )
 from .reference import ReferenceBackend
@@ -82,6 +81,5 @@ __all__ = [
     "get_backend",
     "matrix_cache",
     "register_backend",
-    "set_default_backend",
     "use_backend",
 ]

@@ -14,21 +14,16 @@ per-object Python code (``reference``) or with packed NumPy arrays
    session façade routes its privately configured backends this way),
 2. the backend activated by the innermost :func:`use_backend` context
    (a registered name or, again, an unregistered instance),
-3. the calling thread's default (set via the deprecated
-   :func:`set_default_backend` shim),
-4. the process-wide default fallback,
-5. the ``REPRO_BACKEND`` environment variable,
-6. the ``reference`` backend.
+3. the ``REPRO_BACKEND`` environment variable,
+4. the ``reference`` backend.
 
-Steps 3–4 were a single process-global before PR 5.  That global was a
-latent race under the sharded backend's thread pool: a worker thread
-resolving ``get_backend()`` mid-operation could observe another thread's
-freshly mutated default — in the worst case resolving *the sharded backend
-itself* inside one of its own workers.  The default is therefore
-thread-local with a process-wide fallback, so concurrent sessions (or
-tests) configuring different defaults can never leak into each other's
-worker threads.  New code should prefer :class:`repro.service.FlexSession`
-/ :func:`use_backend` over defaults entirely.
+There is deliberately no mutable process default: the pre-PR-5
+``set_default_backend`` global (removed in v2.0) was a latent race under
+the sharded backend's thread pool — a worker thread resolving
+``get_backend()`` mid-operation could observe another thread's freshly
+mutated default, in the worst case resolving *the sharded backend itself*
+inside one of its own workers.  Scope a backend with
+:class:`repro.service.FlexSession` or :func:`use_backend` instead.
 
 Every backend must be *observationally equivalent* to the reference backend:
 identical values on integer paths, identical within 1e-9 on float paths, and
@@ -41,7 +36,6 @@ from __future__ import annotations
 
 import abc
 import os
-import threading
 from collections.abc import Sequence
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -59,7 +53,6 @@ __all__ = [
     "register_backend",
     "available_backends",
     "get_backend",
-    "set_default_backend",
     "use_backend",
     "ENV_VAR",
 ]
@@ -314,10 +307,6 @@ BackendSpec = Union[str, ComputeBackend]
 
 _REGISTRY: dict[str, ComputeBackend] = {}
 _bootstrapped = False
-#: Process-wide default fallback (threads that never set their own).
-_process_default: Optional[str] = None
-#: Per-thread default name; worker threads never inherit another thread's.
-_thread_default = threading.local()
 _active: ContextVar[Optional[BackendSpec]] = ContextVar(
     "repro_backend", default=None
 )
@@ -378,12 +367,10 @@ def _resolve(selection: Optional[BackendSpec]) -> ComputeBackend:
     _ensure_registered()
     if selection is None:
         selection = _active.get()
-    if selection is None:
-        selection = getattr(_thread_default, "name", None)
     resolved = (
         selection
         if selection is not None
-        else (_process_default or os.environ.get(ENV_VAR) or "reference")
+        else (os.environ.get(ENV_VAR) or "reference")
     )
     if isinstance(resolved, ComputeBackend):
         return resolved
@@ -406,35 +393,6 @@ def get_backend(selection: Optional[BackendSpec] = None) -> ComputeBackend:
     active backend.
     """
     return _resolve(selection)
-
-
-def set_default_backend(name: Optional[str], process_wide: bool = False) -> None:
-    """Deprecated shim: set (or with ``None`` clear) the default backend.
-
-    .. deprecated:: 1.1
-        Configure a :class:`repro.service.FlexSession` (whose
-        :class:`~repro.service.SessionConfig` scopes the backend to the
-        session) or use the :func:`use_backend` context instead.
-
-    The default now lives in the *calling thread*, with an optional
-    ``process_wide`` fallback for threads that never set their own — the
-    pre-PR-5 process-global default let one thread's mutation leak into
-    the sharded backend's worker threads mid-operation.
-    """
-    from .._deprecation import warn_deprecated
-
-    warn_deprecated(
-        "set_default_backend() is deprecated; configure a "
-        "repro.service.FlexSession (session-scoped backend) or use the "
-        "use_backend() context instead",
-    )
-    if name is not None:
-        _resolve(name)  # validate eagerly so misconfiguration fails here
-    if process_wide:
-        global _process_default
-        _process_default = name
-    else:
-        _thread_default.name = name
 
 
 @contextmanager

@@ -10,11 +10,19 @@ PR 5 extends the format to the service layer: stream events, every
 tagged dictionaries (``{"kind": ..., ...}``), so a remote client can POST
 a request body at a :class:`~repro.service.FlexSession` host and log the
 typed responses.
+
+Numeric fields are *strict JSON*: non-finite floats are encoded as the
+string sentinels ``"inf"`` / ``"-inf"`` / ``"nan"``
+(:func:`float_to_wire` / :func:`float_from_wire`), and every dump in this
+module passes ``allow_nan=False`` — the payloads double as the write-ahead
+log records of :mod:`repro.persist`, so an unparseable document would not
+just break a client, it would break recovery.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from collections.abc import Iterable, Sequence
 from typing import Any
 
@@ -26,6 +34,9 @@ from ..core.timeseries import TimeSeries
 from ..scheduling.base import Schedule
 
 __all__ = [
+    "float_to_wire",
+    "float_from_wire",
+    "wire_safe",
     "flexoffer_to_dict",
     "flexoffer_from_dict",
     "flexoffers_to_json",
@@ -45,6 +56,61 @@ __all__ = [
     "error_to_dict",
     "error_from_dict",
 ]
+
+
+def float_to_wire(value: Any) -> Any:
+    """Encode one numeric field for the wire.
+
+    Finite numbers (and non-floats) pass through untouched — an ``int``
+    stays an ``int``, so exactness bookkeeping survives a round trip.
+    Non-finite floats become the string sentinels ``"inf"`` / ``"-inf"`` /
+    ``"nan"`` (the spelling :class:`float` itself parses), mirroring the
+    budget convention the trade request has always used: ``json.dumps``
+    with ``allow_nan=True`` would emit ``Infinity``/``NaN``, which is not
+    JSON and which strict parsers (and any non-Python gateway client)
+    reject.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "nan"
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def float_from_wire(value: Any) -> Any:
+    """Decode one numeric field: the inverse of :func:`float_to_wire`.
+
+    Sentinel strings parse back into non-finite floats; numbers pass
+    through unchanged (an ``int`` stays an ``int``).  Raises
+    :class:`SerializationError` on a non-numeric string.
+    """
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError as error:
+            raise SerializationError(
+                f"not a numeric wire value: {value!r}"
+            ) from error
+    return value
+
+
+def wire_safe(payload: Any) -> Any:
+    """A deep copy of ``payload`` with non-finite floats sentinel-encoded.
+
+    The safety net for free-form JSON documents (gateway health blocks,
+    session stats) that embed library-computed floats: every ``float`` at
+    any nesting depth goes through :func:`float_to_wire`, so the result
+    always survives ``json.dumps(..., allow_nan=False)``.  Typed payloads
+    built by the ``*_to_dict`` serialisers already encode their numeric
+    fields and do not need this pass.
+    """
+    if isinstance(payload, float):
+        return float_to_wire(payload)
+    if isinstance(payload, dict):
+        return {key: wire_safe(value) for key, value in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [wire_safe(item) for item in payload]
+    return payload
 
 
 def flexoffer_to_dict(flex_offer: FlexOffer) -> dict[str, Any]:
@@ -80,7 +146,11 @@ def flexoffer_from_dict(payload: dict[str, Any]) -> FlexOffer:
 
 def flexoffers_to_json(flex_offers: Iterable[FlexOffer], indent: int = 2) -> str:
     """Serialise many flex-offers into a JSON array string."""
-    return json.dumps([flexoffer_to_dict(f) for f in flex_offers], indent=indent)
+    return json.dumps(
+        [flexoffer_to_dict(f) for f in flex_offers],
+        indent=indent,
+        allow_nan=False,
+    )
 
 
 def flexoffers_from_json(text: str) -> list[FlexOffer]:
@@ -96,13 +166,19 @@ def flexoffers_from_json(text: str) -> list[FlexOffer]:
 
 def timeseries_to_dict(series: TimeSeries) -> dict[str, Any]:
     """A JSON-ready dictionary for a time series."""
-    return {"start": series.start, "values": list(series.values)}
+    return {
+        "start": series.start,
+        "values": [float_to_wire(value) for value in series.values],
+    }
 
 
 def timeseries_from_dict(payload: dict[str, Any]) -> TimeSeries:
     """Rebuild a time series from its dictionary form."""
     try:
-        return TimeSeries(int(payload["start"]), tuple(payload["values"]))
+        return TimeSeries(
+            int(payload["start"]),
+            tuple(float_from_wire(value) for value in payload["values"]),
+        )
     except (KeyError, TypeError, ValueError) as error:
         raise SerializationError(f"malformed time-series payload: {error}") from error
 
@@ -112,7 +188,7 @@ def assignment_to_dict(assignment: Assignment) -> dict[str, Any]:
     return {
         "flex_offer": flexoffer_to_dict(assignment.flex_offer),
         "start_time": assignment.start_time,
-        "values": list(assignment.values),
+        "values": [float_to_wire(value) for value in assignment.values],
     }
 
 
@@ -120,7 +196,11 @@ def assignment_from_dict(payload: dict[str, Any]) -> Assignment:
     """Rebuild an assignment (and its flex-offer) from its dictionary form."""
     try:
         flex_offer = flexoffer_from_dict(payload["flex_offer"])
-        return Assignment(flex_offer, int(payload["start_time"]), tuple(payload["values"]))
+        return Assignment(
+            flex_offer,
+            int(payload["start_time"]),
+            tuple(float_from_wire(value) for value in payload["values"]),
+        )
     except (KeyError, TypeError, ValueError) as error:
         raise SerializationError(f"malformed assignment payload: {error}") from error
 
@@ -163,7 +243,7 @@ def event_to_dict(event) -> dict[str, Any]:
             "kind": "assigned",
             "offer_id": event.offer_id,
             "start_time": event.start_time,
-            "price": event.price,
+            "price": float_to_wire(event.price),
         }
     if isinstance(event, Tick):
         return {"kind": "tick", "time": event.time}
@@ -186,7 +266,7 @@ def event_from_dict(payload: dict[str, Any]):
             return OfferAssigned(
                 payload["offer_id"],
                 start_time=payload.get("start_time"),
-                price=payload.get("price"),
+                price=float_from_wire(payload.get("price")),
             )
         if kind == "tick":
             return Tick(int(payload["time"]))
@@ -290,9 +370,9 @@ def request_to_dict(request) -> dict[str, Any]:
                 else [_lot_to_dict(lot) for lot in request.lots]
             ),
             "measure": request.measure,
-            "energy_price": request.energy_price,
-            "premium_per_unit": request.premium_per_unit,
-            "budget": "inf" if request.budget == float("inf") else request.budget,
+            "energy_price": float_to_wire(request.energy_price),
+            "premium_per_unit": float_to_wire(request.premium_per_unit),
+            "budget": float_to_wire(request.budget),
         }
     if isinstance(request, StreamRequest):
         return {
@@ -353,9 +433,11 @@ def request_from_dict(payload: dict[str, Any]):
                     else tuple(_lot_from_dict(item) for item in lots)
                 ),
                 measure=payload.get("measure", "vector"),
-                energy_price=payload.get("energy_price", 30.0),
-                premium_per_unit=payload.get("premium_per_unit", 2.0),
-                budget=float("inf") if budget == "inf" else float(budget),
+                energy_price=float_from_wire(payload.get("energy_price", 30.0)),
+                premium_per_unit=float_from_wire(
+                    payload.get("premium_per_unit", 2.0)
+                ),
+                budget=float(float_from_wire(budget)),
             )
         if kind == "stream":
             return StreamRequest(
@@ -401,8 +483,8 @@ def _stats_from_dict(payload: dict[str, Any]):
 def _bid_to_dict(bid) -> dict[str, Any]:
     return {
         "flex_offer": flexoffer_to_dict(bid.flex_offer),
-        "energy_price": bid.energy_price,
-        "flexibility_premium": bid.flexibility_premium,
+        "energy_price": float_to_wire(bid.energy_price),
+        "flexibility_premium": float_to_wire(bid.flexibility_premium),
     }
 
 
@@ -411,8 +493,10 @@ def _bid_from_dict(payload: dict[str, Any]):
 
     return Bid(
         flexoffer_from_dict(payload["flex_offer"]),
-        energy_price=float(payload["energy_price"]),
-        flexibility_premium=float(payload["flexibility_premium"]),
+        energy_price=float(float_from_wire(payload["energy_price"])),
+        flexibility_premium=float(
+            float_from_wire(payload["flexibility_premium"])
+        ),
     )
 
 
@@ -436,7 +520,10 @@ def result_to_dict(result) -> dict[str, Any]:
             "kind": "evaluate",
             "report": {
                 "size": result.report.size,
-                "values": dict(result.report.values),
+                "values": {
+                    key: float_to_wire(value)
+                    for key, value in result.report.values.items()
+                },
                 "skipped": list(result.report.skipped),
             },
             "stats": _stats_to_dict(result.stats),
@@ -455,7 +542,7 @@ def result_to_dict(result) -> dict[str, Any]:
         return {
             "kind": "schedule",
             "schedule": schedule_to_dict(result.schedule),
-            "objective_value": result.objective_value,
+            "objective_value": float_to_wire(result.objective_value),
             "scheduler": result.scheduler,
             "stats": _stats_to_dict(result.stats),
         }
@@ -464,7 +551,7 @@ def result_to_dict(result) -> dict[str, Any]:
             "kind": "trade",
             "accepted": [_bid_to_dict(bid) for bid in result.accepted],
             "rejected": [_bid_to_dict(bid) for bid in result.rejected],
-            "revenue": result.revenue,
+            "revenue": float_to_wire(result.revenue),
             "stats": _stats_to_dict(result.stats),
         }
     if isinstance(result, StreamResult):
@@ -473,7 +560,10 @@ def result_to_dict(result) -> dict[str, Any]:
             "applied": result.applied,
             "live": result.live,
             "time": result.time,
-            "engine_stats": dict(result.engine_stats),
+            "engine_stats": {
+                key: float_to_wire(value)
+                for key, value in result.engine_stats.items()
+            },
             "stats": _stats_to_dict(result.stats),
         }
     raise SerializationError(f"not a serialisable service result: {result!r}")
@@ -498,7 +588,10 @@ def result_from_dict(payload: dict[str, Any]):
             return EvaluateResult(
                 report=FlexibilitySetReport(
                     int(report["size"]),
-                    dict(report["values"]),
+                    {
+                        key: float_from_wire(value)
+                        for key, value in report["values"].items()
+                    },
                     tuple(report["skipped"]),
                 ),
                 stats=stats,
@@ -517,7 +610,7 @@ def result_from_dict(payload: dict[str, Any]):
         if kind == "schedule":
             return ScheduleResult(
                 schedule=schedule_from_dict(payload["schedule"]),
-                objective_value=float(payload["objective_value"]),
+                objective_value=float(float_from_wire(payload["objective_value"])),
                 scheduler=payload["scheduler"],
                 stats=stats,
             )
@@ -525,7 +618,7 @@ def result_from_dict(payload: dict[str, Any]):
             return TradeResult(
                 accepted=tuple(_bid_from_dict(item) for item in payload["accepted"]),
                 rejected=tuple(_bid_from_dict(item) for item in payload["rejected"]),
-                revenue=float(payload["revenue"]),
+                revenue=float(float_from_wire(payload["revenue"])),
                 stats=stats,
             )
         if kind == "stream":
@@ -534,7 +627,10 @@ def result_from_dict(payload: dict[str, Any]):
                 live=int(payload["live"]),
                 time=payload["time"],
                 stats=stats,
-                engine_stats=dict(payload.get("engine_stats", {})),
+                engine_stats={
+                    key: float_from_wire(value)
+                    for key, value in payload.get("engine_stats", {}).items()
+                },
             )
     except (KeyError, TypeError, ValueError) as error:
         raise SerializationError(f"malformed result payload: {error}") from error

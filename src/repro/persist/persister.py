@@ -1,0 +1,280 @@
+"""The per-session durability coordinator: WAL + snapshots + recovery.
+
+:class:`SessionPersister` owns one session directory::
+
+    <persist_dir>/
+        config.json            # the SessionConfig that built the session
+        snapshot-<seq>.json    # versioned engine-state checkpoints
+        wal-<seq>.log          # CRC-framed event segments
+
+The write path is *log-after-apply*: the session applies an event to the
+engine, appends its :func:`repro.io.event_to_dict` record, and commits
+(flush + fsync) once per request — so the WAL only ever contains events
+that actually mutated the engine, and a mid-batch failure cannot make the
+log diverge from the state.  The read path is *snapshot + tail replay*:
+recovery restores the newest valid snapshot and replays only the WAL
+records past its watermark, O(snapshot + tail) instead of O(history).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Tuple, Union
+
+from ..io.serialization import event_from_dict, event_to_dict
+from .snapshot import SnapshotStore
+from .wal import PersistError, WriteAheadLog
+
+__all__ = [
+    "RecoveryStats",
+    "SessionPersister",
+    "load_config",
+    "save_config",
+]
+
+_CONFIG_FILE = "config.json"
+
+
+def save_config(directory: Union[str, Path], payload: dict) -> Path:
+    """Atomically write the session's ``config.json`` (once per directory).
+
+    An existing file is left untouched: the config that *created* the
+    persisted state is the one recovery must rebuild the session with.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / _CONFIG_FILE
+    if path.exists():
+        return path
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, allow_nan=False)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def load_config(directory: Union[str, Path]) -> Optional[dict]:
+    """The persisted ``config.json`` payload, or ``None`` when absent/bad."""
+    path = Path(directory) / _CONFIG_FILE
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """What one recovery did: where it started and how much it replayed."""
+
+    #: WAL watermark of the snapshot recovery started from (0 = none).
+    snapshot_seq: int
+    #: Live offers restored straight from the snapshot.
+    restored: int
+    #: WAL tail events replayed on top of the snapshot.
+    replayed: int
+    #: Wall-clock seconds the recovery took.
+    duration_s: float
+
+    def as_dict(self) -> dict:
+        """A JSON-ready copy for health blocks."""
+        return {
+            "snapshot_seq": self.snapshot_seq,
+            "restored": self.restored,
+            "replayed": self.replayed,
+            "duration_s": self.duration_s,
+        }
+
+
+class SessionPersister:
+    """Durability for one session: event logging, checkpoints, recovery.
+
+    Parameters
+    ----------
+    directory:
+        The session's persistence directory (created if missing).
+    fsync:
+        Whether WAL commits and snapshot writes fsync.
+    checkpoint_events:
+        WAL records accumulated since the last snapshot that trigger an
+        automatic checkpoint at the next :meth:`maybe_checkpoint`.
+    checkpoint_age_s:
+        Optional wall-clock age of the last snapshot that triggers one,
+        for quiet sessions trickling single events.
+    keep_snapshots:
+        Snapshots retained (see :class:`~repro.persist.SnapshotStore`).
+    clock:
+        Monotonic time source (injectable for the age-policy tests).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        fsync: bool = True,
+        checkpoint_events: int = 1024,
+        checkpoint_age_s: Optional[float] = None,
+        keep_snapshots: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if checkpoint_events < 1:
+            raise PersistError(
+                f"checkpoint_events must be >= 1, got {checkpoint_events}"
+            )
+        if checkpoint_age_s is not None and checkpoint_age_s <= 0:
+            raise PersistError(
+                f"checkpoint_age_s must be positive, got {checkpoint_age_s}"
+            )
+        self.directory = Path(directory)
+        self.checkpoint_events = checkpoint_events
+        self.checkpoint_age_s = checkpoint_age_s
+        self._clock = clock
+        self.wal = WriteAheadLog(self.directory, fsync=fsync)
+        self.snapshots = SnapshotStore(
+            self.directory, keep=keep_snapshots, fsync=fsync
+        )
+        latest = self.snapshots.paths()
+        self._snapshot_seq = latest[-1][0] if latest else 0
+        self._snapshot_at = clock()
+        self.checkpoints = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+    def log_event(self, event) -> int:
+        """Append one *applied* event; durable at the next :meth:`commit`."""
+        return self.wal.append({"event": event_to_dict(event)})
+
+    def commit(self) -> None:
+        """The request-level commit point (flush + configured fsync)."""
+        self.wal.commit()
+
+    def checkpoint(self, engine, extra: Optional[dict] = None) -> dict:
+        """Snapshot the engine now; rotate and prune the WAL behind it.
+
+        ``extra`` rides along under the state's ``"session"`` key (the
+        service layer stores its request counter there).  Returns a
+        JSON-ready summary block.
+        """
+        if self._closed:
+            raise PersistError("the persister is closed")
+        started = self._clock()
+        self.commit()
+        seq = self.wal.last_seq
+        state = engine.export_state()
+        if extra:
+            state["session"] = dict(extra)
+        self.snapshots.write(seq, state)
+        self.wal.rotate()
+        self.wal.prune(seq)
+        self._snapshot_seq = seq
+        self._snapshot_at = self._clock()
+        self.checkpoints += 1
+        return {
+            "snapshot_seq": seq,
+            "live": len(state["live"]),
+            "duration_s": self._clock() - started,
+        }
+
+    def maybe_checkpoint(self, engine, extra: Optional[dict] = None) -> Optional[dict]:
+        """Checkpoint when the size or age policy says so; else ``None``."""
+        pending = self.wal.last_seq - self._snapshot_seq
+        if pending <= 0:
+            return None
+        if pending >= self.checkpoint_events or (
+            self.checkpoint_age_s is not None
+            and self._clock() - self._snapshot_at >= self.checkpoint_age_s
+        ):
+            return self.checkpoint(engine, extra)
+        return None
+
+    def close(self, engine=None, extra: Optional[dict] = None) -> None:
+        """Final checkpoint (when dirty and an engine is given) and shutdown.
+
+        This is what makes registry eviction *checkpoint-then-close*: any
+        WAL tail past the last snapshot is folded into a final snapshot so
+        a later lazy recovery answers from state, not from a long replay.
+        Idempotent.
+        """
+        if self._closed:
+            return
+        if engine is not None and self.dirty:
+            self.checkpoint(engine, extra)
+        self._closed = True
+        self.wal.close()
+
+    @property
+    def dirty(self) -> bool:
+        """Whether events were logged past the last snapshot."""
+        return self.wal.last_seq > self._snapshot_seq
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+    def has_state(self) -> bool:
+        """Whether the directory holds anything to recover."""
+        return bool(self.snapshots.paths()) or self.wal.last_seq > 0
+
+    def recover(self, engine) -> Tuple[RecoveryStats, dict]:
+        """Rebuild a pristine engine: newest valid snapshot + WAL tail.
+
+        Returns ``(stats, session_extra)`` where ``session_extra`` is the
+        dictionary :meth:`checkpoint` stored under ``"session"``.  Tail
+        replay is strictly sequential: it stops at the first gap in the
+        sequence numbers (a mid-log corruption makes everything after it
+        unreachable — replaying across the hole could apply events to the
+        wrong state), and torn final records were already truncated when
+        the WAL opened.
+        """
+        started = self._clock()
+        snapshot_seq = 0
+        restored = 0
+        extra: dict = {}
+        latest = self.snapshots.latest()
+        if latest is not None:
+            snapshot_seq, state = latest
+            engine.restore_state(state)
+            restored = len(state.get("live", ()))
+            session_extra = state.get("session")
+            if isinstance(session_extra, dict):
+                extra = session_extra
+        replayed = 0
+        expected = snapshot_seq + 1
+        for record in self.wal.records(after_seq=snapshot_seq):
+            if record.seq != expected:
+                break
+            engine.apply(event_from_dict(record.payload["event"]))
+            expected += 1
+            replayed += 1
+        self._snapshot_seq = snapshot_seq
+        stats = RecoveryStats(
+            snapshot_seq=snapshot_seq,
+            restored=restored,
+            replayed=replayed,
+            duration_s=self._clock() - started,
+        )
+        return stats, extra
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Counters for the session health block."""
+        return {
+            "directory": str(self.directory),
+            "snapshot_seq": self._snapshot_seq,
+            "snapshots": len(self.snapshots.paths()),
+            "checkpoints": self.checkpoints,
+            "pending": self.wal.last_seq - self._snapshot_seq,
+            **self.wal.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SessionPersister({self.directory})"

@@ -1,0 +1,148 @@
+"""Versioned, atomically written, corruption-tolerant state snapshots.
+
+A snapshot file (``snapshot-<wal_seq>.json``) captures a full
+:meth:`~repro.stream.StreamingEngine.export_state` document together with
+the write-ahead-log sequence number it covers, a format version and a
+CRC-32 over the canonical state encoding.  Writes go through a temp file
++ ``fsync`` + ``os.replace`` so a crash mid-checkpoint leaves either the
+old snapshot or the new one, never a half-written file; reads walk the
+retained snapshots newest-first and silently skip any that fail the
+format, CRC or JSON checks, so one corrupted file degrades recovery to
+the previous checkpoint instead of failing it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+__all__ = ["SnapshotStore"]
+
+#: Bumped when the state document's shape changes incompatibly.
+FORMAT_VERSION = 1
+
+_SNAPSHOT_FORMAT = "snapshot-{seq:012d}.json"
+_SNAPSHOT_PREFIX = "snapshot-"
+_SNAPSHOT_SUFFIX = ".json"
+
+
+def _canonical(state: dict) -> bytes:
+    """The byte string the snapshot CRC is computed over."""
+    return json.dumps(
+        state, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+class SnapshotStore:
+    """The retained snapshot files of one persisted session directory.
+
+    Parameters
+    ----------
+    directory:
+        Where the ``snapshot-*.json`` files live (created if missing).
+    keep:
+        Snapshots retained after a write; older ones are pruned.  Keeping
+        more than one is what makes a corrupted newest snapshot a
+        degradation (recover from the previous one plus a longer WAL
+        tail) rather than a data loss.
+    fsync:
+        Whether writes fsync the temp file before the atomic rename.
+    """
+
+    def __init__(
+        self, directory: Union[str, Path], keep: int = 2, fsync: bool = True
+    ) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.fsync = fsync
+        self.written = 0
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def write(self, seq: int, state: dict) -> Path:
+        """Durably write the snapshot covering WAL records ``<= seq``."""
+        path = self.directory / _SNAPSHOT_FORMAT.format(seq=seq)
+        document = {
+            "format": FORMAT_VERSION,
+            "seq": seq,
+            "crc": zlib.crc32(_canonical(state)),
+            "state": state,
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, allow_nan=False)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self.written += 1
+        self.prune()
+        return path
+
+    def prune(self) -> List[Path]:
+        """Drop all but the ``keep`` newest snapshots; returns the removals."""
+        paths = self.paths()
+        removed = []
+        for _, path in paths[: max(0, len(paths) - self.keep)]:
+            path.unlink()
+            removed.append(path)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def paths(self) -> List[Tuple[int, Path]]:
+        """``(seq, path)`` of every snapshot file, oldest first."""
+        found = []
+        for path in self.directory.iterdir():
+            name = path.name
+            if not (
+                name.startswith(_SNAPSHOT_PREFIX)
+                and name.endswith(_SNAPSHOT_SUFFIX)
+            ):
+                continue
+            try:
+                seq = int(name[len(_SNAPSHOT_PREFIX) : -len(_SNAPSHOT_SUFFIX)])
+            except ValueError:
+                continue
+            found.append((seq, path))
+        return sorted(found)
+
+    def latest(self) -> Optional[Tuple[int, dict]]:
+        """The newest *valid* snapshot as ``(seq, state)``, else ``None``.
+
+        Walks newest-first; a snapshot failing the JSON parse, format
+        version, sequence or CRC checks is skipped — falling back to an
+        older checkpoint is always correct because the WAL replays the
+        difference.
+        """
+        for seq, path in reversed(self.paths()):
+            state = self._load(seq, path)
+            if state is not None:
+                return seq, state
+        return None
+
+    def _load(self, seq: int, path: Path) -> Optional[dict]:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+            if document.get("format") != FORMAT_VERSION:
+                return None
+            if int(document["seq"]) != seq:
+                return None
+            state = document["state"]
+            if zlib.crc32(_canonical(state)) != int(document["crc"]):
+                return None
+            return state
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SnapshotStore({self.directory}, keep={self.keep})"

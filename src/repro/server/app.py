@@ -37,7 +37,15 @@ PUT    ``/sessions/{name}``             Create a tenant (optional config body)
 GET    ``/sessions/{name}``             One tenant's stats block
 DELETE ``/sessions/{name}``             Evict (close) a tenant
 POST   ``/sessions/{name}/requests``    Serve one service request
+POST   ``/sessions/{name}/checkpoint``  Snapshot a durable tenant now
 ====== ================================ =======================================
+
+With ``persist_root`` configured every tenant is durable: stream events
+hit a per-tenant write-ahead log, eviction checkpoints before closing,
+and a request for a tenant that is not live but left persisted state
+lazily recovers it — restart the gateway on the same ``persist_root``
+and tenants simply come back, paying a snapshot-plus-tail replay on
+their first request instead of a cold start.
 """
 
 from __future__ import annotations
@@ -52,7 +60,12 @@ from typing import Any, Optional, Union
 
 from ..core.errors import FlexError, SerializationError
 from ..io.csv_io import RequestStatsLog
-from ..io.serialization import error_to_dict, request_from_dict, result_to_dict
+from ..io.serialization import (
+    error_to_dict,
+    request_from_dict,
+    result_to_dict,
+    wire_safe,
+)
 from ..service.config import ServiceError, SessionConfig
 from .limits import (
     BadRequestError,
@@ -113,6 +126,10 @@ class GatewayConfig:
     session_defaults:
         :class:`~repro.service.SessionConfig` for tenants created without
         an explicit config.
+    persist_root:
+        Directory under which each tenant persists (WAL + snapshots) as
+        ``<persist_root>/<name>``; enables lazy recovery after restarts.
+        ``None`` (the default) keeps every session in-memory only.
     access_log:
         Path or open text handle receiving one CSV
         :class:`~repro.service.RequestStats` row per served request
@@ -133,6 +150,7 @@ class GatewayConfig:
     workers: Optional[int] = None
     session_defaults: Optional[SessionConfig] = None
     access_log: Optional[Union[str, Path, Any]] = None
+    persist_root: Optional[str] = None
 
     def __post_init__(self) -> None:
         import os
@@ -153,6 +171,10 @@ class GatewayConfig:
             raise ValueError(
                 f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
             )
+        if self.persist_root is not None and not isinstance(
+            self.persist_root, str
+        ):
+            object.__setattr__(self, "persist_root", str(self.persist_root))
 
 
 @dataclass(frozen=True)
@@ -164,8 +186,14 @@ class Response:
     retry_after: Optional[float] = None
 
     def encode(self, close: bool = False) -> bytes:
-        """The full HTTP/1.1 response bytes for this payload."""
-        body = json.dumps(self.payload).encode("utf-8")
+        """The full HTTP/1.1 response bytes for this payload.
+
+        Strict JSON: non-finite floats anywhere in the payload (a window
+        summary over an infinite measure value, say) leave as the
+        :func:`~repro.io.float_to_wire` sentinels instead of the invalid
+        ``NaN``/``Infinity`` literals ``allow_nan=True`` would emit.
+        """
+        body = json.dumps(wire_safe(self.payload), allow_nan=False).encode("utf-8")
         reason = _REASONS.get(self.status, "Unknown")
         lines = [
             f"HTTP/1.1 {self.status} {reason}",
@@ -239,6 +267,7 @@ class Gateway:
             default_config=config.session_defaults,
             queue_depth=config.session_queue_depth,
             retry_after=config.retry_after_s,
+            persist_root=config.persist_root,
         )
         self.gate = ConcurrencyGate(
             limit=config.max_concurrency,
@@ -312,11 +341,15 @@ class Gateway:
             if method == "DELETE":
                 return lambda body: self._handle_evict(name, body)
             raise MethodNotAllowedError(f"{method} not allowed on {path}")
-        if parts[2] != "requests":
-            raise NotFoundError(f"no route for {path!r}")
-        if method != "POST":
-            raise MethodNotAllowedError(f"{method} not allowed on {path}")
-        return lambda body: self._handle_submit(name, body)
+        if parts[2] == "requests":
+            if method != "POST":
+                raise MethodNotAllowedError(f"{method} not allowed on {path}")
+            return lambda body: self._handle_submit(name, body)
+        if parts[2] == "checkpoint":
+            if method != "POST":
+                raise MethodNotAllowedError(f"{method} not allowed on {path}")
+            return lambda body: self._handle_checkpoint(name, body)
+        raise NotFoundError(f"no route for {path!r}")
 
     @staticmethod
     def _parse_json(body: bytes) -> Any:
@@ -373,6 +406,19 @@ class Gateway:
         if self.access_log is not None:
             self.access_log.append(result.stats)
         return Response(200, result_to_dict(result))
+
+    async def _handle_checkpoint(self, name: str, body: bytes) -> Response:
+        """Snapshot a durable tenant on demand (both gates held, like a
+        request — a checkpoint must not run concurrently with a submit on
+        the same session)."""
+        entry = self.registry.entry(name)
+        loop = asyncio.get_running_loop()
+        async with self.gate.admit():
+            async with entry.gate.admit():
+                stats = await loop.run_in_executor(
+                    self._executor, entry.session.checkpoint
+                )
+        return Response(200, {"kind": "checkpoint", "name": name, **stats})
 
     async def _submit_on_worker(self, session, request):
         """Run one submit on the pool, under the configured deadline.

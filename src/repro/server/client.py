@@ -39,9 +39,23 @@ class ClientResponse:
 
     @property
     def retry_after(self) -> Optional[float]:
-        """The ``Retry-After`` hint, when the server sent one."""
+        """The ``Retry-After`` hint, when the server sent a usable one.
+
+        RFC 7231 also allows an HTTP-date here, and a misbehaving proxy can
+        send anything at all; a retry loop polling this property must never
+        crash on a header it did not produce, so every non-numeric (or
+        non-finite, or negative) value degrades to ``None`` — "no hint".
+        """
         value = self.headers.get("retry-after")
-        return None if value is None else float(value)
+        if value is None:
+            return None
+        try:
+            seconds = float(value)
+        except (TypeError, ValueError):
+            return None
+        if seconds != seconds or seconds in (float("inf"), float("-inf")):
+            return None
+        return seconds if seconds >= 0 else None
 
     def error(self):
         """The typed :class:`~repro.server.limits.GatewayError` of a
@@ -91,7 +105,11 @@ class GatewayClient:
         self, method: str, path: str, payload: Any = None
     ) -> ClientResponse:
         """One request/response exchange (JSON body in, JSON body out)."""
-        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        body = (
+            b""
+            if payload is None
+            else json.dumps(payload, allow_nan=False).encode("utf-8")
+        )
         lines = [
             f"{method} {path} HTTP/1.1",
             f"host: {self._host}",
@@ -143,6 +161,10 @@ class GatewayClient:
     async def session_stats(self, name: str) -> ClientResponse:
         """``GET /sessions/{name}``."""
         return await self.request("GET", f"/sessions/{name}")
+
+    async def checkpoint(self, name: str) -> ClientResponse:
+        """``POST /sessions/{name}/checkpoint`` (durable snapshot now)."""
+        return await self.request("POST", f"/sessions/{name}/checkpoint")
 
     async def evict_session(self, name: str) -> ClientResponse:
         """``DELETE /sessions/{name}``."""

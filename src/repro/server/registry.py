@@ -20,15 +20,18 @@ the gateway's event-loop thread.
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, List, Optional
 
 from ..service.config import SessionConfig
 from ..service.session import FlexSession
 from .limits import (
+    BadRequestError,
     RegistryFullError,
     SessionExistsError,
     SessionGate,
@@ -36,6 +39,10 @@ from .limits import (
 )
 
 __all__ = ["SessionEntry", "SessionRegistry"]
+
+#: Tenant names double as persistence directory names, so they must be
+#: plain path components: no separators, no leading dot, no traversal.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
 
 
 @dataclass
@@ -78,6 +85,14 @@ class SessionRegistry:
         config (``None`` resolves the environment defaults once, lazily).
     queue_depth, retry_after:
         Per-session :class:`SessionGate` parameters.
+    persist_root:
+        When set, every tenant becomes durable under
+        ``<persist_root>/<name>`` (unless its config already carries an
+        explicit ``persist_dir``): sessions log and checkpoint as they
+        serve, eviction/expiry checkpoints before closing, and a request
+        for a name that is not live but has persisted state **lazily
+        recovers** it — the restart story is simply "same persist_root,
+        first request per tenant pays its recovery".
     clock:
         Monotonic time source (injectable for TTL tests).
 
@@ -98,6 +113,7 @@ class SessionRegistry:
         default_config: Optional[SessionConfig] = None,
         queue_depth: int = 8,
         retry_after: float = 1.0,
+        persist_root: Optional[str] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_sessions < 1:
@@ -108,6 +124,7 @@ class SessionRegistry:
         self.idle_ttl = idle_ttl
         self.queue_depth = queue_depth
         self.retry_after = retry_after
+        self.persist_root = None if persist_root is None else str(persist_root)
         self._clock = clock
         self._default_config = default_config
         self._entries: "OrderedDict[str, SessionEntry]" = OrderedDict()
@@ -115,6 +132,7 @@ class SessionRegistry:
         self.created = 0
         self.evicted = 0
         self.expired = 0
+        self.recovered = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -129,28 +147,17 @@ class SessionRegistry:
         session can be evicted.
         """
         with self._lock:
+            self._check_name(name)
             self.sweep()
             if name in self._entries:
                 raise SessionExistsError(f"session {name!r} already exists")
-            if len(self._entries) >= self.max_sessions:
-                if not self._evict_lru_idle():
-                    raise RegistryFullError(
-                        f"session cap reached ({self.max_sessions}) and "
-                        "every session is busy",
-                        retry_after=self.retry_after,
-                    )
+            self._make_room()
             if config is None:
                 config = self._default()
-            session = FlexSession(config)
-            now = self._clock()
-            self._entries[name] = SessionEntry(
-                name=name,
-                session=session,
-                gate=SessionGate(self.queue_depth, self.retry_after),
-                created_at=now,
-                last_used=now,
-            )
-            self.created += 1
+            session = FlexSession(self._persistent_config(name, config))
+            if session.recovery is not None:
+                self.recovered += 1
+            self._insert(name, session)
             return session
 
     def entry(self, name: str) -> SessionEntry:
@@ -163,7 +170,11 @@ class SessionRegistry:
             try:
                 entry = self._entries[name]
             except KeyError:
-                raise UnknownSessionError(f"unknown session {name!r}") from None
+                entry = self._recover(name)
+                if entry is None:
+                    raise UnknownSessionError(
+                        f"unknown session {name!r}"
+                    ) from None
             self._entries.move_to_end(name)
             entry.last_used = self._clock()
             return entry
@@ -237,6 +248,8 @@ class SessionRegistry:
                 "created": self.created,
                 "evicted": self.evicted,
                 "expired": self.expired,
+                "recovered": self.recovered,
+                "persist_root": self.persist_root,
             }
 
     # ------------------------------------------------------------------ #
@@ -247,6 +260,83 @@ class SessionRegistry:
         if self._default_config is None:
             self._default_config = SessionConfig()
         return self._default_config
+
+    def _check_name(self, name: str) -> None:
+        """Refuse names unusable as persistence path components.
+
+        Tenant names come straight from request URLs and (with a
+        ``persist_root``) become directory names, so anything that is not
+        a plain path component — separators, ``..``, leading dots — is a
+        400, never a filesystem traversal.
+        """
+        if not _NAME_RE.match(name) or ".." in name:
+            raise BadRequestError(
+                f"invalid session name {name!r}: use 1-128 characters "
+                "[A-Za-z0-9._-] starting with a letter or digit"
+            )
+
+    def _make_room(self) -> None:
+        """Enforce the session cap, evicting one idle session if needed."""
+        if len(self._entries) >= self.max_sessions:
+            if not self._evict_lru_idle():
+                raise RegistryFullError(
+                    f"session cap reached ({self.max_sessions}) and "
+                    "every session is busy",
+                    retry_after=self.retry_after,
+                )
+
+    def _insert(self, name: str, session: FlexSession) -> SessionEntry:
+        now = self._clock()
+        entry = SessionEntry(
+            name=name,
+            session=session,
+            gate=SessionGate(self.queue_depth, self.retry_after),
+            created_at=now,
+            last_used=now,
+        )
+        self._entries[name] = entry
+        self.created += 1
+        return entry
+
+    def _persistent_config(
+        self, name: str, config: SessionConfig
+    ) -> SessionConfig:
+        """The tenant's config with its persistence directory filled in.
+
+        With no ``persist_root`` (or an explicit ``persist_dir`` already
+        on the config) the config passes through untouched.
+        """
+        if self.persist_root is None or config.persist_dir is not None:
+            return config
+        payload = config.as_dict()
+        payload["persist_dir"] = str(Path(self.persist_root) / name)
+        return SessionConfig.from_dict(payload)
+
+    def _recover(self, name: str) -> Optional[SessionEntry]:
+        """Lazily revive a tenant from its persisted directory, or ``None``.
+
+        Called under the lock on an ``entry()`` miss.  The session is
+        rebuilt with the ``config.json`` persisted when it was first
+        created (with the directory itself re-pinned as ``persist_dir``),
+        so a recovered tenant runs the same backend, measures and budgets
+        it was configured with — and answers bit-identically to a process
+        that never restarted.
+        """
+        if self.persist_root is None:
+            return None
+        self._check_name(name)
+        from ..persist import load_config
+
+        directory = Path(self.persist_root) / name
+        payload = load_config(directory)
+        if payload is None:
+            return None
+        payload["persist_dir"] = str(directory)
+        config = SessionConfig.from_dict(payload)
+        self._make_room()
+        session = FlexSession(config)
+        self.recovered += 1
+        return self._insert(name, session)
 
     def _evict_lru_idle(self) -> bool:
         """Drop the least-recently-used idle session; False if all busy."""

@@ -93,6 +93,21 @@ class SessionConfig:
     seed:
         Seed for the session's stochastic defaults (seeded schedulers that
         were not given an explicit seed draw this one).
+    persist_dir:
+        When set, the session becomes durable: every applied stream event
+        is logged to a write-ahead log under this directory, checkpoints
+        snapshot the engine, and a new session built over the same
+        directory recovers the previous state (see :mod:`repro.persist`).
+        ``None`` (the default) keeps the session purely in-memory.
+    persist_fsync:
+        Whether WAL commits and snapshot writes ``fsync``.  ``False``
+        trades the machine-crash guarantee for speed.
+    checkpoint_events:
+        WAL records accumulated since the last snapshot that trigger an
+        automatic checkpoint after a stream request.
+    checkpoint_age_s:
+        Optional wall-clock age of the last snapshot that also triggers
+        one, for quiet sessions trickling single events.
     """
 
     backend: Optional[str] = None
@@ -108,6 +123,10 @@ class SessionConfig:
     auto_expire: bool = False
     grouping: GroupingParameters = field(default_factory=GroupingParameters)
     seed: int = 0
+    persist_dir: Optional[str] = None
+    persist_fsync: bool = True
+    checkpoint_events: int = 1024
+    checkpoint_age_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         from ..backend.dispatch import available_backends
@@ -134,6 +153,16 @@ class SessionConfig:
         if self.window_capacity < 0:
             raise ServiceError(
                 f"window_capacity must be >= 0, got {self.window_capacity}"
+            )
+        if self.persist_dir is not None and not isinstance(self.persist_dir, str):
+            _frozen_set(self, "persist_dir", str(self.persist_dir))
+        if self.checkpoint_events < 1:
+            raise ServiceError(
+                f"checkpoint_events must be >= 1, got {self.checkpoint_events}"
+            )
+        if self.checkpoint_age_s is not None and self.checkpoint_age_s <= 0:
+            raise ServiceError(
+                f"checkpoint_age_s must be positive, got {self.checkpoint_age_s}"
             )
 
     # ------------------------------------------------------------------ #

@@ -126,6 +126,27 @@ class FlexSession:
         )
         self.requests_served = 0
         self._closed = False
+        #: :class:`~repro.persist.RecoveryStats` when this session was
+        #: rebuilt from a persisted directory, else ``None``.
+        self.recovery = None
+        self._persister = None
+        if config.persist_dir is not None:
+            from ..persist import SessionPersister, save_config
+
+            self._persister = SessionPersister(
+                config.persist_dir,
+                fsync=config.persist_fsync,
+                checkpoint_events=config.checkpoint_events,
+                checkpoint_age_s=config.checkpoint_age_s,
+            )
+            save_config(config.persist_dir, config.as_dict())
+            if self._persister.has_state():
+                with use_backend(self._backend):
+                    stats, extra = self._persister.recover(self.engine)
+                self.recovery = stats
+                served = extra.get("requests_served")
+                if isinstance(served, int):
+                    self.requests_served = served
 
     # ------------------------------------------------------------------ #
     # Construction / lifecycle
@@ -184,6 +205,9 @@ class FlexSession:
         if self._closed:
             return
         self._closed = True
+        if self._persister is not None:
+            with use_backend(self._backend):
+                self._persister.close(self.engine, self._persist_extra())
         close = getattr(self._backend, "close", None)
         if self._owns_backend and callable(close):
             close()
@@ -359,23 +383,45 @@ class FlexSession:
             )
 
     def stream(self, request: Optional[StreamRequest] = None) -> StreamResult:
-        """Apply a batch of events to the session engine."""
+        """Apply a batch of events to the session engine.
+
+        On a durable session every **applied** event is appended to the
+        write-ahead log (log-after-apply: a mid-batch failure logs exactly
+        the prefix that mutated the engine), the log commits once per
+        request, and a checkpoint follows when the configured size or age
+        policy fires.
+        """
         request = request if request is not None else StreamRequest()
         with self._serve("stream", len(request.events)) as finish:
-            if request.bulk and request.events and all(
-                isinstance(event, OfferArrived) for event in request.events
-            ):
-                self.engine.bulk_arrive(request.events)
-            else:
-                for event in request.events:
-                    self.engine.apply(event)
-            return StreamResult(
+            try:
+                if request.bulk and request.events and all(
+                    isinstance(event, OfferArrived) for event in request.events
+                ):
+                    # bulk_arrive is bit-identical to applying the
+                    # arrivals one by one, so replaying the flat WAL
+                    # reproduces the bulk path exactly.
+                    self.engine.bulk_arrive(request.events)
+                    if self._persister is not None:
+                        for event in request.events:
+                            self._persister.log_event(event)
+                else:
+                    for event in request.events:
+                        self.engine.apply(event)
+                        if self._persister is not None:
+                            self._persister.log_event(event)
+            finally:
+                if self._persister is not None:
+                    self._persister.commit()
+            result = StreamResult(
                 applied=len(request.events),
                 live=len(self.engine),
                 time=self.engine.time,
                 stats=finish(),
                 engine_stats=self.engine.stats.as_dict(),
             )
+        if self._persister is not None:
+            self._persister.maybe_checkpoint(self.engine, self._persist_extra())
+        return result
 
     # ------------------------------------------------------------------ #
     # Conveniences
@@ -383,11 +429,10 @@ class FlexSession:
     def ingest(self, flex_offers, bulk: bool = True) -> StreamResult:
         """Stream a batch population in (ids via ``offer_identifier``).
 
-        The successor of the deprecated module-level
-        ``replay_population``: same ids, same final engine state, but the
-        engine, backend and cache are the session's own.  ``bulk=True``
-        batches the per-offer measure evaluation through the session
-        backend.
+        The successor of the removed module-level ``replay_population``:
+        same ids, same final engine state, but the engine, backend and
+        cache are the session's own.  ``bulk=True`` batches the per-offer
+        measure evaluation through the session backend.
         """
         events = tuple(
             population_events(list(flex_offers), start_index=self.engine.stats.arrived)
@@ -402,6 +447,22 @@ class FlexSession:
         """Shorthand: the live population's :class:`FlexibilitySetReport`."""
         return self.evaluate().report
 
+    def checkpoint(self) -> dict[str, object]:
+        """Snapshot the durable session now; returns the checkpoint stats.
+
+        Raises :class:`ServiceError` on a session without a
+        ``persist_dir`` — there is nothing to checkpoint to.
+        """
+        self._check_open()
+        if self._persister is None:
+            raise ServiceError("the session has no persist_dir configured")
+        with use_backend(self._backend):
+            return self._persister.checkpoint(self.engine, self._persist_extra())
+
+    def _persist_extra(self) -> dict[str, object]:
+        """Session bookkeeping stored alongside the engine snapshot."""
+        return {"requests_served": self.requests_served}
+
     def snapshot(self, prefix: str = "aggregate"):
         """A batch-equivalent :class:`~repro.stream.EngineSnapshot`."""
         self._check_open()
@@ -410,7 +471,7 @@ class FlexSession:
 
     def stats(self) -> dict[str, object]:
         """Session-level counters: requests, engine events, cache health."""
-        return {
+        payload: dict[str, object] = {
             "backend": self.backend_name,
             "requests_served": self.requests_served,
             "live": len(self.engine),
@@ -418,6 +479,11 @@ class FlexSession:
             "cache": self.cache.stats(),
             "closed": self._closed,
         }
+        if self._persister is not None:
+            payload["persistence"] = self._persister.stats()
+        if self.recovery is not None:
+            payload["recovery"] = self.recovery.as_dict()
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else f"{len(self.engine)} live"

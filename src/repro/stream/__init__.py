@@ -29,7 +29,7 @@ O(1)-sized change.  This subsystem maintains the same state incrementally:
 ``replay``
     Adapters turning existing populations, scenarios and market sessions
     into event streams (:func:`population_events`, :func:`churn_events`,
-    :func:`market_events`, :func:`replay_population`).
+    :func:`market_events`).
 
 The load-bearing invariant, enforced by the unit and property tests: after
 *any* event stream, ``engine.snapshot()`` equals the batch
@@ -63,7 +63,6 @@ from .replay import (
     market_events,
     offer_identifier,
     population_events,
-    replay_population,
 )
 from .window import MeasureWindow, RingBuffer, WindowTracker
 
@@ -92,5 +91,4 @@ __all__ = [
     "population_events",
     "churn_events",
     "market_events",
-    "replay_population",
 ]

@@ -301,6 +301,127 @@ class StreamingEngine:
         self._cache_generation_seen = self._cache.generation
         return self
 
+    # ------------------------------------------------------------------ #
+    # State export / restore (the persistence layer's engine hooks)
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """A JSON-ready dictionary of the engine's full mutable state.
+
+        The inverse of :meth:`restore_state` — the body of a
+        :mod:`repro.persist` snapshot.  It carries the live offers in
+        arrival order *with their cached per-measure values*, so a restore
+        skips the O(measures × profile) arrival evaluation entirely (the
+        cost that dominates a full replay), plus the event counters, the
+        stream clock and the window tracker's retained samples.
+        Configuration (grouping, measures, window capacity, auto-expiry) is
+        deliberately **not** included: a restored engine must be built with
+        the same parameters, which the service layer guarantees by
+        persisting its :class:`~repro.service.SessionConfig` alongside.
+        """
+        from ..io.serialization import flexoffer_to_dict, float_to_wire
+
+        live = [
+            {
+                "id": offer_id,
+                "offer": flexoffer_to_dict(self._index.get(offer_id)),
+                "values": {
+                    key: float_to_wire(value)
+                    for key, value in self._values[offer_id].items()
+                },
+            }
+            for offer_id in self._index
+        ]
+        windows = {}
+        if self.tracker is not None:
+            windows = {
+                key: [
+                    [time, float_to_wire(value)]
+                    for time, value in self.tracker.window(key).samples()
+                ]
+                for key in self.tracker.measure_keys
+            }
+        return {
+            "time": self.time,
+            "stats": {
+                key: float_to_wire(value)
+                for key, value in self.stats.as_dict().items()
+            },
+            "live": live,
+            "windows": windows,
+        }
+
+    def restore_state(self, payload: dict) -> "StreamingEngine":
+        """Load :meth:`export_state` output into this (pristine) engine.
+
+        The live offers re-enter through the ordinary arrival path with
+        their persisted measure values — rebuilding the grid index, the
+        incremental aggregates, the live matrix, the value columns and the
+        auto-expiry deadlines without re-evaluating a single measure — and
+        the counters, the clock and the window samples are then restored
+        verbatim.  Hooks do not fire for restored arrivals (they already
+        fired in the process that exported the state).  Raises
+        :class:`StreamError` when the engine has already processed events
+        or the payload names measures this engine is not configured with
+        (config drift between export and restore must be loud, never a
+        silently different report).
+        """
+        from ..io.serialization import flexoffer_from_dict, float_from_wire
+
+        if self.stats.events or len(self._index):
+            raise StreamError(
+                "restore_state needs a pristine engine "
+                f"(this one has processed {self.stats.events} events)"
+            )
+        configured = {measure.key for measure in self.measures}
+        arrival_hook = self.on_arrived
+        self.on_arrived = None
+        self._note_mutation()
+        try:
+            for entry in payload.get("live", ()):
+                values = {
+                    key: float_from_wire(value)
+                    for key, value in entry["values"].items()
+                }
+                unknown = sorted(set(values) - configured)
+                if unknown:
+                    raise StreamError(
+                        f"persisted values for unconfigured measures {unknown}; "
+                        f"configured: {sorted(configured)}"
+                    )
+                self._apply_arrival(
+                    OfferArrived(
+                        entry["id"], flexoffer_from_dict(entry["offer"])
+                    ),
+                    cached=values,
+                    sync_cache=False,
+                )
+        finally:
+            self.on_arrived = arrival_hook
+        self._cache_generation_seen = self._cache.generation
+        self.stats = EngineStats(
+            **{
+                key: float_from_wire(value)
+                for key, value in payload["stats"].items()
+            }
+        )
+        self.time = payload["time"]
+        windows = payload.get("windows") or {}
+        if windows and self.tracker is None:
+            raise StreamError(
+                "persisted window samples but no tracker is configured"
+            )
+        if self.tracker is not None:
+            unknown = sorted(set(windows) - set(self.tracker.measure_keys))
+            if unknown:
+                raise StreamError(
+                    f"persisted windows for untracked measures {unknown}"
+                )
+            for key, samples in windows.items():
+                window = self.tracker.window(key)
+                for sample_time, value in samples:
+                    window.record(sample_time, float_from_wire(value))
+        return self
+
     def _note_mutation(self) -> None:
         """Release stale cache entries for the about-to-mutate population.
 

@@ -13,21 +13,23 @@ flex-offers, or a list of accepted bids.  The streaming engine consumes
   population, for soak tests and throughput benchmarks;
 * :func:`market_events` — replays a :class:`~repro.market.trading.TradingSession`
   clearing round as arrivals followed by :class:`OfferAssigned` events (with
-  clearing prices) for the accepted lots;
-* :func:`replay_population` — one-call convenience: build an engine, stream
-  a population through it, return the engine ready for snapshots.
+  clearing prices) for the accepted lots.
+
+The old ``replay_population`` one-call convenience (build an engine,
+stream a population, return it) was removed in v2.0: use
+:meth:`repro.service.FlexSession.ingest`, or feed
+:func:`population_events` to an explicit :class:`StreamingEngine`.
 """
 
 from __future__ import annotations
 
 import random
 from collections.abc import Sequence
-from typing import Optional, Union
+from typing import Union
 
 from ..aggregation.base import AggregatedFlexOffer
 from ..core.flexoffer import FlexOffer
 from ..market.trading import TradingSession
-from .engine import StreamingEngine
 from .events import EventLog, OfferArrived, OfferAssigned, OfferExpired, StreamError, Tick
 
 __all__ = [
@@ -35,7 +37,6 @@ __all__ = [
     "population_events",
     "churn_events",
     "market_events",
-    "replay_population",
 ]
 
 
@@ -141,50 +142,3 @@ def market_events(
             )
         )
     return log
-
-
-def _replay_population(
-    flex_offers: Sequence[FlexOffer],
-    engine: Optional[StreamingEngine] = None,
-    bulk: bool = False,
-    **engine_kwargs: object,
-) -> StreamingEngine:
-    """Internal, non-deprecated body of :func:`replay_population`."""
-    if engine is None:
-        engine = StreamingEngine(**engine_kwargs)  # type: ignore[arg-type]
-    events = population_events(flex_offers)
-    if bulk:
-        return engine.bulk_arrive(events)
-    return engine.replay(events)
-
-
-def replay_population(
-    flex_offers: Sequence[FlexOffer],
-    engine: Optional[StreamingEngine] = None,
-    bulk: bool = False,
-    **engine_kwargs: object,
-) -> StreamingEngine:
-    """Deprecated shim: stream a batch population through an engine.
-
-    .. deprecated:: 1.1
-        Module-level engine construction predates the session façade; use
-        :meth:`repro.service.FlexSession.ingest` (which owns the engine,
-        its backend and its matrix cache) or construct a
-        :class:`StreamingEngine` explicitly and feed it
-        :func:`population_events`.
-
-    ``engine_kwargs`` are forwarded to :class:`StreamingEngine` when no
-    engine is given (``parameters=...``, ``measures=...``, ...).  With
-    ``bulk=True`` the arrivals are ingested through
-    :meth:`StreamingEngine.bulk_arrive`, batching the per-offer measure
-    evaluation through the active compute backend — same final state, one
-    vectorized pass instead of per-event measure loops.
-    """
-    from .._deprecation import warn_deprecated
-
-    warn_deprecated(
-        "replay_population() is deprecated; use "
-        "repro.service.FlexSession.ingest() or an explicit StreamingEngine "
-        "with population_events()",
-    )
-    return _replay_population(flex_offers, engine, bulk, **engine_kwargs)

@@ -10,7 +10,6 @@ the dispatch API.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
 from pathlib import Path
 
 import pytest
@@ -23,7 +22,6 @@ from repro.backend import (
     available_backends,
     get_backend,
     register_backend,
-    set_default_backend,
     use_backend,
 )
 from repro.core import (
@@ -75,9 +73,6 @@ def test_numpy_backend_is_registered_when_numpy_exists():
 def test_unknown_backend_raises_backend_error():
     with pytest.raises(BackendError):
         get_backend("no-such-backend")
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(BackendError):
-            set_default_backend("no-such-backend")
 
 
 def test_environment_variable_sets_the_default(monkeypatch):
@@ -88,62 +83,48 @@ def test_environment_variable_sets_the_default(monkeypatch):
         get_backend()
 
 
-def test_set_default_backend_round_trip():
-    try:
-        with pytest.warns(DeprecationWarning):
-            set_default_backend("reference")
-        assert get_backend().name == "reference"
-    finally:
-        with pytest.warns(DeprecationWarning):
-            set_default_backend(None)
-
-
 # --------------------------------------------------------------------- #
-# Thread-local defaults (the PR 5 global-state regression fixes)
+# Backend isolation (the PR 5 global-state regression fixes, post-shim)
 # --------------------------------------------------------------------- #
 
 
-@contextmanager
-def _warned_default(name, process_wide=False):
-    """Set a default through the shim, silencing its deprecation warning."""
-    import warnings
+def test_set_default_backend_shim_is_gone():
+    """The v2.0 removal is final: neither the package nor the dispatch
+    module exports the mutable-default shim any more."""
+    import repro
+    import repro.backend
+    import repro.backend.dispatch as dispatch
 
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        set_default_backend(name, process_wide=process_wide)
-    try:
-        yield
-    finally:
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            set_default_backend(None, process_wide=process_wide)
+    for module in (repro, repro.backend, dispatch):
+        assert not hasattr(module, "set_default_backend")
+        assert "set_default_backend" not in getattr(module, "__all__", ())
+    assert not hasattr(dispatch, "_thread_default")
+    assert not hasattr(dispatch, "_process_default")
 
 
-def test_default_backend_is_thread_local():
-    """Regression (PR 5): one thread's default must be invisible to pool
-    worker threads — the old process-global default leaked mid-operation."""
+def test_use_backend_activation_is_invisible_to_worker_threads():
+    """Regression (PR 5): a caller's backend selection must never leak
+    into pool worker threads — inside a sharded worker it could resolve
+    the sharded backend itself and recurse into its own pool."""
     from concurrent.futures import ThreadPoolExecutor
 
-    with _warned_default("sharded"):
+    with use_backend("sharded"):
         assert get_backend().name == "sharded"
         with ThreadPoolExecutor(max_workers=1) as pool:
             seen_by_worker = pool.submit(lambda: get_backend().name).result()
-        # The worker never set a default of its own, so it resolves the
-        # process fallback — not the caller's sharded selection (which,
-        # resolved inside a sharded worker, would recurse into the pool).
         assert seen_by_worker == "reference"
     assert get_backend().name == "reference"
 
 
-def test_threads_can_hold_different_defaults_concurrently():
+def test_threads_can_activate_different_backends_concurrently():
     import threading
 
     results: dict[str, str] = {}
     barrier = threading.Barrier(2)
 
     def worker(label: str, backend_name: str) -> None:
-        with _warned_default(backend_name):
-            barrier.wait()  # both defaults set at the same time
+        with use_backend(backend_name):
+            barrier.wait()  # both activations live at the same time
             results[label] = get_backend().name
             barrier.wait()
 
@@ -158,26 +139,10 @@ def test_threads_can_hold_different_defaults_concurrently():
     assert results == {"a": "reference", "b": "sharded"}
 
 
-def test_process_wide_fallback_reaches_worker_threads():
-    from concurrent.futures import ThreadPoolExecutor
-
-    with _warned_default("sharded", process_wide=True):
-        with ThreadPoolExecutor(max_workers=1) as pool:
-            assert pool.submit(lambda: get_backend().name).result() == "sharded"
-    assert get_backend().name == "reference"
-
-
-def test_thread_local_default_beats_process_fallback():
-    with _warned_default("sharded", process_wide=True):
-        with _warned_default("reference"):
-            assert get_backend().name == "reference"
-        assert get_backend().name == "sharded"
-
-
 @requires_numpy
-def test_sharded_operation_is_immune_to_foreign_defaults():
+def test_sharded_operation_is_immune_to_foreign_activations():
     """The latent bug scenario end-to-end: a sharded bulk call must keep
-    producing correct results while another thread flips its default."""
+    producing correct results while the caller has sharded activated."""
     from repro.backend import ShardedBackend
     from repro.measures import get_measure
 
@@ -185,7 +150,7 @@ def test_sharded_operation_is_immune_to_foreign_defaults():
     backend = ShardedBackend(shards=2, min_population=1)
     measure = get_measure("time")
     try:
-        with _warned_default("sharded"):
+        with use_backend("sharded"):
             values = backend.measure_values(measure, offers)
         expected = get_backend("reference").measure_values(measure, offers)
         assert values == expected
@@ -209,23 +174,6 @@ def test_use_backend_accepts_instances():
         assert get_backend() is instance
     assert get_backend().name == "reference"
     assert get_backend(instance) is instance  # explicit selection too
-
-
-def test_deprecation_warns_exactly_once_per_call_site():
-    import warnings
-
-    from repro._deprecation import reset_deprecation_registry
-
-    reset_deprecation_registry()
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        for _ in range(3):
-            set_default_backend(None)  # one call site, looped
-        set_default_backend(None)  # a second, distinct call site
-    deprecations = [
-        entry for entry in caught if entry.category is DeprecationWarning
-    ]
-    assert len(deprecations) == 2
 
 
 @requires_numpy

@@ -12,7 +12,6 @@ import pytest
 # importable from every test package regardless of pytest's rootdir insertion.
 sys.path.insert(0, os.path.dirname(__file__))
 
-from repro._deprecation import reset_deprecation_registry
 from repro.core import FlexOffer
 from repro.workloads import (
     balancing_scenario,
@@ -24,18 +23,6 @@ from repro.workloads import (
     figure7_flexoffer,
     neighbourhood_scenario,
 )
-
-
-@pytest.fixture(autouse=True)
-def _fresh_deprecation_registry():
-    """Each test sees the shims' once-per-call-site warnings afresh.
-
-    The dedup registry is keyed on (file, line); without a reset, the
-    first test exercising a shimmed call site would swallow the warning
-    every later test (``pytest.warns``) asserts on.
-    """
-    reset_deprecation_registry()
-    yield
 
 
 @pytest.fixture

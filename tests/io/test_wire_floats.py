@@ -1,0 +1,106 @@
+"""Non-finite float wire sentinels (PR 7 satellite).
+
+``json.dumps(..., allow_nan=True)`` emits ``Infinity``/``NaN`` — not
+JSON, rejected by strict parsers and every non-Python client.  The wire
+convention instead spells non-finite floats as the string sentinels
+``"inf"`` / ``"-inf"`` / ``"nan"`` and every serialiser passes
+``allow_nan=False``, so a payload that would silently corrupt the wire
+fails loudly at the producer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.errors import SerializationError
+from repro.io import (
+    float_from_wire,
+    float_to_wire,
+    request_to_dict,
+    result_from_dict,
+    wire_safe,
+)
+from repro.service import TradeRequest
+
+
+@pytest.mark.parametrize(
+    ("value", "wire"),
+    [
+        (float("inf"), "inf"),
+        (float("-inf"), "-inf"),
+        (1.5, 1.5),
+        (-0.0, -0.0),
+        (7, 7),
+        ("label", "label"),
+        (None, None),
+    ],
+)
+def test_float_to_wire_encodes_only_non_finite_floats(value, wire):
+    assert float_to_wire(value) == wire
+
+
+def test_nan_roundtrips_through_the_sentinel():
+    assert float_to_wire(float("nan")) == "nan"
+    assert math.isnan(float_from_wire("nan"))
+
+
+def test_roundtrip_preserves_type_exactness():
+    # Ints must not come back as floats — exactness bookkeeping depends on it.
+    assert float_from_wire(float_to_wire(7)) == 7
+    assert isinstance(float_from_wire(float_to_wire(7)), int)
+    assert float_from_wire(float_to_wire(2.25)) == 2.25
+
+
+@pytest.mark.parametrize("value", [float("inf"), float("-inf")])
+def test_infinity_roundtrips(value):
+    assert float_from_wire(float_to_wire(value)) == value
+
+
+def test_non_numeric_string_raises():
+    with pytest.raises(SerializationError):
+        float_from_wire("not-a-number")
+
+
+def test_wire_safe_deep_encodes_and_survives_strict_json():
+    payload = {
+        "metrics": [1.0, float("inf"), {"p99": float("nan")}],
+        "label": "ok",
+        "count": 3,
+    }
+    safe = wire_safe(payload)
+    text = json.dumps(safe, allow_nan=False)  # must not raise
+    decoded = json.loads(text)
+    assert decoded["metrics"][1] == "inf"
+    assert decoded["metrics"][2]["p99"] == "nan"
+    assert decoded["label"] == "ok" and decoded["count"] == 3
+    # The original is untouched (wire_safe copies).
+    assert math.isinf(payload["metrics"][1])
+
+
+def test_trade_request_infinite_budget_is_strict_json():
+    payload = request_to_dict(TradeRequest(budget=float("inf")))
+    text = json.dumps(payload, allow_nan=False)
+    assert json.loads(text)["budget"] == "inf"
+
+
+def test_result_from_dict_rejects_garbage_numeric_strings():
+    with pytest.raises(SerializationError):
+        result_from_dict(
+            {
+                "kind": "trade",
+                "accepted": [],
+                "rejected": [],
+                "spent": "plenty",
+                "stats": {
+                    "kind": "trade",
+                    "population": 0,
+                    "duration_s": 0.0,
+                    "backend": "reference",
+                    "cache_hits": 0,
+                    "cache_misses": 0,
+                },
+            }
+        )

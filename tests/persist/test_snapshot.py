@@ -1,0 +1,101 @@
+"""Snapshot atomicity, CRC validation and corrupted-newest fallback."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.persist import FORMAT_VERSION, SnapshotStore
+
+from corruption import flip_byte, snapshot_files, tear_tail
+
+
+def store(directory, keep: int = 2) -> SnapshotStore:
+    return SnapshotStore(directory, keep=keep, fsync=False)
+
+
+def test_write_latest_roundtrip(persist_dir):
+    snapshots = store(persist_dir)
+    state = {"offers": [1, 2, 3], "nested": {"a": 0.5}}
+    path = snapshots.write(7, state)
+    assert path.name == "snapshot-000000000007.json"
+    assert snapshots.latest() == (7, state)
+
+
+def test_no_temp_file_survives_a_write(persist_dir):
+    snapshots = store(persist_dir)
+    snapshots.write(1, {"x": 1})
+    leftovers = [p.name for p in snapshots.directory.iterdir()]
+    assert leftovers == ["snapshot-000000000001.json"]
+
+
+def test_prune_keeps_the_newest(persist_dir):
+    snapshots = store(persist_dir, keep=2)
+    for seq in (1, 5, 9):
+        snapshots.write(seq, {"seq": seq})
+    assert [seq for seq, _ in snapshots.paths()] == [5, 9]
+    assert snapshots.latest() == (9, {"seq": 9})
+
+
+def test_corrupted_newest_falls_back_to_the_previous(persist_dir):
+    snapshots = store(persist_dir, keep=2)
+    snapshots.write(3, {"seq": 3})
+    snapshots.write(8, {"seq": 8})
+    newest = snapshot_files(persist_dir)[-1]
+    flip_byte(newest, newest.stat().st_size // 2)
+    assert snapshots.latest() == (3, {"seq": 3})
+
+
+def test_truncated_newest_falls_back_to_the_previous(persist_dir):
+    snapshots = store(persist_dir, keep=2)
+    snapshots.write(3, {"seq": 3})
+    snapshots.write(8, {"seq": 8})
+    tear_tail(snapshot_files(persist_dir)[-1], drop_bytes=10)
+    assert snapshots.latest() == (3, {"seq": 3})
+
+
+def test_all_snapshots_corrupt_reads_as_none(persist_dir):
+    snapshots = store(persist_dir)
+    snapshots.write(2, {"seq": 2})
+    for path in snapshot_files(persist_dir):
+        tear_tail(path, drop_bytes=5)
+    assert snapshots.latest() is None
+
+
+def test_crc_guards_the_state_not_just_the_json(persist_dir):
+    """A snapshot that parses as JSON but whose state was altered (a
+    partial-sector overwrite) must be skipped by the CRC check."""
+    snapshots = store(persist_dir)
+    path = snapshots.write(4, {"value": 10})
+    document = json.loads(path.read_text())
+    document["state"]["value"] = 11  # altered state, stale CRC
+    path.write_text(json.dumps(document))
+    assert snapshots.latest() is None
+
+
+def test_future_format_version_is_skipped(persist_dir):
+    snapshots = store(persist_dir)
+    path = snapshots.write(4, {"value": 10})
+    document = json.loads(path.read_text())
+    document["format"] = FORMAT_VERSION + 1
+    path.write_text(json.dumps(document))
+    assert snapshots.latest() is None
+
+
+def test_mismatched_filename_seq_is_skipped(persist_dir):
+    snapshots = store(persist_dir)
+    path = snapshots.write(4, {"value": 10})
+    path.rename(path.with_name("snapshot-000000000009.json"))
+    assert snapshots.latest() is None
+
+
+def test_keep_must_be_positive(persist_dir):
+    with pytest.raises(ValueError):
+        SnapshotStore(persist_dir, keep=0)
+
+
+def test_non_finite_state_is_rejected_at_write(persist_dir):
+    snapshots = store(persist_dir)
+    with pytest.raises(ValueError):
+        snapshots.write(1, {"value": float("inf")})

@@ -1,0 +1,50 @@
+"""ClientResponse parsing — the ``Retry-After`` degradation regression.
+
+A retry loop polls :attr:`ClientResponse.retry_after` on every throttled
+response; before the PR 7 fix a proxy-injected HTTP-date (RFC 7231 allows
+one) or garbage value crashed the loop with ``ValueError``.  Every
+unusable header must degrade to ``None`` — "no hint" — never raise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import ClientResponse
+
+
+def response(headers: dict) -> ClientResponse:
+    return ClientResponse(429, headers, {"kind": "error"})
+
+
+def test_numeric_header_parses():
+    assert response({"retry-after": "1.5"}).retry_after == 1.5
+    assert response({"retry-after": "0"}).retry_after == 0.0
+    assert response({"retry-after": "120"}).retry_after == 120.0
+
+
+def test_missing_header_is_none():
+    assert response({}).retry_after is None
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        "Wed, 21 Oct 2015 07:28:00 GMT",  # RFC 7231 HTTP-date form
+        "garbage",
+        "",
+        "1.5s",
+        "nan",
+        "inf",
+        "-inf",
+        "-3",
+        "-0.001",
+    ],
+)
+def test_unusable_header_degrades_to_none(value):
+    assert response({"retry-after": value}).retry_after is None
+
+
+def test_ok_is_status_driven():
+    assert ClientResponse(200, {}, {}).ok
+    assert not response({}).ok

@@ -23,7 +23,6 @@ from repro.stream import (
     market_events,
     offer_identifier,
     population_events,
-    replay_population,
 )
 from repro.workloads import balancing_scenario, neighbourhood_scenario
 
@@ -44,8 +43,9 @@ class TestBatchEquivalence:
     def test_population_replay_equals_batch(self):
         scenario = neighbourhood_scenario(households=10, seed=7, horizon=32)
         parameters = GroupingParameters()
-        with pytest.warns(DeprecationWarning):
-            engine = replay_population(scenario.flex_offers, parameters=parameters)
+        engine = StreamingEngine(parameters=parameters).replay(
+            population_events(scenario.flex_offers)
+        )
         assert_batch_equivalent(engine, list(scenario.flex_offers), parameters)
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
@@ -69,8 +69,9 @@ class TestBatchEquivalence:
         # so some measures are unsupported — skipped must match batch.
         scenario = balancing_scenario(units=12, seed=11, horizon=32)
         parameters = GroupingParameters()
-        with pytest.warns(DeprecationWarning):
-            engine = replay_population(scenario.flex_offers, parameters=parameters)
+        engine = StreamingEngine(parameters=parameters).replay(
+            population_events(scenario.flex_offers)
+        )
         batch = evaluate_set(list(scenario.flex_offers))
         report = engine.report()
         assert report == batch
