@@ -90,6 +90,14 @@ class SessionConfig:
         registered measure, like ``evaluate_set``).
     tracked_measures, window_capacity, auto_expire, grouping:
         Forwarded to the session's :class:`~repro.stream.StreamingEngine`.
+    window_kernel:
+        Which sliding-window kernel backs the tracker's measure windows:
+        ``"scalar"`` (pure Python) or ``"array"`` (the NumPy ring buffer).
+        Default: ``REPRO_WINDOW_KERNEL``, else ``None`` — the engine then
+        asks the session backend's ``measure_window`` hook, so numpy and
+        sharded sessions get the array kernel, reference sessions the
+        scalar one.  Kernels are conformance-pinned; the knob changes
+        cost, never a statistic.
     seed:
         Seed for the session's stochastic defaults (seeded schedulers that
         were not given an explicit seed draw this one).
@@ -120,6 +128,7 @@ class SessionConfig:
     measures: Optional[tuple[str, ...]] = None
     tracked_measures: Optional[tuple[str, ...]] = None
     window_capacity: int = 0
+    window_kernel: Optional[str] = None
     auto_expire: bool = False
     grouping: GroupingParameters = field(default_factory=GroupingParameters)
     seed: int = 0
@@ -154,6 +163,7 @@ class SessionConfig:
             raise ServiceError(
                 f"window_capacity must be >= 0, got {self.window_capacity}"
             )
+        self._resolve_window_kernel()
         if self.persist_dir is not None and not isinstance(self.persist_dir, str):
             _frozen_set(self, "persist_dir", str(self.persist_dir))
         if self.checkpoint_events < 1:
@@ -209,6 +219,25 @@ class SessionConfig:
             raise ServiceError(
                 f"shard_min_population must be >= 0, "
                 f"got {self.shard_min_population}"
+            )
+
+    def _resolve_window_kernel(self) -> None:
+        from ..backend.dispatch import _warn_ignored_env
+        from ..stream.engine import ENV_WINDOW_KERNEL
+
+        if self.window_kernel is None:
+            value = os.environ.get(ENV_WINDOW_KERNEL)
+            if value is not None:
+                if value in ("scalar", "array"):
+                    _frozen_set(self, "window_kernel", value)
+                else:
+                    _warn_ignored_env(
+                        ENV_WINDOW_KERNEL, value, "'scalar' or 'array'"
+                    )
+        elif self.window_kernel not in ("scalar", "array"):
+            raise ServiceError(
+                f"window_kernel must be 'scalar' or 'array', "
+                f"got {self.window_kernel!r}"
             )
 
     def _resolve_cache(self) -> None:

@@ -123,6 +123,7 @@ class FlexSession:
             cache=self.cache,
             backend=self._backend,
             compact_threshold=config.compact_threshold,
+            window_kernel=config.window_kernel,
         )
         self.requests_served = 0
         self._closed = False
@@ -478,7 +479,10 @@ class FlexSession:
             "engine": self.engine.stats.as_dict(),
             "cache": self.cache.stats(),
             "closed": self._closed,
+            "window_kernel": self.engine.window_kernel,
         }
+        if self.engine.tracker is not None:
+            payload["windows"] = self.engine.tracker.summary()
         if self._persister is not None:
             payload["persistence"] = self._persister.stats()
         if self.recovery is not None:

@@ -23,6 +23,12 @@ O(1)-sized change.  This subsystem maintains the same state incrementally:
     :class:`RingBuffer`, :class:`MeasureWindow`, :class:`WindowTracker` —
     sliding-window statistics (total / mean / percentile) of population
     level measure values sampled on every tick.
+``windowkernels``
+    :class:`ArrayMeasureWindow` — the NumPy ring-buffer window kernel,
+    conformance-pinned to the scalar :class:`MeasureWindow` and selected
+    per session through the compute-backend contract (or the
+    ``REPRO_WINDOW_KERNEL`` knob).  Imported lazily: ``repro.stream``
+    itself stays importable without NumPy.
 ``engine``
     :class:`StreamingEngine` — the orchestrator consuming events and
     exposing batch-equivalent snapshots (:class:`EngineSnapshot`).
@@ -66,6 +72,17 @@ from .replay import (
 )
 from .window import MeasureWindow, RingBuffer, WindowTracker
 
+
+def __getattr__(name: str):
+    # ``ArrayMeasureWindow`` imports NumPy at module level; exporting it
+    # lazily keeps ``import repro.stream`` NumPy-free on hosts without it.
+    if name == "ArrayMeasureWindow":
+        from .windowkernels import ArrayMeasureWindow
+
+        return ArrayMeasureWindow
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     # events
     "StreamError",
@@ -81,6 +98,7 @@ __all__ = [
     # windows
     "RingBuffer",
     "MeasureWindow",
+    "ArrayMeasureWindow",
     "WindowTracker",
     # engine
     "StreamingEngine",

@@ -32,6 +32,7 @@ approximate.
 from __future__ import annotations
 
 import heapq
+import os
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Optional, Union
@@ -53,9 +54,18 @@ from .events import (
     Tick,
 )
 from .grouping import CellKey, OnlineGridIndex
-from .window import WindowTracker
+from .window import MeasureWindow, WindowTracker
 
-__all__ = ["EngineStats", "EngineSnapshot", "StreamingEngine"]
+__all__ = [
+    "EngineStats",
+    "EngineSnapshot",
+    "StreamingEngine",
+    "ENV_WINDOW_KERNEL",
+]
+
+#: Environment variable forcing the window kernel (``scalar`` / ``array``)
+#: for engines that were not given an explicit ``window_kernel``.
+ENV_WINDOW_KERNEL = "REPRO_WINDOW_KERNEL"
 
 #: Hook signature: ``hook(offer_id, flex_offer, event)``.
 EngineHook = Callable[[str, FlexOffer, StreamEvent], None]
@@ -161,6 +171,17 @@ class StreamingEngine:
     compact_threshold:
         Tombstone ratio at which the live matrix auto-compacts; ``None``
         reads ``REPRO_MATRIX_COMPACT`` and falls back to the default.
+    window_kernel:
+        Which sliding-window kernel backs the tracker's measure windows:
+        ``"scalar"`` (the pure-Python :class:`MeasureWindow`), ``"array"``
+        (the NumPy ring-buffer
+        :class:`~repro.stream.windowkernels.ArrayMeasureWindow`), or
+        ``None`` to consult ``REPRO_WINDOW_KERNEL`` and then the engine
+        backend's :meth:`~repro.backend.dispatch.ComputeBackend.measure_window`
+        hook — reference sessions keep the scalar kernel, the NumPy and
+        sharded tiers get the array kernel.  Both kernels are
+        conformance-pinned to each other, so the choice never changes a
+        statistic, only its cost.
     """
 
     def __init__(
@@ -176,6 +197,7 @@ class StreamingEngine:
         cache=None,
         backend=None,
         compact_threshold: Optional[float] = None,
+        window_kernel: Optional[str] = None,
     ) -> None:
         self.parameters = parameters
         self._cache = cache if cache is not None else matrix_cache
@@ -200,7 +222,17 @@ class StreamingEngine:
                     f"configured: {sorted(measure_keys)}"
                 )
         self.tracker: Optional[WindowTracker] = (
-            WindowTracker(tracked, window_capacity) if window_capacity else None
+            WindowTracker(
+                tracked,
+                window_capacity,
+                window_factory=self._window_factory(window_kernel),
+            )
+            if window_capacity
+            else None
+        )
+        #: The resolved window kernel name (``None`` without a tracker).
+        self.window_kernel: Optional[str] = (
+            self.tracker.kernel if self.tracker is not None else None
         )
         self._index = OnlineGridIndex(parameters)
         self._aggregates: dict[CellKey, IncrementalAggregate] = {}
@@ -237,6 +269,45 @@ class StreamingEngine:
         return LivePopulation(
             [measure.key for measure in self.measures],
             compact_threshold=self._compact_threshold,
+        )
+
+    def _window_factory(self, requested: Optional[str]):
+        """Resolve the window kernel into a ``capacity -> window`` factory.
+
+        Resolution order: the explicit ``window_kernel`` argument, then the
+        ``REPRO_WINDOW_KERNEL`` environment variable, then the engine
+        backend's
+        :meth:`~repro.backend.dispatch.ComputeBackend.measure_window` hook.
+        An invalid explicit name raises; an invalid environment value warns
+        and is ignored (matching the backend env knobs); ``"array"`` without
+        NumPy raises only when requested explicitly — the backend hook
+        already degrades to the scalar kernel on its own.
+        """
+        from ..backend.dispatch import _warn_ignored_env, get_backend
+
+        if requested is None:
+            env_value = os.environ.get(ENV_WINDOW_KERNEL)
+            if env_value is not None:
+                if env_value in ("scalar", "array"):
+                    requested = env_value
+                else:
+                    _warn_ignored_env(
+                        ENV_WINDOW_KERNEL, env_value, "'scalar' or 'array'"
+                    )
+        if requested is None:
+            return get_backend(self._backend_spec).measure_window
+        if requested == "scalar":
+            return MeasureWindow
+        if requested == "array":
+            try:
+                from .windowkernels import ArrayMeasureWindow
+            except ImportError:
+                raise StreamError(
+                    "window_kernel 'array' needs NumPy, which is not installed"
+                ) from None
+            return ArrayMeasureWindow
+        raise StreamError(
+            f"unknown window kernel {requested!r}; expected 'scalar' or 'array'"
         )
 
     # ------------------------------------------------------------------ #
@@ -599,23 +670,45 @@ class StreamingEngine:
             self._values[offer_id][measure.key] for offer_id in self._index
         ]
 
-    def _population_values(self) -> tuple[dict[str, float], list[str]]:
+    def _combined_values(
+        self, keys: Optional[set] = None
+    ) -> tuple[dict[str, float], list[str]]:
         """``(values, skipped)`` of the live population, batch-identical.
 
         Per-offer values were cached on arrival; only the O(population)
         combination step runs here, in arrival order, so the result equals
-        ``evaluate_set(self.live_offers(), self.measures)`` exactly.
+        ``evaluate_set(self.live_offers(), self.measures)`` exactly.  All
+        eligible measures fold in **one bulk pass** over the packed value
+        columns (:meth:`~repro.stream.live.LivePopulation.combined_values`
+        — one alive-mask gather, one ``cumsum`` per column); measures the
+        bulk pass cannot serve exactly fall back to the per-measure scalar
+        fold, so the floats never depend on which path ran.  ``keys``
+        restricts the computation to a subset of the configured measures
+        (tick sampling computes the tracked measures only).
         """
         values: dict[str, float] = {}
         skipped: list[str] = []
+        pending: list[FlexibilityMeasure] = []
         for measure in self.measures:
+            if keys is not None and measure.key not in keys:
+                continue
             if self._unsupported_counts[measure.key]:
                 skipped.append(measure.key)
                 continue
-            values[measure.key] = measure.combine_values(
-                self._measure_values_list(measure)
-            )
+            pending.append(measure)
+        bulk = self._live.combined_values(pending) if self._live else {}
+        for measure in pending:
+            if measure.key in bulk:
+                values[measure.key] = bulk[measure.key]
+            else:
+                values[measure.key] = measure.combine_values(
+                    self._measure_values_list(measure)
+                )
         return values, skipped
+
+    def _population_values(self) -> tuple[dict[str, float], list[str]]:
+        """``(values, skipped)`` for the full report (every measure)."""
+        return self._combined_values()
 
     def _sample_values(self) -> dict[str, float]:
         """Set values of the *tracked* measures only (tick sampling).
@@ -626,16 +719,7 @@ class StreamingEngine:
         tracker would have skipped them out of a report.
         """
         assert self.tracker is not None
-        tracked = set(self.tracker.measure_keys)
-        values: dict[str, float] = {}
-        for measure in self.measures:
-            if measure.key not in tracked:
-                continue
-            if self._unsupported_counts[measure.key]:
-                continue
-            values[measure.key] = measure.combine_values(
-                self._measure_values_list(measure)
-            )
+        values, _ = self._combined_values(set(self.tracker.measure_keys))
         return values
 
     def report(self) -> FlexibilitySetReport:

@@ -64,6 +64,11 @@ class LivePopulation:
         self._saw_int = [False] * width
         self._saw_float = [False] * width
         self._inexact = [False] * width
+        # Largest |value| ever stored per integer column: bounds the exact
+        # range of an ``int64`` column sum (``max_abs * rows < 2^62`` ⇒ no
+        # overflow), letting ``combined_values`` fold integer columns
+        # without arbitrary-precision arithmetic.
+        self._int_max_abs = [0.0] * width
 
     def __len__(self) -> int:
         """Number of surviving offers."""
@@ -111,8 +116,12 @@ class LivePopulation:
             # overflow, while anything within ±2^62 converts safely.
             if not -_INT64_SAFE <= value <= _INT64_SAFE:
                 self._inexact[column] = True
-            elif float(value) != value:
-                self._inexact[column] = True
+            else:
+                if float(value) != value:
+                    self._inexact[column] = True
+                magnitude = float(-value if value < 0 else value)
+                if magnitude > self._int_max_abs[column]:
+                    self._int_max_abs[column] = magnitude
         elif type(value) is float:
             self._saw_float[column] = True
             if value != value:  # NaN never equals itself
@@ -163,6 +172,65 @@ class LivePopulation:
         if integral:
             return gathered.astype(np.int64).tolist()
         return gathered.tolist()
+
+    def combined_values(self, measures) -> dict[str, float]:
+        """Exact set values of many measures in one pass over the columns.
+
+        The vectorized form of ``measure.combine_values(fold(key))`` for
+        every measure at once: the alive mask is gathered a single time,
+        each eligible column is folded with one ``cumsum`` pass, and the
+        results are bit-identical to the scalar fold — ``cumsum``
+        accumulates strictly left to right in the same arrival order the
+        dictionary path iterates, integer columns fold in exact ``int64``
+        (guarded by the running ``max |value| * rows`` bound), and the
+        sum/mean finalisation repeats the scalar expression.
+
+        Measures the pass cannot serve exactly are simply absent from the
+        returned dict — a measure with an overridden ``combine_values``
+        (non-additive set semantics), an untracked key, an inexact or
+        mixed int/float column, or an integer column whose sum could
+        overflow ``int64`` — and the engine falls back to the per-measure
+        scalar fold for those.
+        """
+        from ..measures.base import FlexibilityMeasure, SetAggregation
+
+        combined: dict[str, float] = {}
+        count = len(self._ids)
+        alive = None
+        dead = self.matrix.dead_count
+        for measure in measures:
+            if (
+                type(measure).combine_values
+                is not FlexibilityMeasure.combine_values
+            ):
+                continue
+            column = self._column_of.get(measure.key)
+            if column is None or self._inexact[column]:
+                continue
+            integral = self._saw_int[column]
+            if integral and self._saw_float[column]:
+                continue
+            if dead:
+                if alive is None:
+                    alive = self.matrix.alive
+                data = self._values[:count, column][alive]
+            else:
+                data = self._values[:count, column]
+            size = int(data.size)
+            if size == 0:
+                combined[measure.key] = 0.0
+                continue
+            wants_mean = measure.set_aggregation is SetAggregation.MEAN
+            if integral:
+                if self._int_max_abs[column] * size >= float(_INT64_SAFE):
+                    continue
+                total = int(np.cumsum(data.astype(np.int64))[-1])
+            else:
+                total = np.cumsum(data)[-1]
+            combined[measure.key] = (
+                float(total / size) if wants_mean else float(total)
+            )
+        return combined
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

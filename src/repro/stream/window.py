@@ -28,12 +28,45 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from typing import Optional
 
 from .events import StreamError
 
-__all__ = ["RingBuffer", "MeasureWindow", "WindowTracker"]
+__all__ = ["RingBuffer", "MeasureWindow", "WindowTracker", "nearest_rank"]
+
+
+def nearest_rank(ordered, q: float) -> float:
+    """Nearest-rank percentile over an ascending sequence, ``q`` in [0, 100].
+
+    Shared by the scalar :class:`MeasureWindow` and the array-backed
+    :class:`~repro.stream.windowkernels.ArrayMeasureWindow` so both kernels
+    agree bit-for-bit.  The boundaries are handled explicitly rather than
+    through the rank formula: ``q == 0`` is defined as the window minimum
+    and ``q == 100`` as the window maximum for every window size — the
+    formula's ``ceil(q * n / 100)`` lands there too for well-behaved
+    floats, but the contract must not hinge on rounding behaviour.
+    """
+    count = len(ordered)
+    if q <= 0:
+        return ordered[0]
+    if q >= 100:
+        return ordered[count - 1]
+    rank = max(1, math.ceil(q * count / 100))
+    return ordered[min(rank, count) - 1]
+
+
+def check_sample(value: float) -> float:
+    """Validate one window sample: a finite float, or :class:`StreamError`.
+
+    Windowed statistics are meaningless once a NaN or infinity enters the
+    ring (``min``/``max``/percentiles would silently poison every later
+    query), so both window kernels reject non-finite samples at the door.
+    """
+    value = float(value)
+    if not math.isfinite(value):
+        raise StreamError(f"window samples must be finite, got {value!r}")
+    return value
 
 
 class RingBuffer:
@@ -86,7 +119,16 @@ class MeasureWindow:
     and invalidated on :meth:`record`: a dashboard polling ``p50``/``p90``
     repeatedly between ticks sorts once and reads O(1) afterwards, instead
     of re-sorting the whole retained window per query.
+
+    This is the *scalar* window kernel — pure-Python storage, no NumPy
+    dependency — and the semantic reference for the array-backed
+    :class:`~repro.stream.windowkernels.ArrayMeasureWindow`, which must
+    agree with it exactly on every query (the differential
+    window-conformance suite pins the contract).
     """
+
+    #: Kernel identifier (the array kernel reports ``"array"``).
+    kernel = "scalar"
 
     def __init__(self, capacity: int) -> None:
         self._buffer = RingBuffer(capacity)
@@ -98,8 +140,12 @@ class MeasureWindow:
         return self._buffer.capacity
 
     def record(self, time: int, value: float) -> None:
-        """Record one population-level sample taken at ``time``."""
-        self._buffer.push((time, float(value)))
+        """Record one population-level sample taken at ``time``.
+
+        Non-finite samples are rejected (:class:`StreamError`) before any
+        state change — see :func:`check_sample`.
+        """
+        self._buffer.push((time, check_sample(value)))
         self._sorted = None
 
     def _ordered(self) -> list[float]:
@@ -153,19 +199,19 @@ class MeasureWindow:
             raise StreamError("an empty window has no maximum")
         return max(values)
 
-    @staticmethod
-    def _nearest_rank(ordered: list[float], q: float) -> float:
-        rank = max(1, math.ceil(q * len(ordered) / 100))
-        return ordered[min(rank, len(ordered)) - 1]
-
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile of the retained values, ``q`` in [0, 100]."""
+        """Nearest-rank percentile of the retained values, ``q`` in [0, 100].
+
+        ``percentile(0)`` is exactly :meth:`minimum` and ``percentile(100)``
+        exactly :meth:`maximum`, for every window size (see
+        :func:`nearest_rank`).
+        """
         if not 0 <= q <= 100:
             raise StreamError(f"percentile must be in [0, 100], got {q}")
         values = self._ordered()
         if not values:
             raise StreamError("an empty window has no percentiles")
-        return self._nearest_rank(values, q)
+        return nearest_rank(values, q)
 
     def summary(self) -> dict[str, float]:
         """A serialisable statistics block over the retained window."""
@@ -181,8 +227,8 @@ class MeasureWindow:
             "mean": float(sum(values) / count),
             "min": ordered[0],
             "max": ordered[-1],
-            "p50": self._nearest_rank(ordered, 50),
-            "p90": self._nearest_rank(ordered, 90),
+            "p50": nearest_rank(ordered, 50),
+            "p90": nearest_rank(ordered, 90),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -199,15 +245,33 @@ class WindowTracker:
         created eagerly so :meth:`window` never KeyErrors for a tracked key.
     capacity:
         Samples retained per measure window.
+    window_factory:
+        Callable building one window from a capacity — the window *kernel*.
+        Defaults to the scalar :class:`MeasureWindow`; the streaming engine
+        injects its backend's kernel here (the NumPy tier supplies the
+        array-backed
+        :class:`~repro.stream.windowkernels.ArrayMeasureWindow`).
     """
 
-    def __init__(self, measure_keys: Iterable[str], capacity: int = 64) -> None:
+    def __init__(
+        self,
+        measure_keys: Iterable[str],
+        capacity: int = 64,
+        window_factory: Optional[Callable[[int], MeasureWindow]] = None,
+    ) -> None:
+        factory = window_factory if window_factory is not None else MeasureWindow
         self._windows: dict[str, MeasureWindow] = {
-            key: MeasureWindow(capacity) for key in measure_keys
+            key: factory(capacity) for key in measure_keys
         }
         if not self._windows:
             raise StreamError("WindowTracker needs at least one measure key")
         self.capacity = capacity
+
+    @property
+    def kernel(self) -> str:
+        """The window kernel in use (``"scalar"`` or ``"array"``)."""
+        window = next(iter(self._windows.values()))
+        return getattr(window, "kernel", "scalar")
 
     @property
     def measure_keys(self) -> list[str]:
@@ -230,11 +294,16 @@ class WindowTracker:
         ``values`` is the ``values`` mapping of a
         :class:`~repro.measures.FlexibilitySetReport`; tracked measures the
         report skipped (unsupported on the current population) are simply
-        not sampled this round.
+        not sampled this round.  Non-finite set values (a measure's float
+        sum can legitimately overflow to ``inf`` on extreme populations)
+        are likewise not sampled — the window kernels reject them
+        (:func:`check_sample`), and one degenerate tick must not poison a
+        whole window of sound statistics.
         """
         for key, window in self._windows.items():
-            if key in values:
-                window.record(time, values[key])
+            value = values.get(key)
+            if value is not None and math.isfinite(value):
+                window.record(time, value)
 
     def summary(self) -> dict[str, dict[str, float]]:
         """``{measure_key: window statistics}`` for every tracked measure."""

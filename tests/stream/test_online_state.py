@@ -166,3 +166,145 @@ class TestIncrementalAggregate:
             for offer_id in OFFERS:
                 aggregate.remove(offer_id)
             assert len(aggregate) == 0
+
+    def test_rebuilds_counts_one_repair_per_dirty_interval(self):
+        # Several extreme removals between queries share one lazy rebuild:
+        # the counter tracks repairs, not removals.
+        aggregate = IncrementalAggregate()
+        for offer_id in ("a", "b", "c", "d"):
+            aggregate.add(offer_id, OFFERS[offer_id])
+        aggregate.remove("a")  # attained min tes
+        aggregate.remove("d")  # attained max end
+        assert aggregate.rebuilds == 0
+        assert aggregate.anchor == OFFERS["b"].earliest_start
+        assert aggregate.rebuilds == 1
+        assert aggregate.time_flexibility == min(
+            OFFERS["b"].time_flexibility, OFFERS["c"].time_flexibility
+        )
+        assert aggregate.rebuilds == 1  # clean again: no second repair
+
+    def test_rebuilds_remove_then_query_interleavings(self):
+        # remove → query → remove → query: each dirtying removal that is
+        # followed by a query costs exactly one rebuild, and the
+        # materialised aggregate matches the batch path at every step.
+        aggregate = IncrementalAggregate()
+        for offer_id in ("a", "b", "c", "d"):
+            aggregate.add(offer_id, OFFERS[offer_id])
+        aggregate.remove("a")
+        assert aggregate.aggregated() == aggregate_start_aligned(
+            [OFFERS[key] for key in ("b", "c", "d")]
+        )
+        assert aggregate.rebuilds == 1
+        aggregate.remove("d")
+        assert aggregate.aggregated() == aggregate_start_aligned(
+            [OFFERS[key] for key in ("b", "c")]
+        )
+        assert aggregate.rebuilds == 2
+
+    def test_rebuilds_reset_is_not_implied_by_drain(self):
+        # Draining resets the extremes and the dirty flag but keeps the
+        # observability counter: it records lifetime repairs.
+        aggregate = IncrementalAggregate()
+        for offer_id in ("a", "b"):
+            aggregate.add(offer_id, OFFERS[offer_id])
+        aggregate.remove("a")
+        aggregate.flex_offer()
+        assert aggregate.rebuilds == 1
+        aggregate.remove("b")
+        assert len(aggregate) == 0
+        aggregate.add("c", OFFERS["c"])
+        assert aggregate.anchor == OFFERS["c"].earliest_start
+        assert aggregate.rebuilds == 1  # fresh extremes needed no repair
+
+    def test_adding_after_dirty_removal_still_repairs_lazily(self):
+        # An add while dirty must not resurrect the cheap monotone update
+        # on a stale extreme: the next query still repairs from scratch.
+        aggregate = IncrementalAggregate()
+        for offer_id in ("a", "b", "c"):
+            aggregate.add(offer_id, OFFERS[offer_id])
+        aggregate.remove("a")  # dirties min tes
+        aggregate.add("d", OFFERS["d"])
+        assert aggregate.rebuilds == 0
+        survivors = [OFFERS[key] for key in ("b", "c", "d")]
+        assert aggregate.aggregated() == aggregate_start_aligned(survivors)
+        assert aggregate.rebuilds == 1
+
+
+class TestColumnStore:
+    """The packed/dict column store behind IncrementalAggregate."""
+
+    def batch_equal(self, aggregate, members):
+        assert aggregate.aggregated() == aggregate_start_aligned(members)
+
+    def test_packed_mode_is_active_with_numpy(self):
+        pytest.importorskip("numpy")
+        aggregate = IncrementalAggregate()
+        aggregate.add("a", OFFERS["a"])
+        assert aggregate._columns.packed
+
+    def test_huge_bounds_migrate_to_dict_with_identical_results(self):
+        pytest.importorskip("numpy")
+        big = offer(0, 2, [(0, 1 << 33)], "big")
+        aggregate = IncrementalAggregate()
+        aggregate.add("a", OFFERS["a"])
+        assert aggregate._columns.packed
+        aggregate.add("big", big)
+        assert not aggregate._columns.packed
+        self.batch_equal(aggregate, [OFFERS["a"], big])
+        # Membership changes keep working in dict mode.
+        aggregate.remove("a")
+        self.batch_equal(aggregate, [big])
+
+    def test_huge_span_migrates_to_dict_with_identical_results(self):
+        pytest.importorskip("numpy")
+        far = offer(1 << 21, (1 << 21) + 2, [(1, 2)], "far")
+        aggregate = IncrementalAggregate()
+        aggregate.add("a", OFFERS["a"])
+        aggregate.add("far", far)
+        assert not aggregate._columns.packed
+        self.batch_equal(aggregate, [OFFERS["a"], far])
+
+    def test_emptying_re_arms_the_packed_mode(self):
+        pytest.importorskip("numpy")
+        aggregate = IncrementalAggregate()
+        aggregate.add("far", offer(1 << 21, (1 << 21) + 2, [(1, 2)], "far"))
+        aggregate.add("a", OFFERS["a"])
+        assert not aggregate._columns.packed
+        aggregate.remove("far")
+        aggregate.remove("a")
+        aggregate.add("b", OFFERS["b"])
+        assert aggregate._columns.packed
+        self.batch_equal(aggregate, [OFFERS["b"]])
+
+    def test_span_growth_in_both_directions(self):
+        # Left and right extensions of the packed arrays, interleaved with
+        # removals, stay batch-identical throughout.
+        members = {
+            "mid": offer(100, 102, [(1, 2), (2, 3)], "mid"),
+            "left": offer(40, 44, [(0, 1)], "left"),
+            "right": offer(180, 185, [(2, 2), (1, 4)], "right"),
+            "lefter": offer(5, 6, [(3, 3)], "lefter"),
+        }
+        aggregate = IncrementalAggregate()
+        added = []
+        for offer_id, flex_offer in members.items():
+            aggregate.add(offer_id, flex_offer)
+            added.append(flex_offer)
+            self.batch_equal(aggregate, added)
+        aggregate.remove("left")
+        self.batch_equal(
+            aggregate, [members[key] for key in ("mid", "right", "lefter")]
+        )
+
+    def test_overlapping_members_sum_exactly(self):
+        overlapping = [
+            offer(0, 4, [(1, 2), (2, 3), (3, 4)], "x"),
+            offer(1, 5, [(5, 6), (6, 7)], "y"),
+            offer(2, 6, [(0, 9)], "z"),
+        ]
+        aggregate = IncrementalAggregate()
+        for index, flex_offer in enumerate(overlapping):
+            aggregate.add(f"o{index}", flex_offer)
+        self.batch_equal(aggregate, overlapping)
+        aggregate.remove("o1")
+        self.batch_equal(aggregate, [overlapping[0], overlapping[2]])

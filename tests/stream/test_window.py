@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.stream import MeasureWindow, RingBuffer, StreamError, WindowTracker
+from repro.stream.window import nearest_rank
 
 
 class TestRingBuffer:
@@ -104,6 +107,41 @@ class TestMeasureWindow:
         assert summary["p50"] == 2.0
         assert summary["p90"] == 3.0
 
+    @pytest.mark.parametrize("size", [1, 2, 3, 7, 64, 100, 1000])
+    def test_percentile_boundaries_are_exact_extremes(self, size):
+        # Regression: q=0 must be exactly minimum() and q=100 exactly
+        # maximum() for *every* window size — by definition, not by the
+        # luck of ceil(q*n/100) rounding the right way.
+        window = self.build(
+            [float((7 * index) % size) + 0.5 for index in range(size)],
+            capacity=size,
+        )
+        assert window.percentile(0) == window.minimum()
+        assert window.percentile(0.0) == window.minimum()
+        assert window.percentile(100) == window.maximum()
+        assert window.percentile(100.0) == window.maximum()
+
+    def test_nearest_rank_boundary_short_circuits(self):
+        # The shared helper hits the explicit q<=0 / q>=100 branches even
+        # for q values where the rank formula could misround.
+        ordered = [1.0, 2.0, 3.0]
+        assert nearest_rank(ordered, 0) == 1.0
+        assert nearest_rank(ordered, 100) == 3.0
+        assert nearest_rank(ordered, 1e-300) == 1.0
+        assert nearest_rank(ordered, 100.0 - 1e-12) == 3.0
+        assert nearest_rank([5.0], 0) == 5.0
+        assert nearest_rank([5.0], 100) == 5.0
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_samples_rejected_without_state_change(self, bad):
+        window = self.build([1.0, 2.0])
+        with pytest.raises(StreamError):
+            window.record(2, bad)
+        assert window.values() == [1.0, 2.0]
+        assert math.isfinite(window.total())
+
 
 class TestWindowTracker:
     def test_samples_only_present_measures(self):
@@ -119,6 +157,17 @@ class TestWindowTracker:
             tracker.window("ghost")
         with pytest.raises(StreamError):
             WindowTracker([])
+
+    def test_non_finite_set_values_are_skipped_not_recorded(self):
+        # A measure's float sum can overflow to inf on extreme
+        # populations; that tick must be dropped for that measure, not
+        # poison the window or crash the engine's tick path.
+        tracker = WindowTracker(["time"], capacity=4)
+        tracker.sample(0, {"time": 1.0})
+        tracker.sample(1, {"time": float("inf")})
+        tracker.sample(2, {"time": float("nan")})
+        tracker.sample(3, {"time": 2.0})
+        assert tracker.window("time").values() == [1.0, 2.0]
 
     def test_summary_keyed_by_measure(self):
         tracker = WindowTracker(["time"], capacity=2)
