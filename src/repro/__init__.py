@@ -32,6 +32,7 @@ from .backend import (
     get_backend,
     use_backend,
 )
+from .faults import FaultInjected, FaultPlan, FaultRule
 from .persist import (
     RecoveryStats,
     SessionPersister,
@@ -152,6 +153,10 @@ __all__ = [
     "RecoveryStats",
     "WriteAheadLog",
     "SnapshotStore",
+    # fault injection / chaos testing
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjected",
     # core model
     "TimeSeries",
     "EnergySlice",

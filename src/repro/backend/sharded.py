@@ -55,6 +55,29 @@ Knobs (read once, at construction)
     Populations smaller than this are delegated whole to the inner backend
     (fan-out overhead would dominate); defaults to
     :data:`DEFAULT_MIN_POPULATION`.
+``REPRO_SHARD_RETRIES``
+    Per-shard retry budget for infrastructure failures (a broken worker
+    pool, an injected :class:`~repro.faults.FaultInjected`); defaults to
+    :data:`DEFAULT_RETRIES`.  Application errors — an offer a measure
+    rejects — are never retried.
+``REPRO_SHARD_HEDGE_MS``
+    Straggler hedging: when a shard's result is this many milliseconds
+    late, an identical duplicate is submitted to a spare pool slot and the
+    first result wins (the primary wins ties).  ``0`` (the default)
+    disables hedging.  Shard workers are pure functions of their inputs,
+    so the duplicate's result is bit-identical and first-result-wins
+    cannot change any merged output.
+
+Self-healing
+------------
+``_map`` — the one fan-out/merge primitive every operation funnels
+through — retries each shard independently on *infrastructure* errors
+(bounded by the retry budget, with linear backoff), detects a broken
+executor, rebuilds the pool once and re-dispatches only the shards whose
+futures were lost (completed shards keep their results), and hedges
+stragglers as described above.  Shard results are still consumed in
+submission order, so the first-offending-offer error-parity contract
+above survives every recovery path.
 
 Like every backend, the sharded backend is pinned observationally
 equivalent to the reference implementation by the differential conformance
@@ -65,15 +88,26 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections.abc import Sequence
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+    wait,
+)
 from typing import TYPE_CHECKING, ClassVar, Optional
 
 from ..core.errors import BackendError
 from ..core.flexoffer import FlexOffer
+from ..faults.plan import SHARD_RESULT, SHARD_SUBMIT, FaultInjected, FaultPlan
 from .cache import matrix_cache
 from .dispatch import (
     ComputeBackend,
+    _env_float,
     _env_int,
     _warn_ignored_env,
     get_backend,
@@ -88,7 +122,10 @@ __all__ = [
     "ENV_SHARDS",
     "ENV_EXECUTOR",
     "ENV_MIN_POPULATION",
+    "ENV_RETRIES",
+    "ENV_HEDGE_MS",
     "DEFAULT_MIN_POPULATION",
+    "DEFAULT_RETRIES",
 ]
 
 #: Environment variable overriding the shard count.
@@ -97,10 +134,41 @@ ENV_SHARDS = "REPRO_SHARDS"
 ENV_EXECUTOR = "REPRO_SHARD_EXECUTOR"
 #: Environment variable overriding the delegation threshold.
 ENV_MIN_POPULATION = "REPRO_SHARD_MIN"
+#: Environment variable overriding the per-shard retry budget.
+ENV_RETRIES = "REPRO_SHARD_RETRIES"
+#: Environment variable enabling straggler hedging (milliseconds, 0 = off).
+ENV_HEDGE_MS = "REPRO_SHARD_HEDGE_MS"
 
 #: Below this population size the whole operation runs on the inner backend:
 #: pool dispatch plus per-shard packing costs more than it saves.
 DEFAULT_MIN_POPULATION = 4096
+
+#: Default per-shard retry budget for infrastructure failures.
+DEFAULT_RETRIES = 2
+
+#: Exceptions the shard loop treats as infrastructure (retryable): a pool
+#: whose workers died, or an injected fault standing in for one.
+_RETRYABLE = (BrokenExecutor, FaultInjected)
+
+
+class _FailedSubmit:
+    """A future-shaped sentinel for a submission that already failed.
+
+    Submission errors (an injected ``shard.submit`` fault, a pool broken
+    by an earlier shard) must not abort the whole fan-out — later shards
+    still get submitted, and this shard's error is raised when *its* turn
+    to be consumed comes, entering the same retry loop a failed
+    ``result()`` would.
+    """
+
+    def __init__(self, error: BaseException) -> None:
+        self._error = error
+
+    def result(self, timeout: Optional[float] = None):
+        raise self._error
+
+    def cancel(self) -> bool:  # pragma: no cover - parity with Future
+        return True
 
 
 # --------------------------------------------------------------------- #
@@ -212,6 +280,21 @@ class ShardedBackend(ComputeBackend):
         shard handles out of an already-cached whole-population matrix;
         ``None`` (the registered default instance) uses the process-wide
         :data:`~repro.backend.cache.matrix_cache`.
+    retries:
+        Per-shard retry budget for infrastructure failures.  ``None``
+        reads ``REPRO_SHARD_RETRIES`` and falls back to
+        :data:`DEFAULT_RETRIES`; ``0`` fails fast with a typed
+        :class:`~repro.core.errors.BackendError`.
+    retry_backoff_s:
+        Base sleep before a retry (multiplied by the attempt number).
+    hedge_ms:
+        Straggler-hedging latency threshold in milliseconds.  ``None``
+        reads ``REPRO_SHARD_HEDGE_MS``; ``0`` disables hedging.  When
+        enabled the pool gets one spare slot for the duplicates.
+    faults:
+        Optional :class:`repro.faults.FaultPlan`; when set the fan-out
+        fires the ``shard.submit`` / ``shard.result`` injection sites
+        (a ``kill`` rule kills a live process-pool worker).
     """
 
     name: ClassVar[str] = "sharded"
@@ -223,6 +306,10 @@ class ShardedBackend(ComputeBackend):
         min_population: Optional[int] = None,
         inner: Optional[Union[str, ComputeBackend]] = None,
         cache=None,
+        retries: Optional[int] = None,
+        retry_backoff_s: float = 0.01,
+        hedge_ms: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         # Explicit arguments fail fast; environment values degrade to the
         # documented defaults with a warning instead — the default instance
@@ -267,13 +354,39 @@ class ShardedBackend(ComputeBackend):
                     "the sharded backend cannot be its own inner backend"
                 )
             get_backend(inner)  # unknown names fail here, not at first use
+        if retries is None:
+            retries = _env_int(ENV_RETRIES, minimum=0)
+            if retries is None:
+                retries = DEFAULT_RETRIES
+        elif retries < 0:
+            raise BackendError(f"retries must be >= 0, got {retries}")
+        if hedge_ms is None:
+            hedge_ms = _env_float(ENV_HEDGE_MS, minimum=0.0, maximum=3.6e6) or 0.0
+        elif hedge_ms < 0:
+            raise BackendError(f"hedge_ms must be >= 0, got {hedge_ms}")
+        if retry_backoff_s < 0:
+            raise BackendError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
         self.shards = shards
         self.executor_kind = executor
         self.min_population = min_population
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.hedge_ms = hedge_ms
+        self._hedge_s = hedge_ms / 1000.0
+        self._faults = faults
         self._inner_spec = inner
         self._cache = cache
         self._pool: Optional[Executor] = None
         self._pool_lock = threading.Lock()
+        self._pool_gen = 0
+        # Self-healing counters, surfaced via resilience_stats().
+        self.retried = 0
+        self.pool_rebuilds = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.worker_kills = 0
 
     # ------------------------------------------------------------------ #
     # Plumbing
@@ -315,11 +428,14 @@ class ShardedBackend(ComputeBackend):
             with self._pool_lock:
                 pool = self._pool
                 if pool is None:
+                    # One spare slot when hedging, so a duplicate submission
+                    # never queues behind the straggler it is racing.
+                    workers = self.shards + (1 if self._hedge_s else 0)
                     if self.executor_kind == "process":
-                        pool = ProcessPoolExecutor(max_workers=self.shards)
+                        pool = ProcessPoolExecutor(max_workers=workers)
                     else:
                         pool = ThreadPoolExecutor(
-                            max_workers=self.shards,
+                            max_workers=workers,
                             thread_name_prefix="repro-shard",
                         )
                     self._pool = pool
@@ -394,13 +510,134 @@ class ShardedBackend(ComputeBackend):
     def _map(self, worker, arg_lists: Sequence[tuple]) -> list:
         """Run the worker over every shard; results in shard order.
 
-        ``future.result()`` is consumed in submission order, so an exception
-        from shard ``i`` surfaces before any later shard's — preserving the
-        reference backend's first-offending-offer error positions.
+        Results are consumed in submission order, so an exception from
+        shard ``i`` surfaces before any later shard's — preserving the
+        reference backend's first-offending-offer error positions.  Around
+        that contract sits the self-healing loop: infrastructure errors
+        (:data:`_RETRYABLE`) re-dispatch just the failed shard — rebuilding
+        the pool first when it broke — up to the retry budget, stragglers
+        are hedged to the spare slot, and application errors propagate
+        untouched on the first attempt.
         """
-        pool = self._executor()
-        futures = [pool.submit(worker, *args) for args in arg_lists]
-        return [future.result() for future in futures]
+        futures = [self._submit_shard(worker, args) for args in arg_lists]
+        return [
+            self._consume_shard(index, future, worker, args)
+            for index, (future, args) in enumerate(zip(futures, arg_lists))
+        ]
+
+    def _submit_shard(self, worker, args: tuple):
+        """Submit one shard; a retryable failure becomes a deferred error.
+
+        The returned future is tagged with the pool generation it ran on,
+        so :meth:`_recover_pool` can tell a stale failure (its pool was
+        already replaced) from one that must trigger a rebuild.
+        """
+        try:
+            self._fire_fault(SHARD_SUBMIT)
+            future = self._executor().submit(worker, *args)
+        except _RETRYABLE as error:
+            future = _FailedSubmit(error)
+        future._repro_pool_gen = self._pool_gen
+        return future
+
+    def _consume_shard(self, index: int, future, worker, args: tuple):
+        """One shard's result, retrying infrastructure failures in place."""
+        attempts = 0
+        while True:
+            try:
+                result = self._await_shard(future, worker, args)
+                self._fire_fault(SHARD_RESULT)
+                return result
+            except _RETRYABLE as error:
+                attempts += 1
+                if attempts > self.retries:
+                    raise BackendError(
+                        f"shard {index} failed after {attempts} attempt(s): "
+                        f"{error}"
+                    ) from error
+                self._recover_pool(
+                    error, getattr(future, "_repro_pool_gen", self._pool_gen)
+                )
+                self.retried += 1
+                if self.retry_backoff_s:
+                    time.sleep(self.retry_backoff_s * attempts)
+                future = self._submit_shard(worker, args)
+
+    def _await_shard(self, future, worker, args: tuple):
+        """The shard's result, hedging a straggler when configured."""
+        if not self._hedge_s or isinstance(future, _FailedSubmit):
+            return future.result()
+        try:
+            return future.result(timeout=self._hedge_s)
+        except FutureTimeoutError:
+            pass
+        self.hedges += 1
+        try:
+            hedge = self._executor().submit(worker, *args)
+        except Exception:
+            # Hedging is best-effort acceleration; fall back to waiting.
+            return future.result()
+        done, _ = wait([future, hedge], return_when=FIRST_COMPLETED)
+        if future in done:
+            hedge.cancel()
+            return future.result()
+        self.hedge_wins += 1
+        future.cancel()
+        return hedge.result()
+
+    def _recover_pool(self, error: BaseException, generation: int) -> None:
+        """Replace a broken pool so the retry lands on live workers.
+
+        Only the shards whose futures failed re-dispatch — completed
+        futures already yielded their results and are never recomputed —
+        and only a failure from the *current* pool generation tears it
+        down: when several futures of one broken pool fail together, the
+        first rebuilds and the rest land their retries on the fresh pool.
+        """
+        if not isinstance(error, BrokenExecutor):
+            return
+        with self._pool_lock:
+            if generation != self._pool_gen or self._pool is None:
+                return
+            pool, self._pool = self._pool, None
+            self._pool_gen += 1
+        pool.shutdown(wait=False)
+        self.pool_rebuilds += 1
+
+    def _fire_fault(self, site: str) -> None:
+        """Fire an injection site; ``kill`` takes down a live worker."""
+        if self._faults is None:
+            return
+        if self._faults.fire(site) is not None:
+            self._kill_worker()
+
+    def _kill_worker(self) -> None:
+        """Kill one process-pool worker (threads degrade to a raise).
+
+        The kill is asynchronous havoc, exactly like a real worker OOM:
+        pending futures on the pool fail with ``BrokenProcessPool`` and
+        enter the retry/rebuild path.
+        """
+        pool = self._pool
+        if isinstance(pool, ProcessPoolExecutor):
+            processes = list(getattr(pool, "_processes", {}).values())
+            if processes:
+                processes[0].kill()
+                self.worker_kills += 1
+                return
+        raise FaultInjected("injected worker kill (no process worker to kill)")
+
+    def resilience_stats(self) -> dict:
+        """Self-healing counters for health blocks and chaos assertions."""
+        return {
+            "retries": self.retries,
+            "hedge_ms": self.hedge_ms,
+            "retried": self.retried,
+            "pool_rebuilds": self.pool_rebuilds,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "worker_kills": self.worker_kills,
+        }
 
     # ------------------------------------------------------------------ #
     # Measures

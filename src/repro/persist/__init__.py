@@ -11,7 +11,10 @@ that survives process restarts:
   newest snapshot degrades to the previous one plus a longer replay;
 * :class:`SessionPersister` — the coordinator wiring both to one session
   directory: log-after-apply on the write path, snapshot + strict
-  sequential tail replay on the read path.
+  sequential tail replay on the read path, and a *degraded mode* that
+  suspends persistence (instead of failing requests) when the disk stops
+  accepting writes, resuming through a probe-based circuit breaker with
+  a forced snapshot (see :class:`PersistenceSuspendedError`).
 
 The correctness contract (exercised by the crash-point property tests in
 ``tests/persist/``): for **any** prefix of committed events and **any**
@@ -32,13 +35,20 @@ Quick start::
     session.recovery           # RecoveryStats: snapshot + tail replayed
 """
 
-from .persister import RecoveryStats, SessionPersister, load_config, save_config
+from .persister import (
+    PersistenceSuspendedError,
+    RecoveryStats,
+    SessionPersister,
+    load_config,
+    save_config,
+)
 from .snapshot import FORMAT_VERSION, SnapshotStore
 from .wal import PersistError, WalRecord, WriteAheadLog, read_wal_records
 
 __all__ = [
     "FORMAT_VERSION",
     "PersistError",
+    "PersistenceSuspendedError",
     "RecoveryStats",
     "SessionPersister",
     "SnapshotStore",

@@ -14,6 +14,20 @@ that actually mutated the engine, and a mid-batch failure cannot make the
 log diverge from the state.  The read path is *snapshot + tail replay*:
 recovery restores the newest valid snapshot and replays only the WAL
 records past its watermark, O(snapshot + tail) instead of O(history).
+
+**Degraded mode.**  Durability failures must not take serving down: an
+``OSError`` (disk full, injected fault, dead volume) on the append,
+commit or checkpoint path *suspends* persistence instead of failing the
+request.  While suspended the session keeps answering from memory,
+:meth:`SessionPersister.stats` reports ``status: "degraded"``, explicit
+checkpoints raise :class:`PersistenceSuspendedError` (the gateway maps it
+to HTTP 503), and every :meth:`maybe_checkpoint` tick runs a probe-based
+circuit breaker — a small write + fsync + unlink in the session
+directory.  Once a probe succeeds the persister resumes: the WAL rewinds
+its dirty tail, a forced snapshot captures the engine state (covering
+every event that went unlogged while degraded) and a fresh segment
+starts, so recovery after a resume is exactly as trustworthy as one that
+never degraded.
 """
 
 from __future__ import annotations
@@ -25,11 +39,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Tuple, Union
 
+from ..faults.plan import PERSIST_PROBE, FaultInjected, FaultPlan
 from ..io.serialization import event_from_dict, event_to_dict
 from .snapshot import SnapshotStore
 from .wal import PersistError, WriteAheadLog
 
 __all__ = [
+    "PersistenceSuspendedError",
     "RecoveryStats",
     "SessionPersister",
     "load_config",
@@ -37,6 +53,19 @@ __all__ = [
 ]
 
 _CONFIG_FILE = "config.json"
+
+#: Name of the transient file the resume circuit breaker writes.
+_PROBE_FILE = ".probe"
+
+
+class PersistenceSuspendedError(PersistError):
+    """Raised by explicit checkpoints while persistence is suspended.
+
+    Regular request traffic never sees this — logging and commits degrade
+    silently — but an operation whose *whole point* is durability (the
+    checkpoint route, ``FlexSession.checkpoint()``) must fail loudly.  The
+    gateway maps it to HTTP 503 with the ``degraded`` error code.
+    """
 
 
 def save_config(directory: Union[str, Path], payload: dict) -> Path:
@@ -112,6 +141,10 @@ class SessionPersister:
         Snapshots retained (see :class:`~repro.persist.SnapshotStore`).
     clock:
         Monotonic time source (injectable for the age-policy tests).
+    faults:
+        Optional :class:`repro.faults.FaultPlan`, threaded through to the
+        WAL and snapshot store and fired at ``persist.probe`` by the
+        resume circuit breaker.
     """
 
     def __init__(
@@ -122,6 +155,7 @@ class SessionPersister:
         checkpoint_age_s: Optional[float] = None,
         keep_snapshots: int = 2,
         clock: Callable[[], float] = time.monotonic,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if checkpoint_events < 1:
             raise PersistError(
@@ -135,45 +169,86 @@ class SessionPersister:
         self.checkpoint_events = checkpoint_events
         self.checkpoint_age_s = checkpoint_age_s
         self._clock = clock
-        self.wal = WriteAheadLog(self.directory, fsync=fsync)
+        self._faults = faults
+        self.wal = WriteAheadLog(self.directory, fsync=fsync, faults=faults)
         self.snapshots = SnapshotStore(
-            self.directory, keep=keep_snapshots, fsync=fsync
+            self.directory, keep=keep_snapshots, fsync=fsync, faults=faults
         )
         latest = self.snapshots.paths()
         self._snapshot_seq = latest[-1][0] if latest else 0
         self._snapshot_at = clock()
         self.checkpoints = 0
         self._closed = False
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        self.suspended_seq = 0
+        self.suspensions = 0
+        self.resumptions = 0
+        self.probe_attempts = 0
 
     # ------------------------------------------------------------------ #
     # Write path
     # ------------------------------------------------------------------ #
-    def log_event(self, event) -> int:
-        """Append one *applied* event; durable at the next :meth:`commit`."""
-        return self.wal.append({"event": event_to_dict(event)})
+    def log_event(self, event) -> Optional[int]:
+        """Append one *applied* event; durable at the next :meth:`commit`.
+
+        Returns the record's sequence number — or ``None`` when the write
+        failed (or persistence was already suspended): the event stays
+        applied and un-durable, and the snapshot a successful resume
+        forces will cover it.
+        """
+        if self.degraded:
+            return None
+        try:
+            return self.wal.append({"event": event_to_dict(event)})
+        except OSError as error:
+            self._suspend(error)
+            return None
 
     def commit(self) -> None:
-        """The request-level commit point (flush + configured fsync)."""
-        self.wal.commit()
+        """The request-level commit point (flush + configured fsync).
+
+        A failing flush/fsync suspends persistence instead of raising —
+        the request that triggered it still succeeds.
+        """
+        if self.degraded:
+            return
+        try:
+            self.wal.commit()
+        except OSError as error:
+            self._suspend(error)
 
     def checkpoint(self, engine, extra: Optional[dict] = None) -> dict:
         """Snapshot the engine now; rotate and prune the WAL behind it.
 
         ``extra`` rides along under the state's ``"session"`` key (the
         service layer stores its request counter there).  Returns a
-        JSON-ready summary block.
+        JSON-ready summary block.  Raises
+        :class:`PersistenceSuspendedError` while suspended, or when the
+        checkpoint itself hits an ``OSError`` (which suspends).
         """
         if self._closed:
             raise PersistError("the persister is closed")
+        if self.degraded:
+            raise PersistenceSuspendedError(
+                f"persistence is suspended ({self.degraded_reason}); "
+                "serving continues without durability until writes recover"
+            )
         started = self._clock()
-        self.commit()
-        seq = self.wal.last_seq
-        state = engine.export_state()
-        if extra:
-            state["session"] = dict(extra)
-        self.snapshots.write(seq, state)
-        self.wal.rotate()
-        self.wal.prune(seq)
+        try:
+            self.wal.commit()
+            seq = self.wal.last_seq
+            state = engine.export_state()
+            if extra:
+                state["session"] = dict(extra)
+            self.snapshots.write(seq, state)
+            self.wal.rotate()
+            self.wal.prune(seq)
+        except OSError as error:
+            self._suspend(error)
+            raise PersistenceSuspendedError(
+                f"checkpoint failed and suspended persistence: {error}"
+            ) from error
         self._snapshot_seq = seq
         self._snapshot_at = self._clock()
         self.checkpoints += 1
@@ -184,7 +259,15 @@ class SessionPersister:
         }
 
     def maybe_checkpoint(self, engine, extra: Optional[dict] = None) -> Optional[dict]:
-        """Checkpoint when the size or age policy says so; else ``None``."""
+        """Checkpoint when the size or age policy says so; else ``None``.
+
+        While suspended this is the circuit breaker's tick: instead of
+        checkpointing it probes the directory and, once writes succeed
+        again, resumes with a forced snapshot (returned like a regular
+        checkpoint summary).
+        """
+        if self.degraded:
+            return self.try_resume(engine, extra)
         pending = self.wal.last_seq - self._snapshot_seq
         if pending <= 0:
             return None
@@ -192,8 +275,31 @@ class SessionPersister:
             self.checkpoint_age_s is not None
             and self._clock() - self._snapshot_at >= self.checkpoint_age_s
         ):
-            return self.checkpoint(engine, extra)
+            try:
+                return self.checkpoint(engine, extra)
+            except PersistenceSuspendedError:
+                return None
         return None
+
+    def try_resume(self, engine, extra: Optional[dict] = None) -> Optional[dict]:
+        """One circuit-breaker attempt: probe, then resume via checkpoint.
+
+        Returns the forced checkpoint's summary on success, ``None`` when
+        the probe (or the checkpoint retry) says the directory is still
+        unwritable — in which case the persister stays suspended.
+        """
+        if self._closed or not self.degraded:
+            return None
+        if not self._probe():
+            return None
+        self.degraded = False
+        self.degraded_reason = None
+        try:
+            summary = self.checkpoint(engine, extra)
+        except PersistenceSuspendedError:
+            return None
+        self.resumptions += 1
+        return summary
 
     def close(self, engine=None, extra: Optional[dict] = None) -> None:
         """Final checkpoint (when dirty and an engine is given) and shutdown.
@@ -201,14 +307,23 @@ class SessionPersister:
         This is what makes registry eviction *checkpoint-then-close*: any
         WAL tail past the last snapshot is folded into a final snapshot so
         a later lazy recovery answers from state, not from a long replay.
-        Idempotent.
+        A suspended persister gets one last resume attempt, then closes
+        without raising either way.  Idempotent.
         """
         if self._closed:
             return
-        if engine is not None and self.dirty:
-            self.checkpoint(engine, extra)
+        if self.degraded and engine is not None:
+            self.try_resume(engine, extra)
+        if engine is not None and not self.degraded and self.dirty:
+            try:
+                self.checkpoint(engine, extra)
+            except PersistenceSuspendedError:
+                pass
         self._closed = True
-        self.wal.close()
+        try:
+            self.wal.close()
+        except OSError:
+            pass
 
     @property
     def dirty(self) -> bool:
@@ -269,12 +384,50 @@ class SessionPersister:
         """Counters for the session health block."""
         return {
             "directory": str(self.directory),
+            "status": "degraded" if self.degraded else "ok",
+            "degraded_reason": self.degraded_reason,
+            "suspensions": self.suspensions,
+            "resumptions": self.resumptions,
+            "probe_attempts": self.probe_attempts,
             "snapshot_seq": self._snapshot_seq,
             "snapshots": len(self.snapshots.paths()),
             "checkpoints": self.checkpoints,
             "pending": self.wal.last_seq - self._snapshot_seq,
             **self.wal.stats(),
         }
+
+    # ------------------------------------------------------------------ #
+    # Degraded-mode internals
+    # ------------------------------------------------------------------ #
+    def _suspend(self, error: BaseException) -> None:
+        """Enter degraded mode; remembers why and where for ``stats()``."""
+        self.degraded = True
+        self.degraded_reason = f"{type(error).__name__}: {error}"
+        self.suspended_seq = self.wal.last_seq
+        self.suspensions += 1
+
+    def _probe(self) -> bool:
+        """Whether the directory accepts a durable write right now."""
+        self.probe_attempts += 1
+        path = self.directory / _PROBE_FILE
+        try:
+            if (
+                self._faults is not None
+                and self._faults.fire(PERSIST_PROBE) is not None
+            ):
+                raise FaultInjected(f"injected fault at {PERSIST_PROBE}")
+            with open(path, "wb") as handle:
+                handle.write(b"probe")
+                handle.flush()
+                os.fsync(handle.fileno())
+            path.unlink()
+            return True
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SessionPersister({self.directory})"

@@ -19,6 +19,8 @@ import zlib
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
+from ..faults.plan import SNAPSHOT_REPLACE, FaultInjected, FaultPlan
+
 __all__ = ["SnapshotStore"]
 
 #: Bumped when the state document's shape changes incompatibly.
@@ -50,10 +52,19 @@ class SnapshotStore:
         tail) rather than a data loss.
     fsync:
         Whether writes fsync the temp file before the atomic rename.
+    faults:
+        Optional :class:`repro.faults.FaultPlan`; when set, the store
+        fires the ``snapshot.replace`` injection site just before the
+        atomic ``os.replace`` — the last point a checkpoint can fail
+        while still leaving the previous snapshot intact.
     """
 
     def __init__(
-        self, directory: Union[str, Path], keep: int = 2, fsync: bool = True
+        self,
+        directory: Union[str, Path],
+        keep: int = 2,
+        fsync: bool = True,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
@@ -61,6 +72,7 @@ class SnapshotStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = keep
         self.fsync = fsync
+        self._faults = faults
         self.written = 0
 
     # ------------------------------------------------------------------ #
@@ -76,12 +88,21 @@ class SnapshotStore:
             "state": state,
         }
         tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, allow_nan=False)
-            handle.flush()
-            if self.fsync:
-                os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, allow_nan=False)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            if self._faults is not None and self._faults.fire(SNAPSHOT_REPLACE):
+                raise FaultInjected(f"injected fault at {SNAPSHOT_REPLACE}")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         self.written += 1
         self.prune()
         return path

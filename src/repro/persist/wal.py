@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
 from ..core.errors import FlexError
+from ..faults.plan import WAL_APPEND, WAL_COMMIT, WAL_FSYNC, FaultInjected, FaultPlan
 
 __all__ = ["PersistError", "WalRecord", "WriteAheadLog", "read_wal_records"]
 
@@ -119,20 +120,41 @@ class WriteAheadLog:
         machine-crash guarantee for speed (a *process* crash still loses
         nothing the OS already buffered) — the durability knob surfaced as
         ``SessionConfig(persist_fsync=...)``.
+    faults:
+        Optional :class:`repro.faults.FaultPlan`; when set, the log fires
+        the ``wal.append`` / ``wal.commit`` / ``wal.fsync`` injection
+        sites at the matching boundaries.
 
     Opening an existing directory repairs the torn tail of every segment
     and resumes the sequence numbering where the last valid record left
     off; sequence numbers start at 1 and are globally monotonic across
     rotations.
+
+    A failed :meth:`commit` (flush or fsync raising) marks the log
+    *dirty*: the buffered frames are in an unknown half-written state, so
+    the next :meth:`append` or :meth:`commit` first rewinds — truncates
+    the active segment back to the last committed offset and resets the
+    sequence counter — before writing anything new.  Callers therefore
+    never re-log on top of a torn middle, and :meth:`records` only ever
+    shows the committed prefix plus cleanly re-appended records.
     """
 
-    def __init__(self, directory: Union[str, Path], fsync: bool = True) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        fsync: bool = True,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
+        self._faults = faults
         self.last_seq = 0
         self.appended = 0
         self.commits = 0
+        self.rewinds = 0
+        self._pending = 0
+        self._dirty = False
         segments = self.segments()
         for start, path in segments:
             records = read_wal_records(path, repair=True)
@@ -143,9 +165,9 @@ class WriteAheadLog:
         if segments:
             self._path = segments[-1][1]
             self._file = open(self._path, "ab")
+            self._mark_committed()
         else:
             self._open_segment(1)
-        self._pending = 0
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -159,26 +181,49 @@ class WriteAheadLog:
         """
         if self._file is None:
             raise PersistError("the write-ahead log is closed")
+        self._fire(WAL_APPEND)
+        if self._dirty:
+            self._rewind()
         self.last_seq += 1
         record = dict(payload)
         record["seq"] = self.last_seq
         data = json.dumps(
             record, separators=(",", ":"), allow_nan=False
         ).encode("utf-8")
-        self._file.write(_HEADER.pack(len(data), zlib.crc32(data)))
-        self._file.write(data)
+        try:
+            self._file.write(_HEADER.pack(len(data), zlib.crc32(data)))
+            self._file.write(data)
+        except BaseException:
+            self._dirty = True
+            raise
         self._pending += 1
         self.appended += 1
         return self.last_seq
 
     def commit(self) -> None:
-        """Flush buffered appends; fsync when configured.  The commit point."""
-        if self._file is None or not self._pending:
+        """Flush buffered appends; fsync when configured.  The commit point.
+
+        If the flush or fsync raises, nothing buffered since the last
+        successful commit counts as durable: the log goes *dirty* and the
+        next write rewinds to the committed offset first (see the class
+        docstring), so a half-flushed tail can never be extended.
+        """
+        if self._file is None:
             return
-        self._file.flush()
-        if self.fsync:
-            os.fsync(self._file.fileno())
-        self._pending = 0
+        if self._dirty:
+            self._rewind()
+        if not self._pending:
+            return
+        try:
+            self._fire(WAL_COMMIT)
+            self._file.flush()
+            if self.fsync:
+                self._fire(WAL_FSYNC)
+                os.fsync(self._file.fileno())
+        except BaseException:
+            self._dirty = True
+            raise
+        self._mark_committed()
         self.commits += 1
 
     def rotate(self) -> Path:
@@ -210,11 +255,20 @@ class WriteAheadLog:
         return removed
 
     def close(self) -> None:
-        """Commit and close the active segment.  Idempotent."""
+        """Commit and close the active segment.  Idempotent.
+
+        The file handle is released even when the final commit raises —
+        a log on a failing disk must still close cleanly.
+        """
         if self._file is not None:
-            self.commit()
-            self._file.close()
-            self._file = None
+            try:
+                self.commit()
+            finally:
+                file, self._file = self._file, None
+                try:
+                    file.close()
+                except OSError:
+                    pass
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -244,6 +298,8 @@ class WriteAheadLog:
             "segments": len(self.segments()),
             "appended": self.appended,
             "commits": self.commits,
+            "rewinds": self.rewinds,
+            "dirty": self._dirty,
         }
 
     # ------------------------------------------------------------------ #
@@ -252,6 +308,39 @@ class WriteAheadLog:
     def _open_segment(self, first_seq: int) -> None:
         self._path = self.directory / _SEGMENT_FORMAT.format(seq=first_seq)
         self._file = open(self._path, "ab")
+        self._mark_committed()
+
+    def _fire(self, site: str) -> None:
+        """Fire an injection site; a ``kill`` rule degrades to ``raise``."""
+        if self._faults is not None and self._faults.fire(site) is not None:
+            raise FaultInjected(f"injected fault at {site}")
+
+    def _mark_committed(self) -> None:
+        """Record the current end of the active segment as durable."""
+        self._committed_offset = self._file.tell()
+        self._committed_seq = self.last_seq
+        self._pending = 0
+        self._dirty = False
+
+    def _rewind(self) -> None:
+        """Truncate the active segment back to the last committed offset.
+
+        Runs before the first write after a failed commit: whatever the
+        failed flush left on disk past the committed offset is discarded
+        and the sequence counter rewinds with it, so re-logged events
+        reuse the abandoned sequence numbers and replay stays gapless.
+        """
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        with open(self._path, "r+b") as handle:
+            handle.truncate(self._committed_offset)
+        self._file = open(self._path, "ab")
+        self.last_seq = self._committed_seq
+        self._pending = 0
+        self._dirty = False
+        self.rewinds += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -59,6 +59,7 @@ from pathlib import Path
 from typing import Any, Optional, Union
 
 from ..core.errors import FlexError, SerializationError
+from ..faults.plan import GATEWAY_DISPATCH, FaultInjected, FaultPlan
 from ..io.csv_io import RequestStatsLog
 from ..io.serialization import (
     error_to_dict,
@@ -66,6 +67,7 @@ from ..io.serialization import (
     result_to_dict,
     wire_safe,
 )
+from ..persist import PersistenceSuspendedError
 from ..service.config import ServiceError, SessionConfig
 from .limits import (
     BadRequestError,
@@ -76,6 +78,7 @@ from .limits import (
     NotFoundError,
     PayloadTooLargeError,
     RequestTimeoutError,
+    ServiceUnavailableError,
 )
 from .registry import SessionRegistry
 
@@ -92,6 +95,7 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -135,6 +139,12 @@ class GatewayConfig:
         :class:`~repro.service.RequestStats` row per served request
         (through the concurrency-safe :class:`~repro.io.RequestStatsLog`
         appender); ``None`` disables the access log.
+    fault_plan:
+        A :class:`~repro.faults.FaultPlan` (or its JSON/dict spec) fired
+        at the gateway's own ``gateway.dispatch`` site on every worker
+        dispatch — the chaos knob for the HTTP layer itself, independent
+        of any per-session plan.  ``None`` resolves ``REPRO_FAULTS`` from
+        the environment.
     """
 
     host: str = "127.0.0.1"
@@ -151,6 +161,7 @@ class GatewayConfig:
     session_defaults: Optional[SessionConfig] = None
     access_log: Optional[Union[str, Path, Any]] = None
     persist_root: Optional[str] = None
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         import os
@@ -175,6 +186,15 @@ class GatewayConfig:
             self.persist_root, str
         ):
             object.__setattr__(self, "persist_root", str(self.persist_root))
+        if self.fault_plan is None:
+            object.__setattr__(self, "fault_plan", FaultPlan.from_env())
+        elif not isinstance(self.fault_plan, FaultPlan):
+            try:
+                object.__setattr__(
+                    self, "fault_plan", FaultPlan.from_spec(self.fault_plan)
+                )
+            except ValueError as error:
+                raise ValueError(f"invalid fault_plan: {error}") from error
 
 
 @dataclass(frozen=True)
@@ -285,6 +305,7 @@ class Gateway:
         self.served = 0
         self.failed = 0
         self.timeouts = 0
+        self.sweeper_failures = 0
         self._connections: set = set()
         self._closed = False
 
@@ -302,8 +323,28 @@ class Gateway:
             return await self._route(method.upper(), path)(body)
         except GatewayError as error:
             self.failed += 1
+            retry_after = error.retry_after
+            if retry_after is None and error.status in (429, 503):
+                # Every backoff-shaped rejection carries a hint, even
+                # when raised somewhere that had no gate to ask.
+                retry_after = self.config.retry_after_s
             return Response(
-                error.status, error_to_dict(error), retry_after=error.retry_after
+                error.status, error_to_dict(error), retry_after=retry_after
+            )
+        except PersistenceSuspendedError as error:
+            # Must precede the FlexError branch: a suspended WAL is a
+            # *server* condition, not a client mistake.  Only operations
+            # that need the degraded component (an explicit checkpoint)
+            # land here; regular serving continues, so the client should
+            # simply retry after the circuit breaker's next probe.
+            self.failed += 1
+            wrapped = ServiceUnavailableError(
+                str(error), retry_after=self.config.retry_after_s
+            )
+            return Response(
+                wrapped.status,
+                error_to_dict(wrapped),
+                retry_after=wrapped.retry_after,
             )
         except (SerializationError, ServiceError, FlexError) as error:
             # Library-level rejections of a well-formed HTTP request:
@@ -359,7 +400,14 @@ class Gateway:
             raise BadRequestError(f"malformed JSON body: {error}") from error
 
     async def _handle_health(self, body: bytes) -> Response:
-        return Response(200, {"kind": "health", "status": "ok", **self.stats()})
+        stats = self.stats()
+        healthy = all(
+            state == "ok"
+            for part, state in stats["components"].items()
+            if not (part == "persistence" and state == "disabled")
+        )
+        status = "ok" if healthy else "degraded"
+        return Response(200, {"kind": "health", "status": status, **stats})
 
     async def _handle_list(self, body: bytes) -> Response:
         return Response(
@@ -429,6 +477,7 @@ class Gateway:
         never touches a session the gateway considers free.
         """
         loop = asyncio.get_running_loop()
+        self._fire_dispatch()
         future = loop.run_in_executor(self._executor, session.submit, request)
         timeout = self.config.request_timeout_s
         if timeout is None:
@@ -443,6 +492,18 @@ class Gateway:
             raise RequestTimeoutError(
                 f"request exceeded the {timeout:g}s deadline"
             ) from None
+
+    def _fire_dispatch(self) -> None:
+        """Fire the ``gateway.dispatch`` injection site, if a plan is set.
+
+        The gateway has no worker *processes*, so a ``kill`` rule degrades
+        to ``raise`` here — same convention as the thread-pool backends.
+        """
+        plan = self.config.fault_plan
+        if plan is not None and plan.fire(GATEWAY_DISPATCH) is not None:
+            raise FaultInjected(
+                f"injected fault at {GATEWAY_DISPATCH} (kill)"
+            )
 
     # ------------------------------------------------------------------ #
     # HTTP transport
@@ -541,15 +602,37 @@ class Gateway:
     # Lifecycle / introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
-        """Gateway counters: served/failed totals, gates, registry."""
-        return {
+        """Gateway counters: served/failed totals, gates, registry, health.
+
+        ``components`` is the operator-facing roll-up: one status word per
+        subsystem (the sweeper goes ``degraded`` after any swallowed sweep
+        failure; persistence mirrors
+        :meth:`~repro.server.SessionRegistry.persistence_health`).
+        """
+        registry = self.registry.stats()
+        persistence = self.registry.persistence_health()
+        sweeper_ok = (
+            self.sweeper_failures == 0 and registry["sweep_failures"] == 0
+        )
+        payload = {
             "served": self.served,
             "failed": self.failed,
             "timeouts": self.timeouts,
+            "sweeper_failures": self.sweeper_failures,
             "gate": self.gate.stats(),
-            "registry": self.registry.stats(),
+            "registry": registry,
             "workers": self.config.workers,
+            "persistence": persistence,
+            "components": {
+                "gateway": "ok",
+                "registry": "ok",
+                "sweeper": "ok" if sweeper_ok else "degraded",
+                "persistence": persistence["status"],
+            },
         }
+        if self.config.fault_plan is not None:
+            payload["faults"] = self.config.fault_plan.stats()
+        return payload
 
     def close(self) -> None:
         """Shut the pool down and close every session.  Idempotent."""
@@ -575,9 +658,21 @@ class GatewayServer:
             )
 
     async def _sweep_loop(self, interval: float) -> None:
+        """Sweep idle sessions forever; one bad sweep never kills the loop.
+
+        An exception escaping :meth:`SessionRegistry.sweep` (it already
+        swallows per-session close failures, so this is registry-level
+        breakage) is counted on the gateway and the loop keeps ticking —
+        a wedged sweeper would silently turn the TTL off.
+        """
         while True:
             await asyncio.sleep(interval)
-            self.gateway.registry.sweep()
+            try:
+                self.gateway.registry.sweep()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - the sweeper must survive
+                self.gateway.sweeper_failures += 1
 
     @property
     def port(self) -> int:

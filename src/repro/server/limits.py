@@ -41,6 +41,7 @@ __all__ = [
     "PayloadTooLargeError",
     "SaturatedError",
     "RegistryFullError",
+    "ServiceUnavailableError",
     "RequestTimeoutError",
     "InternalError",
     "error_class_for_code",
@@ -129,6 +130,19 @@ class RegistryFullError(GatewayError):
     code = "registry-full"
 
 
+class ServiceUnavailableError(GatewayError):
+    """503 — a required component is degraded (e.g. suspended persistence).
+
+    Raised for operations that *need* the degraded component — an explicit
+    checkpoint while the session's WAL is suspended — while regular
+    serving continues.  Carries ``retry_after`` so clients back off until
+    the circuit breaker re-enables the component.
+    """
+
+    status = 503
+    code = "degraded"
+
+
 class RequestTimeoutError(GatewayError):
     """504 — the request exceeded the gateway's execution deadline."""
 
@@ -155,6 +169,7 @@ _ERRORS_BY_CODE = {
         PayloadTooLargeError,
         SaturatedError,
         RegistryFullError,
+        ServiceUnavailableError,
         RequestTimeoutError,
         InternalError,
     )

@@ -133,6 +133,7 @@ class SessionRegistry:
         self.evicted = 0
         self.expired = 0
         self.recovered = 0
+        self.sweep_failures = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -199,6 +200,10 @@ class SessionRegistry:
 
         Busy sessions (requests running or queued) are left alone even
         when expired — their TTL clock restarts when the request finishes.
+        One session's close blowing up (a checkpoint-on-evict ``OSError``,
+        say) must not stop the sweep or kill the sweeper task: the failure
+        is counted in ``sweep_failures`` (surfaced via ``/healthz``), the
+        entry is still dropped, and the sweep moves on.
         """
         if self.idle_ttl is None:
             return []
@@ -211,7 +216,7 @@ class SessionRegistry:
                     continue
                 if now - entry.last_used > self.idle_ttl:
                     del self._entries[name]
-                    entry.session.close()
+                    self._close_quietly(entry)
                     self.expired += 1
                     swept.append(name)
         return swept
@@ -249,8 +254,38 @@ class SessionRegistry:
                 "evicted": self.evicted,
                 "expired": self.expired,
                 "recovered": self.recovered,
+                "sweep_failures": self.sweep_failures,
                 "persist_root": self.persist_root,
             }
+
+    def persistence_health(self) -> dict:
+        """Aggregate persistence status across live tenants (``/healthz``).
+
+        ``disabled`` when the gateway has no persistence at all, ``ok``
+        when every durable session's WAL is healthy, ``degraded`` when at
+        least one suspended — with the offending tenants named, so an
+        operator sees *which* volume is failing, not just that one is.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        durable = 0
+        degraded: List[str] = []
+        for entry in entries:
+            persister = getattr(entry.session, "_persister", None)
+            if persister is None:
+                continue
+            durable += 1
+            if persister.degraded:
+                degraded.append(entry.name)
+        if durable == 0 and self.persist_root is None:
+            status = "disabled"
+        else:
+            status = "degraded" if degraded else "ok"
+        return {
+            "status": status,
+            "durable_sessions": durable,
+            "degraded_sessions": sorted(degraded),
+        }
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -344,7 +379,19 @@ class SessionRegistry:
             entry = self._entries[name]
             if not entry.gate.busy:
                 del self._entries[name]
-                entry.session.close()
+                self._close_quietly(entry)
                 self.evicted += 1
                 return True
         return False
+
+    def _close_quietly(self, entry: SessionEntry) -> None:
+        """Close a swept/evicted session without letting it break the caller.
+
+        The entry is already out of the table; a close failure only costs
+        that session its final checkpoint, which ``sweep_failures`` makes
+        visible.
+        """
+        try:
+            entry.session.close()
+        except Exception:  # noqa: BLE001 - sweep must keep sweeping
+            self.sweep_failures += 1

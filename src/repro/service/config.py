@@ -34,11 +34,15 @@ from ..backend.cache import (
 from ..backend.dispatch import ENV_VAR, _env_float, _env_int
 from ..backend.sharded import (
     DEFAULT_MIN_POPULATION,
+    DEFAULT_RETRIES,
     ENV_EXECUTOR,
+    ENV_HEDGE_MS,
     ENV_MIN_POPULATION,
+    ENV_RETRIES,
     ENV_SHARDS,
 )
 from ..core.errors import FlexError
+from ..faults.plan import FaultPlan
 
 #: Compaction-ratio knob name.  Mirrored from :mod:`repro.backend.matrix`
 #: (which imports NumPy at module level and therefore cannot be imported
@@ -77,6 +81,17 @@ class SessionConfig:
         Sharded-backend tuning, applied only when ``backend="sharded"``.
         Defaults: ``REPRO_SHARDS`` / ``REPRO_SHARD_EXECUTOR`` /
         ``REPRO_SHARD_MIN`` and then the backend's own defaults.
+    shard_retries, shard_hedge_ms:
+        The sharded backend's self-healing knobs: per-shard retry budget
+        for infrastructure failures and the straggler-hedging latency
+        threshold in milliseconds (``0`` disables hedging).  Defaults:
+        ``REPRO_SHARD_RETRIES`` / ``REPRO_SHARD_HEDGE_MS`` and then the
+        backend's own defaults.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` (or its ``spec()``
+        dict/JSON) injected into the session's backend and persister for
+        chaos testing.  Default: the ``REPRO_FAULTS`` environment
+        variable, else ``None`` — no injection, zero overhead.
     cache_entries, cache_cells:
         The session matrix cache's entry capacity and total packed-slice
         budget.  Defaults: ``REPRO_MATRIX_CACHE`` /
@@ -122,6 +137,9 @@ class SessionConfig:
     shards: Optional[int] = None
     shard_executor: Optional[str] = None
     shard_min_population: Optional[int] = None
+    shard_retries: Optional[int] = None
+    shard_hedge_ms: Optional[float] = None
+    fault_plan: Optional[FaultPlan] = None
     cache_entries: Optional[int] = None
     cache_cells: Optional[int] = None
     compact_threshold: Optional[float] = None
@@ -220,6 +238,38 @@ class SessionConfig:
                 f"shard_min_population must be >= 0, "
                 f"got {self.shard_min_population}"
             )
+        if self.shard_retries is None:
+            value = _env_int(ENV_RETRIES, minimum=0)
+            _frozen_set(
+                self, "shard_retries", DEFAULT_RETRIES if value is None else value
+            )
+        elif self.shard_retries < 0:
+            raise ServiceError(
+                f"shard_retries must be >= 0, got {self.shard_retries}"
+            )
+        if self.shard_hedge_ms is None:
+            _frozen_set(
+                self,
+                "shard_hedge_ms",
+                _env_float(ENV_HEDGE_MS, 0.0, 3.6e6) or 0.0,
+            )
+        elif self.shard_hedge_ms < 0:
+            raise ServiceError(
+                f"shard_hedge_ms must be >= 0, got {self.shard_hedge_ms}"
+            )
+        self._resolve_fault_plan()
+
+    def _resolve_fault_plan(self) -> None:
+        plan = self.fault_plan
+        if plan is None:
+            _frozen_set(self, "fault_plan", FaultPlan.from_env())
+            return
+        if isinstance(plan, FaultPlan):
+            return
+        try:
+            _frozen_set(self, "fault_plan", FaultPlan.from_spec(plan))
+        except ValueError as error:
+            raise ServiceError(f"invalid fault_plan: {error}") from error
 
     def _resolve_window_kernel(self) -> None:
         from ..backend.dispatch import _warn_ignored_env
@@ -272,6 +322,8 @@ class SessionConfig:
                     "time_flexibility_tolerance": self.grouping.time_flexibility_tolerance,
                     "max_group_size": self.grouping.max_group_size,
                 }
+            elif spec.name == "fault_plan":
+                value = value.spec() if isinstance(value, FaultPlan) else None
             elif isinstance(value, tuple):
                 value = list(value)
             payload[spec.name] = value

@@ -139,6 +139,7 @@ class FlexSession:
                 fsync=config.persist_fsync,
                 checkpoint_events=config.checkpoint_events,
                 checkpoint_age_s=config.checkpoint_age_s,
+                faults=config.fault_plan,
             )
             save_config(config.persist_dir, config.as_dict())
             if self._persister.has_state():
@@ -184,6 +185,9 @@ class FlexSession:
                 min_population=config.shard_min_population,
                 inner=inner,
                 cache=self.cache,
+                retries=config.shard_retries,
+                hedge_ms=config.shard_hedge_ms,
+                faults=config.fault_plan,
             )
         return get_backend(config.backend)
 
@@ -483,6 +487,11 @@ class FlexSession:
         }
         if self.engine.tracker is not None:
             payload["windows"] = self.engine.tracker.summary()
+        resilience = getattr(self._backend, "resilience_stats", None)
+        if callable(resilience):
+            payload["resilience"] = resilience()
+        if self.config.fault_plan is not None:
+            payload["faults"] = self.config.fault_plan.stats()
         if self._persister is not None:
             payload["persistence"] = self._persister.stats()
         if self.recovery is not None:

@@ -1,0 +1,13 @@
+"""Fixtures for the chaos suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def persist_dir(tmp_path: Path) -> Path:
+    """A fresh directory for one persisted session."""
+    return tmp_path / "session"

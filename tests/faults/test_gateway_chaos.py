@@ -1,0 +1,231 @@
+"""Chaos tests of the gateway: dispatch faults, 503s, the sweeper, /healthz."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.faults import GATEWAY_DISPATCH, PERSIST_PROBE, WAL_FSYNC, FaultPlan, FaultRule
+from repro.server.app import Gateway, GatewayConfig, GatewayServer
+from repro.service import SessionConfig
+
+OFFER = {"earliest_start": 0, "latest_start": 2, "slices": [[1, 2]]}
+EVALUATE = json.dumps({"kind": "evaluate", "offers": [OFFER]}).encode()
+TICK = json.dumps(
+    {"kind": "stream", "events": [{"kind": "tick", "time": 0}]}
+).encode()
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def gateway(**overrides) -> Gateway:
+    overrides.setdefault("session_defaults", SessionConfig(backend="reference"))
+    return Gateway(GatewayConfig(**overrides))
+
+
+def degraded_plan() -> FaultPlan:
+    return FaultPlan(
+        [
+            FaultRule(WAL_FSYNC, after=1, count=None),
+            FaultRule(PERSIST_PROBE, after=1, count=None),
+        ]
+    )
+
+
+class TestDispatchFaults:
+    def test_dispatch_fault_is_a_500_then_service_recovers(self):
+        async def scenario():
+            plan = FaultPlan([FaultRule(GATEWAY_DISPATCH, after=1, count=1)])
+            gate = gateway(fault_plan=plan)
+            try:
+                assert (await gate.handle("PUT", "/sessions/t")).status == 201
+                faulted = await gate.handle("POST", "/sessions/t/requests", EVALUATE)
+                assert faulted.status == 500
+                assert "injected" in faulted.payload["detail"]
+                healed = await gate.handle("POST", "/sessions/t/requests", EVALUATE)
+                assert healed.status == 200
+                health = await gate.handle("GET", "/healthz")
+                assert health.payload["faults"]["fired"] == {GATEWAY_DISPATCH: 1}
+                assert gate.failed == 1 and gate.served == 1
+            finally:
+                gate.close()
+
+        run(scenario())
+
+    def test_injected_gateway_errors_keep_their_status_and_retry_after(self):
+        async def scenario():
+            plan = FaultPlan(
+                [
+                    FaultRule(
+                        GATEWAY_DISPATCH,
+                        error="repro.server.limits.SaturatedError",
+                        after=1,
+                        count=1,
+                    )
+                ]
+            )
+            gate = gateway(fault_plan=plan, retry_after_s=0.25)
+            try:
+                assert (await gate.handle("PUT", "/sessions/t")).status == 201
+                response = await gate.handle("POST", "/sessions/t/requests", EVALUATE)
+                # A typed GatewayError thrown from the fault plane keeps
+                # its own status, and the gateway fills in the Retry-After
+                # hint every 429 promises.
+                assert response.status == 429
+                assert response.payload["error"] == "saturated"
+                assert response.retry_after == 0.25
+            finally:
+                gate.close()
+
+        run(scenario())
+
+    def test_dispatch_faults_never_wedge_the_session_gate(self):
+        async def scenario():
+            plan = FaultPlan([FaultRule(GATEWAY_DISPATCH, after=1, count=3)])
+            gate = gateway(fault_plan=plan)
+            try:
+                assert (await gate.handle("PUT", "/sessions/t")).status == 201
+                statuses = []
+                for _ in range(5):
+                    response = await gate.handle(
+                        "POST", "/sessions/t/requests", EVALUATE
+                    )
+                    statuses.append(response.status)
+                assert statuses == [500, 500, 500, 200, 200]
+                # Both gates fully released: nothing waiting, nothing held.
+                assert gate.gate.stats()["waiting"] == 0
+                entry = gate.registry.entry("t")
+                assert not entry.gate.busy
+            finally:
+                gate.close()
+
+        run(scenario())
+
+
+class TestDegradedPersistence:
+    def test_checkpoint_is_503_with_retry_after_while_serving_continues(
+        self, tmp_path
+    ):
+        async def scenario():
+            gate = gateway(
+                persist_root=str(tmp_path),
+                session_defaults=SessionConfig(
+                    backend="reference", fault_plan=degraded_plan()
+                ),
+            )
+            try:
+                assert (await gate.handle("PUT", "/sessions/d")).status == 201
+                served = await gate.handle("POST", "/sessions/d/requests", TICK)
+                assert served.status == 200  # degraded, but still serving
+                checkpoint = await gate.handle("POST", "/sessions/d/checkpoint")
+                assert checkpoint.status == 503
+                assert checkpoint.payload["error"] == "degraded"
+                assert checkpoint.retry_after is not None
+                health = await gate.handle("GET", "/healthz")
+                assert health.payload["status"] == "degraded"
+                assert health.payload["components"]["persistence"] == "degraded"
+                assert health.payload["persistence"]["degraded_sessions"] == ["d"]
+            finally:
+                gate.close()
+
+        run(scenario())
+
+    def test_healthz_is_ok_without_persistence(self):
+        async def scenario():
+            gate = gateway()
+            try:
+                health = await gate.handle("GET", "/healthz")
+                assert health.payload["status"] == "ok"
+                assert health.payload["components"]["persistence"] == "disabled"
+            finally:
+                gate.close()
+
+        run(scenario())
+
+
+class TestSweeperResilience:
+    def test_sweep_survives_a_close_that_raises(self):
+        async def scenario():
+            gate = gateway(idle_ttl=100.0)
+            try:
+                assert (await gate.handle("PUT", "/sessions/a")).status == 201
+                assert (await gate.handle("PUT", "/sessions/b")).status == 201
+
+                def explode():
+                    raise RuntimeError("checkpoint-on-evict blew up")
+
+                gate.registry.entry("a").session.close = explode
+                # Both sessions idle past the TTL: the sweep must drop
+                # both despite a's close raising, and count the failure.
+                for entry in gate.registry._entries.values():
+                    entry.last_used -= 1000.0
+                swept = gate.registry.sweep()
+                assert sorted(swept) == ["a", "b"]
+                assert gate.registry.sweep_failures == 1
+                health = await gate.handle("GET", "/healthz")
+                assert health.payload["status"] == "degraded"
+                assert health.payload["components"]["sweeper"] == "degraded"
+                assert health.payload["registry"]["sweep_failures"] == 1
+            finally:
+                gate.close()
+
+        run(scenario())
+
+    def test_sweeper_task_survives_registry_level_exceptions(self):
+        async def scenario():
+            gate = gateway(idle_ttl=0.02)
+            server = GatewayServer(gate, _FakeServer())
+            try:
+                calls = {"count": 0}
+
+                def broken_sweep(now=None):
+                    calls["count"] += 1
+                    raise RuntimeError("registry lock poisoned")
+
+                gate.registry.sweep = broken_sweep
+                await asyncio.sleep(0.06)
+                assert calls["count"] >= 2  # still ticking after a failure
+                assert gate.sweeper_failures == calls["count"]
+                health = await gate.handle("GET", "/healthz")
+                assert health.payload["components"]["sweeper"] == "degraded"
+                assert health.payload["sweeper_failures"] >= 2
+            finally:
+                await server.close()
+
+        run(scenario())
+
+
+class _FakeServer:
+    """Just enough asyncio.AbstractServer surface for GatewayServer tests."""
+
+    sockets = ()
+
+    def close(self) -> None:
+        return None
+
+    async def wait_closed(self) -> None:
+        return None
+
+
+class TestConfigResolution:
+    def test_gateway_config_coerces_specs_and_rejects_garbage(self):
+        config = GatewayConfig(
+            fault_plan={"rules": [{"site": GATEWAY_DISPATCH}], "seed": 4}
+        )
+        assert isinstance(config.fault_plan, FaultPlan)
+        assert config.fault_plan.seed == 4
+        with pytest.raises(ValueError, match="invalid fault_plan"):
+            GatewayConfig(fault_plan={"bogus": True})
+
+    def test_gateway_config_reads_the_environment(self, monkeypatch):
+        spec = {"rules": [{"site": GATEWAY_DISPATCH, "after": 9}]}
+        monkeypatch.setenv("REPRO_FAULTS", json.dumps(spec))
+        config = GatewayConfig()
+        assert config.fault_plan is not None
+        assert config.fault_plan.rules[0].after == 9
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert GatewayConfig().fault_plan is None

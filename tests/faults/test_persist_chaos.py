@@ -1,0 +1,250 @@
+"""Chaos tests of the degraded-persistence path and the WAL rewind.
+
+The acceptance property: a persistence fault never corrupts durable
+state and never wedges the session — serving continues, ``/healthz``
+shows the degradation, and the probe-gated circuit breaker resumes
+with a forced snapshot that covers everything logged *and unlogged*
+while degraded, bit-identical to a run that never faulted.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import (
+    PERSIST_PROBE,
+    SNAPSHOT_REPLACE,
+    WAL_APPEND,
+    WAL_COMMIT,
+    WAL_FSYNC,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+)
+from repro.persist import PersistenceSuspendedError, WriteAheadLog
+from repro.service import FlexSession, SessionConfig, StreamRequest
+from repro.stream import Tick, population_events
+from repro.workloads import neighbourhood_scenario
+
+EVENTS = population_events(neighbourhood_scenario(households=4).flex_offers)
+
+
+def fingerprint(session: FlexSession) -> str:
+    return json.dumps(session.engine.export_state(), sort_keys=True)
+
+
+def durable_config(directory, plan=None, **overrides) -> SessionConfig:
+    defaults = dict(
+        backend="reference",
+        persist_dir=directory,
+        persist_fsync=True,  # the faults target fsync; it must actually run
+        measures=("time", "energy"),
+        fault_plan=plan,
+    )
+    defaults.update(overrides)
+    return SessionConfig(**defaults)
+
+
+def golden_fingerprint(tmp_path) -> str:
+    with FlexSession(durable_config(tmp_path / "golden")) as session:
+        session.submit(StreamRequest(events=EVENTS))
+        return fingerprint(session)
+
+
+class TestWalRewind:
+    """The commit() non-atomicity fix: a failed commit must not leave a
+    half-flushed tail that replays as committed."""
+
+    def test_failed_fsync_marks_the_log_dirty_and_rewinds(self, persist_dir):
+        plan = FaultPlan([FaultRule(WAL_FSYNC, after=1, count=1)])
+        wal = WriteAheadLog(persist_dir, fsync=True, faults=plan)
+        wal.append({"event": {"kind": "tick", "time": 0}})
+        with pytest.raises(FaultInjected):
+            wal.commit()
+        assert wal.stats()["dirty"] is True
+        # Re-logging reuses the abandoned sequence numbers (gapless): the
+        # rewind is lazy — it runs (and can itself be retried) on the next
+        # touch, so a failing disk cannot also break the failure path.
+        assert wal.append({"event": {"kind": "tick", "time": 0}}) == 1
+        wal.commit()
+        assert wal.stats()["dirty"] is False
+        assert wal.stats()["rewinds"] == 1
+        assert [r.seq for r in wal.records()] == [1]
+        wal.close()
+
+    def test_failed_commit_flush_preserves_the_committed_prefix(self, persist_dir):
+        plan = FaultPlan([FaultRule(WAL_COMMIT, after=2, count=1)])
+        wal = WriteAheadLog(persist_dir, fsync=True, faults=plan)
+        wal.append({"event": {"kind": "tick", "time": 0}})
+        wal.commit()  # commit hit 1: succeeds
+        wal.append({"event": {"kind": "tick", "time": 1}})
+        with pytest.raises(FaultInjected):
+            wal.commit()  # commit hit 2: fails before flush
+        wal.append({"event": {"kind": "tick", "time": 99}})
+        wal.commit()
+        records = wal.records()
+        assert [r.seq for r in records] == [1, 2]
+        assert [r.payload["event"]["time"] for r in records] == [0, 99]
+        wal.close()
+
+    def test_reopen_after_failed_commit_resumes_at_the_committed_seq(
+        self, persist_dir
+    ):
+        plan = FaultPlan([FaultRule(WAL_FSYNC, after=2, count=None)])
+        wal = WriteAheadLog(persist_dir, fsync=True, faults=plan)
+        wal.append({"event": {"kind": "tick", "time": 0}})
+        wal.commit()
+        wal.append({"event": {"kind": "tick", "time": 1}})
+        with pytest.raises(FaultInjected):
+            wal.commit()
+        wal.close()
+
+        reopened = WriteAheadLog(persist_dir, fsync=False)
+        assert reopened.last_seq == 1
+        assert reopened.append({"event": {"kind": "tick", "time": 2}}) == 2
+        reopened.commit()
+        assert [r.seq for r in reopened.records()] == [1, 2]
+        reopened.close()
+
+    def test_append_fault_suspends_nothing_by_itself(self, persist_dir):
+        plan = FaultPlan([FaultRule(WAL_APPEND, after=1, count=1)])
+        wal = WriteAheadLog(persist_dir, fsync=False, faults=plan)
+        with pytest.raises(FaultInjected):
+            wal.append({"event": {"kind": "tick", "time": 0}})
+        assert wal.append({"event": {"kind": "tick", "time": 0}}) == 1
+        wal.commit()
+        assert [r.seq for r in wal.records()] == [1]
+        wal.close()
+
+
+class TestDegradedSession:
+    def test_fsync_fault_degrades_but_the_session_keeps_serving(
+        self, tmp_path, persist_dir
+    ):
+        golden = golden_fingerprint(tmp_path)
+        plan = FaultPlan(
+            [
+                FaultRule(WAL_FSYNC, after=1, count=None),
+                FaultRule(PERSIST_PROBE, after=1, count=None),
+            ]
+        )
+        with FlexSession(durable_config(persist_dir, plan)) as session:
+            session.submit(StreamRequest(events=EVENTS))
+            stats = session.stats()["persistence"]
+            assert stats["status"] == "degraded"
+            assert "FaultInjected" in stats["degraded_reason"]
+            assert stats["suspensions"] >= 1
+            # Serving state is untouched by the persistence failure.
+            assert fingerprint(session) == golden
+            with pytest.raises(PersistenceSuspendedError):
+                session.checkpoint()
+
+    @pytest.mark.parametrize("site", [WAL_APPEND, SNAPSHOT_REPLACE])
+    def test_other_sites_degrade_identically(self, tmp_path, persist_dir, site):
+        golden = golden_fingerprint(tmp_path)
+        plan = FaultPlan(
+            [
+                FaultRule(site, after=1, count=None),
+                FaultRule(PERSIST_PROBE, after=1, count=None),
+            ]
+        )
+        with FlexSession(durable_config(persist_dir, plan)) as session:
+            session.submit(StreamRequest(events=EVENTS))
+            if site == SNAPSHOT_REPLACE:
+                # Streaming alone never snapshots; force the attempt.
+                with pytest.raises(PersistenceSuspendedError):
+                    session.checkpoint()
+            assert session.stats()["persistence"]["status"] == "degraded"
+            assert fingerprint(session) == golden
+
+    def test_probe_holds_the_breaker_until_the_disk_heals(
+        self, tmp_path, persist_dir
+    ):
+        golden = golden_fingerprint(tmp_path)
+        # fsync fails once; the first two probes fail too, then succeed.
+        # Probe 1 runs inside the faulted submit itself (maybe_checkpoint
+        # ticks the breaker at the end of every served request).
+        plan = FaultPlan(
+            [
+                FaultRule(WAL_FSYNC, after=1, count=1),
+                FaultRule(PERSIST_PROBE, after=1, count=2),
+            ]
+        )
+        with FlexSession(durable_config(persist_dir, plan)) as session:
+            session.submit(StreamRequest(events=EVENTS[: len(EVENTS) // 2]))
+            persister = session._persister
+            assert persister.degraded
+            assert persister.stats()["probe_attempts"] == 1
+            assert persister.try_resume(session.engine) is None  # probe 2 fails
+            assert persister.degraded
+            summary = persister.try_resume(session.engine)  # probe 3 succeeds
+            assert summary is not None
+            assert not persister.degraded
+            stats = persister.stats()
+            assert stats["status"] == "ok"
+            assert stats["resumptions"] == 1
+            assert stats["probe_attempts"] == 3
+            # Events arriving after the resume persist normally again.
+            session.submit(StreamRequest(events=EVENTS[len(EVENTS) // 2 :]))
+            assert fingerprint(session) == golden
+
+        # The resumed directory recovers bit-identically: the forced
+        # snapshot covered the events that never reached the WAL.
+        with FlexSession(durable_config(persist_dir)) as recovered:
+            assert recovered.recovery is not None
+            assert fingerprint(recovered) == golden
+
+    def test_resume_rotates_onto_a_fresh_pruned_segment(self, persist_dir):
+        # The probe fault holds the breaker open past the in-submit tick,
+        # so the rotation is observable across the manual resume.  The
+        # forced checkpoint rewinds the dirty tail, snapshots, rotates and
+        # prunes: afterwards the WAL is a single fresh segment with no
+        # records — everything lives in the snapshot.
+        plan = FaultPlan(
+            [
+                FaultRule(WAL_FSYNC, after=1, count=1),
+                FaultRule(PERSIST_PROBE, after=1, count=1),
+            ]
+        )
+        with FlexSession(durable_config(persist_dir, plan)) as session:
+            session.submit(StreamRequest(events=[Tick(time=0)]))
+            persister = session._persister
+            assert persister.degraded
+            assert persister.wal.stats()["dirty"] is True
+            assert persister.try_resume(session.engine) is not None
+            assert persister.wal.stats()["dirty"] is False
+            assert persister.wal.records() == []
+            assert len(persister.wal.segments()) == 1
+            assert persister.stats()["checkpoints"] == 1
+
+    def test_maybe_checkpoint_drives_the_breaker(self, persist_dir):
+        # Probe 1 (inside the faulted request) fails; the next served
+        # request's maybe_checkpoint tick probes again and resumes.
+        plan = FaultPlan(
+            [
+                FaultRule(WAL_FSYNC, after=1, count=1),
+                FaultRule(PERSIST_PROBE, after=1, count=1),
+            ]
+        )
+        with FlexSession(durable_config(persist_dir, plan)) as session:
+            session.submit(StreamRequest(events=[Tick(time=0)]))
+            persister = session._persister
+            assert persister.degraded
+            session.submit(StreamRequest(events=[Tick(time=1)]))
+            assert not persister.degraded
+            assert persister.stats()["resumptions"] == 1
+
+    def test_close_while_degraded_never_raises(self, persist_dir):
+        plan = FaultPlan(
+            [
+                FaultRule(WAL_FSYNC, after=1, count=None),
+                FaultRule(PERSIST_PROBE, after=1, count=None),
+            ]
+        )
+        session = FlexSession(durable_config(persist_dir, plan))
+        session.submit(StreamRequest(events=[Tick(time=0)]))
+        assert session._persister.degraded
+        session.close()  # must swallow the persistence failure
+        assert session.closed

@@ -159,5 +159,7 @@ class TestRotation:
             "segments": 2,
             "appended": 3,
             "commits": 1,
+            "rewinds": 0,
+            "dirty": False,
         }
         wal.close()

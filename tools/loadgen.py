@@ -25,6 +25,13 @@ Usage::
 
 Requests rejected with 429 are retried after the server's ``Retry-After``
 hint (counted in the summary); any other non-2xx is a hard failure.
+
+``--fault-rate P`` arms the gateway's deterministic fault plane with two
+probabilistic ``gateway.dispatch`` rules — half the budget surfaces as a
+typed 429 (``SaturatedError``, which must carry a ``Retry-After`` hint),
+half as an injected 500.  Both are transient, so tenants retry them; the
+summary then separates *injected* rejections from real failures, proving
+the 429/5xx accounting and backpressure hints hold up under failure.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from typing import List, Optional
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core import FlexOffer  # noqa: E402
+from repro.faults import GATEWAY_DISPATCH, FaultPlan, FaultRule  # noqa: E402
 from repro.io import request_to_dict  # noqa: E402
 from repro.server import Gateway, GatewayClient, GatewayConfig, serve  # noqa: E402
 from repro.service import (  # noqa: E402
@@ -53,6 +61,39 @@ from repro.stream import Tick, population_events  # noqa: E402
 
 #: The per-tenant closed-loop traffic cycle (after the initial ingest).
 MIX = ("evaluate", "schedule", "trade", "stream")
+
+
+def fault_plan(rate: float, seed: int = 0) -> FaultPlan:
+    """A dispatch-site plan injecting transient 429s and 500s at ``rate``.
+
+    The budget is split evenly: a typed ``SaturatedError`` (the gateway
+    must keep its 429 status and attach a ``Retry-After`` hint) and a
+    default ``FaultInjected`` (surfaces as a 500 whose detail names the
+    injection site).  Rules are unbounded (``count=None``) so the fault
+    pressure is sustained for the whole run.
+    """
+    return FaultPlan(
+        [
+            FaultRule(
+                GATEWAY_DISPATCH,
+                error="repro.server.limits.SaturatedError",
+                count=None,
+                probability=rate / 2,
+            ),
+            FaultRule(GATEWAY_DISPATCH, count=None, probability=rate / 2),
+        ],
+        seed=seed,
+    )
+
+
+def _is_injected(response) -> bool:
+    """True when a 5xx came from the fault plane, not a real defect."""
+    detail = (
+        response.payload.get("detail", "")
+        if isinstance(response.payload, dict)
+        else ""
+    )
+    return "injected" in str(detail)
 
 
 def tenant_population(index: int, size: int) -> List[FlexOffer]:
@@ -133,9 +174,21 @@ async def _drive_tenant(
             while True:
                 started = time.perf_counter()
                 response = await client.submit(name, body)
-                if response.status == 429 and attempts < max_retries:
+                injected = _is_injected(response)
+                transient = response.status == 429 or (
+                    response.status >= 500 and injected
+                )
+                if transient and attempts < max_retries:
                     attempts += 1
-                    counters["retries"] += 1
+                    if response.status == 429:
+                        counters["retries"] += 1
+                        if injected:
+                            counters["injected_429"] += 1
+                        # Every backoff-shaped rejection must carry a hint.
+                        if response.retry_after is None:
+                            counters["missing_retry_after"] += 1
+                    else:
+                        counters["injected_5xx"] += 1
                     await asyncio.sleep(response.retry_after or 0.01)
                     continue
                 break
@@ -167,6 +220,8 @@ async def run_load(
     session_queue_depth: int = 8,
     request_timeout_s: Optional[float] = 30.0,
     access_log=None,
+    fault_rate: float = 0.0,
+    fault_seed: int = 0,
 ) -> dict:
     """Run the mixed-traffic load and return the latency/throughput summary.
 
@@ -178,8 +233,17 @@ async def run_load(
     should 429).
     """
     latencies_ms: List[float] = []
-    counters = {"completed": 0, "failures": 0, "retries": 0}
+    counters = {
+        "completed": 0,
+        "failures": 0,
+        "retries": 0,
+        "injected_429": 0,
+        "injected_5xx": 0,
+        "missing_retry_after": 0,
+    }
     external = host is not None and port is not None
+    if fault_rate and external:
+        raise ValueError("--fault-rate needs an in-process gateway")
 
     gateway = None
     server = None
@@ -193,6 +257,7 @@ async def run_load(
             request_timeout_s=request_timeout_s,
             session_defaults=SessionConfig(backend=backend),
             access_log=access_log,
+            fault_plan=fault_plan(fault_rate, fault_seed) if fault_rate else None,
         )
         if transport == "memory":
             gateway = Gateway(config)
@@ -244,6 +309,10 @@ async def run_load(
         "completed": counters["completed"],
         "failures": counters["failures"],
         "retries_429": counters["retries"],
+        "fault_rate": fault_rate,
+        "injected_429": counters["injected_429"],
+        "injected_5xx": counters["injected_5xx"],
+        "missing_retry_after": counters["missing_retry_after"],
         "elapsed_s": elapsed,
         "rps": counters["completed"] / elapsed if elapsed > 0 else 0.0,
         "p50_ms": percentile(latencies_ms, 0.50),
@@ -261,6 +330,15 @@ def format_summary(summary: dict) -> str:
         f"transport          {summary['transport']} ({summary['backend']} backend)",
         f"completed          {summary['completed']} "
         f"({summary['failures']} failed, {summary['retries_429']} retried on 429)",
+    ]
+    if summary.get("fault_rate"):
+        lines += [
+            f"fault rate         {summary['fault_rate']:.2f} "
+            f"({summary['injected_429']} injected 429, "
+            f"{summary['injected_5xx']} injected 5xx, "
+            f"{summary['missing_retry_after']} missing Retry-After)",
+        ]
+    lines += [
         f"elapsed            {summary['elapsed_s']:.2f} s",
         f"throughput         {summary['rps']:.0f} req/s",
         f"latency p50        {summary['p50_ms']:.1f} ms",
@@ -293,6 +371,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-pending", type=int, default=None)
     parser.add_argument("--access-log", default=None)
     parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="probability of an injected dispatch fault per request "
+        "(half typed 429s, half 500s; tenants retry both)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, help="fault plan RNG seed"
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
     )
     args = parser.parse_args(argv)
@@ -310,13 +398,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_concurrency=args.max_concurrency,
             max_pending=args.max_pending,
             access_log=args.access_log,
+            fault_rate=args.fault_rate,
+            fault_seed=args.fault_seed,
         )
     )
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
         print(format_summary(summary))
-    return 0 if summary["failures"] == 0 else 1
+    healthy = summary["failures"] == 0 and summary["missing_retry_after"] == 0
+    return 0 if healthy else 1
 
 
 if __name__ == "__main__":
