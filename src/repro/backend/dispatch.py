@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import abc
 import os
+import threading
 from collections.abc import Sequence
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -327,6 +328,9 @@ BackendSpec = Union[str, ComputeBackend]
 
 _REGISTRY: dict[str, ComputeBackend] = {}
 _bootstrapped = False
+#: Reentrant: numpy-backend registration happens *inside* the guarded
+#: section, and its module-level code may itself resolve backends.
+_bootstrap_lock = threading.RLock()
 _active: ContextVar[Optional[BackendSpec]] = ContextVar(
     "repro_backend", default=None
 )
@@ -365,16 +369,24 @@ def _ensure_registered() -> None:
     global _bootstrapped
     if _bootstrapped:
         return
-    _bootstrapped = True
-    from . import reference  # noqa: F401  (registers on import)
+    # Double-checked: without the lock, a second thread arriving while the
+    # first is still inside the (slow) NumPy import would see a registry
+    # with no ``numpy`` entry and mis-resolve — the cluster worker serves
+    # its first tasks on concurrent connection threads, which is exactly
+    # that interleaving.
+    with _bootstrap_lock:
+        if _bootstrapped:
+            return
+        from . import reference  # noqa: F401  (registers on import)
 
-    try:
-        from . import numpy_backend  # noqa: F401  (registers when NumPy exists)
-    except ImportError:  # pragma: no cover - exercised only without numpy
-        pass
-    # Registered last so its inner-backend default can see the NumPy
-    # registration; depends only on the standard library itself.
-    from . import sharded  # noqa: F401  (registers on import)
+        try:
+            from . import numpy_backend  # noqa: F401  (registers when NumPy exists)
+        except ImportError:  # pragma: no cover - exercised only without numpy
+            pass
+        # Registered last so its inner-backend default can see the NumPy
+        # registration; depends only on the standard library itself.
+        from . import sharded  # noqa: F401  (registers on import)
+        _bootstrapped = True
 
 
 def available_backends() -> tuple[str, ...]:

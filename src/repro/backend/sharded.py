@@ -44,13 +44,25 @@ Executors
     inner backends or GIL-bound measures.  Populations and measures must be
     picklable, and every call ships the shard's offers to the workers, so
     it only pays off for expensive per-offer work.
+``remote``
+    A :class:`~repro.cluster.RemoteShardExecutor` dispatching shards to
+    :mod:`repro.cluster` worker processes over framed TCP — the multi-host
+    tier.  Requires a cluster (the ``cluster`` argument or
+    ``REPRO_CLUSTER``); shard chunks are interned per connection by
+    fingerprint, so steady-state calls reference offers by key instead of
+    re-shipping them.  A dead host is evicted and its shards redispatched
+    to surviving hosts (a *partial* recovery — no pool rebuild) within the
+    same retry budget below.
 
 Knobs (read once, at construction)
 ----------------------------------
 ``REPRO_SHARDS``
     Shard count; defaults to ``os.cpu_count()``.
 ``REPRO_SHARD_EXECUTOR``
-    ``thread`` or ``process``.
+    ``thread``, ``process`` or ``remote``.
+``REPRO_CLUSTER``
+    Worker hosts for the remote executor (``host:port,host:port`` or a
+    JSON :meth:`~repro.cluster.ClusterSpec.spec` document).
 ``REPRO_SHARD_MIN``
     Populations smaller than this are delegated whole to the inner backend
     (fan-out overhead would dominate); defaults to
@@ -149,6 +161,9 @@ DEFAULT_RETRIES = 2
 #: Exceptions the shard loop treats as infrastructure (retryable): a pool
 #: whose workers died, or an injected fault standing in for one.
 _RETRYABLE = (BrokenExecutor, FaultInjected)
+
+#: Valid executor kinds (``remote`` dispatches to a repro.cluster pool).
+_EXECUTOR_KINDS = ("thread", "process", "remote")
 
 
 class _FailedSubmit:
@@ -264,7 +279,8 @@ class ShardedBackend(ComputeBackend):
         Number of shards (and pool workers).  ``None`` reads
         ``REPRO_SHARDS`` and falls back to ``os.cpu_count()``.
     executor:
-        ``"thread"`` (default) or ``"process"``; ``None`` reads
+        ``"thread"`` (default), ``"process"`` or ``"remote"`` (dispatch to
+        a :mod:`repro.cluster` worker pool); ``None`` reads
         ``REPRO_SHARD_EXECUTOR``.
     min_population:
         Populations smaller than this run whole on the inner backend.
@@ -294,7 +310,15 @@ class ShardedBackend(ComputeBackend):
     faults:
         Optional :class:`repro.faults.FaultPlan`; when set the fan-out
         fires the ``shard.submit`` / ``shard.result`` injection sites
-        (a ``kill`` rule kills a live process-pool worker).
+        (a ``kill`` rule kills a live process-pool worker), and a remote
+        executor additionally fires the wire-level ``cluster.connect`` /
+        ``cluster.send`` / ``cluster.recv`` sites.
+    cluster:
+        Worker hosts for the ``"remote"`` executor — a
+        :class:`~repro.cluster.ClusterSpec` (or anything its
+        :meth:`~repro.cluster.ClusterSpec.from_spec` accepts).  ``None``
+        reads ``REPRO_CLUSTER``; required (one way or the other) when
+        ``executor="remote"`` and rejected for local executors.
     """
 
     name: ClassVar[str] = "sharded"
@@ -310,6 +334,7 @@ class ShardedBackend(ComputeBackend):
         retry_backoff_s: float = 0.01,
         hedge_ms: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
+        cluster=None,
     ) -> None:
         # Explicit arguments fail fast; environment values degrade to the
         # documented defaults with a warning instead — the default instance
@@ -319,14 +344,48 @@ class ShardedBackend(ComputeBackend):
             shards = _env_int(ENV_SHARDS, minimum=1) or (os.cpu_count() or 1)
         elif shards < 1:
             raise BackendError(f"shard count must be >= 1, got {shards}")
+        explicit_executor = executor is not None
         if executor is None:
             executor = os.environ.get(ENV_EXECUTOR, "thread")
-            if executor not in ("thread", "process"):
-                _warn_ignored_env(ENV_EXECUTOR, executor, "'thread' or 'process'")
+            if executor not in _EXECUTOR_KINDS:
+                _warn_ignored_env(
+                    ENV_EXECUTOR, executor, "'thread', 'process' or 'remote'"
+                )
                 executor = "thread"
-        elif executor not in ("thread", "process"):
+        elif executor not in _EXECUTOR_KINDS:
             raise BackendError(
-                f"unknown shard executor {executor!r}; use 'thread' or 'process'"
+                f"unknown shard executor {executor!r}; "
+                f"use one of {_EXECUTOR_KINDS}"
+            )
+        if executor == "remote":
+            from ..cluster import ClusterError, ClusterSpec
+
+            if cluster is None:
+                cluster = ClusterSpec.from_env()
+            else:
+                try:
+                    cluster = ClusterSpec.from_spec(cluster)
+                except ClusterError as error:
+                    raise BackendError(f"invalid cluster spec: {error}") from error
+            if cluster is None:
+                # The remote executor is useless without hosts.  An explicit
+                # choice fails fast; an environment-driven one degrades like
+                # every other malformed REPRO_* knob.
+                if explicit_executor:
+                    raise BackendError(
+                        "executor='remote' needs a cluster "
+                        "(pass cluster=... or set REPRO_CLUSTER)"
+                    )
+                _warn_ignored_env(
+                    ENV_EXECUTOR,
+                    executor,
+                    "'remote' with REPRO_CLUSTER set",
+                )
+                executor = "thread"
+        elif cluster is not None:
+            raise BackendError(
+                f"cluster= only applies to executor='remote', "
+                f"not {executor!r}"
             )
         if min_population is None:
             min_population = _env_int(ENV_MIN_POPULATION, minimum=0)
@@ -341,12 +400,12 @@ class ShardedBackend(ComputeBackend):
                 raise BackendError(
                     "the sharded backend cannot be its own inner backend"
                 )
-            if executor == "process":
-                # Process workers live in separate memory: they can only
-                # resolve the inner backend by registered name.  The
-                # instance still serves every in-process path (delegated
-                # small populations), so its private cache keeps working
-                # where sharing is even possible.
+            if executor in ("process", "remote"):
+                # Process and remote workers live in separate memory: they
+                # can only resolve the inner backend by registered name.
+                # The instance still serves every in-process path
+                # (delegated small populations), so its private cache keeps
+                # working where sharing is even possible.
                 get_backend(inner.name)
         elif inner is not None:
             if inner == self.name:
@@ -370,6 +429,7 @@ class ShardedBackend(ComputeBackend):
             )
         self.shards = shards
         self.executor_kind = executor
+        self.cluster = cluster
         self.min_population = min_population
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
@@ -384,6 +444,7 @@ class ShardedBackend(ComputeBackend):
         # Self-healing counters, surfaced via resilience_stats().
         self.retried = 0
         self.pool_rebuilds = 0
+        self.partial_recoveries = 0
         self.hedges = 0
         self.hedge_wins = 0
         self.worker_kills = 0
@@ -408,11 +469,14 @@ class ShardedBackend(ComputeBackend):
         """The inner-backend reference shipped to shard workers.
 
         Thread workers share this process's memory and receive the
-        instance (or name) as-is; process workers receive the registered
-        *name* — instances are not picklable-safe across interpreters.
+        instance (or name) as-is; process and remote workers receive the
+        registered *name* — instances are not picklable-safe across
+        interpreters (or machines).
         """
         inner = self._inner_ref()
-        if self.executor_kind == "process" and isinstance(inner, ComputeBackend):
+        if self.executor_kind in ("process", "remote") and isinstance(
+            inner, ComputeBackend
+        ):
             return inner.name
         return inner
 
@@ -433,6 +497,14 @@ class ShardedBackend(ComputeBackend):
                     workers = self.shards + (1 if self._hedge_s else 0)
                     if self.executor_kind == "process":
                         pool = ProcessPoolExecutor(max_workers=workers)
+                    elif self.executor_kind == "remote":
+                        from ..cluster import RemoteShardExecutor
+
+                        pool = RemoteShardExecutor(
+                            self.cluster,
+                            max_workers=workers,
+                            faults=self._faults,
+                        )
                     else:
                         pool = ThreadPoolExecutor(
                             max_workers=workers,
@@ -599,6 +671,14 @@ class ShardedBackend(ComputeBackend):
         with self._pool_lock:
             if generation != self._pool_gen or self._pool is None:
                 return
+            # An executor that reports the failure as *partial* — the
+            # remote executor after evicting a single host — keeps its
+            # pool: tearing it down would discard healthy warm
+            # connections and their interning state just to rebuild them.
+            recover = getattr(self._pool, "recover", None)
+            if callable(recover) and recover(error):
+                self.partial_recoveries += 1
+                return
             pool, self._pool = self._pool, None
             self._pool_gen += 1
         pool.shutdown(wait=False)
@@ -634,10 +714,22 @@ class ShardedBackend(ComputeBackend):
             "hedge_ms": self.hedge_ms,
             "retried": self.retried,
             "pool_rebuilds": self.pool_rebuilds,
+            "partial_recoveries": self.partial_recoveries,
             "hedges": self.hedges,
             "hedge_wins": self.hedge_wins,
             "worker_kills": self.worker_kills,
         }
+
+    def cluster_health(self) -> Optional[dict]:
+        """Per-host health of the remote executor, ``None`` otherwise.
+
+        ``None`` for local executors and for a remote backend whose pool
+        has not been created yet (no request has fanned out); the gateway
+        ``/healthz`` cluster row treats both as "nothing to report".
+        """
+        pool = self._pool
+        health = getattr(pool, "health", None)
+        return health() if callable(health) else None
 
     # ------------------------------------------------------------------ #
     # Measures

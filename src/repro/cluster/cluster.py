@@ -1,0 +1,321 @@
+"""Cluster topology: the spec that names hosts, and a loopback harness.
+
+:class:`ClusterSpec` is the configuration object for distributed shard
+execution — an ordered host list plus connection-management knobs.  It
+follows the same conventions every other config object in the library
+does: frozen, JSON :meth:`spec` round-trip (like
+:meth:`repro.faults.FaultPlan.spec`), an environment entry point
+(``REPRO_CLUSTER``) that degrades with a warning on malformed values
+while explicit constructor arguments fail fast.
+
+:class:`LocalCluster` is the test/bench harness: it spawns real
+``python -m repro.cluster.worker`` subprocesses bound to ephemeral
+loopback ports, so everything above it — framing, interning, health
+states, redispatch — is exercised over genuine sockets and process
+boundaries, not mocks.
+
+>>> spec = ClusterSpec.from_spec("127.0.0.1:7001,127.0.0.1:7002")
+>>> spec.hosts
+('127.0.0.1:7001', '127.0.0.1:7002')
+>>> ClusterSpec.from_spec(spec.spec()) == spec
+True
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from ..core.errors import FlexError
+
+__all__ = ["ClusterError", "ClusterSpec", "ENV_CLUSTER", "LocalCluster"]
+
+#: Environment variable holding a :meth:`ClusterSpec.spec` document (or the
+#: ``host:port,host:port`` shorthand).
+ENV_CLUSTER = "REPRO_CLUSTER"
+
+
+class ClusterError(FlexError):
+    """Invalid cluster configuration or a harness-level failure."""
+
+
+def _check_host(host: str) -> str:
+    """Validate one ``host:port`` entry and normalise whitespace."""
+    entry = host.strip()
+    address, colon, port = entry.rpartition(":")
+    if not colon or not address:
+        raise ClusterError(
+            f"cluster host {host!r} is not of the form 'host:port'"
+        )
+    try:
+        port_number = int(port)
+    except ValueError:
+        port_number = -1
+    if not 0 < port_number < 65536:
+        raise ClusterError(f"cluster host {host!r} has invalid port {port!r}")
+    return entry
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Where the workers are, and how eagerly to talk to them.
+
+    Parameters
+    ----------
+    hosts:
+        Ordered ``host:port`` worker addresses.  Order matters only as the
+        round-robin starting arrangement; placement is least-outstanding.
+    connections_per_host:
+        Pooled-connection cap per host.  Shard-matrix interning is
+        per-connection, so fewer connections mean warmer caches while more
+        connections mean more in-flight shards per host.
+    connect_timeout_s:
+        TCP connect deadline before a host is declared unreachable.
+    probe_interval_s:
+        How long a ``down`` host rests before one probe connection may
+        test it again (the persistence breaker's probe-gating, applied to
+        hosts).
+    """
+
+    hosts: Tuple[str, ...]
+    connections_per_host: int = 2
+    connect_timeout_s: float = 5.0
+    probe_interval_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.hosts, str):
+            raise ClusterError(
+                "hosts must be a sequence of 'host:port' strings; "
+                "use ClusterSpec.from_spec() for the comma shorthand"
+            )
+        checked = tuple(_check_host(host) for host in self.hosts)
+        if not checked:
+            raise ClusterError("a cluster needs at least one host")
+        object.__setattr__(self, "hosts", checked)
+        if self.connections_per_host < 1:
+            raise ClusterError(
+                f"connections_per_host must be >= 1, "
+                f"got {self.connections_per_host}"
+            )
+        if self.connect_timeout_s <= 0:
+            raise ClusterError(
+                f"connect_timeout_s must be > 0, got {self.connect_timeout_s}"
+            )
+        if self.probe_interval_s < 0:
+            raise ClusterError(
+                f"probe_interval_s must be >= 0, got {self.probe_interval_s}"
+            )
+
+    def spec(self) -> dict:
+        """A JSON-ready description (round-trips via :meth:`from_spec`)."""
+        payload: dict = {"hosts": list(self.hosts)}
+        if self.connections_per_host != 2:
+            payload["connections_per_host"] = self.connections_per_host
+        if self.connect_timeout_s != 5.0:
+            payload["connect_timeout_s"] = self.connect_timeout_s
+        if self.probe_interval_s != 1.0:
+            payload["probe_interval_s"] = self.probe_interval_s
+        return payload
+
+    @classmethod
+    def from_spec(
+        cls, payload: Union[str, dict, list, "ClusterSpec"]
+    ) -> "ClusterSpec":
+        """Rebuild a spec from :meth:`spec` output or shorthand.
+
+        Accepts a spec dict, a bare host list, a JSON string of either,
+        or the ``"host:port,host:port"`` comma shorthand.
+        """
+        if isinstance(payload, ClusterSpec):
+            return payload
+        if isinstance(payload, str):
+            text = payload.strip()
+            if not text:
+                raise ClusterError("empty cluster spec")
+            if text[0] in "[{":
+                try:
+                    payload = json.loads(text)
+                except ValueError as error:
+                    raise ClusterError(
+                        f"malformed cluster-spec JSON: {error}"
+                    ) from error
+            else:
+                payload = [host for host in text.split(",") if host.strip()]
+        if isinstance(payload, (list, tuple)):
+            payload = {"hosts": list(payload)}
+        if not isinstance(payload, dict):
+            raise ClusterError(f"not a cluster spec: {payload!r}")
+        known = {
+            "hosts",
+            "connections_per_host",
+            "connect_timeout_s",
+            "probe_interval_s",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ClusterError(f"unknown cluster-spec fields: {unknown}")
+        if "hosts" not in payload:
+            raise ClusterError("cluster spec is missing 'hosts'")
+        return cls(
+            hosts=tuple(payload["hosts"]),
+            connections_per_host=int(payload.get("connections_per_host", 2)),
+            connect_timeout_s=float(payload.get("connect_timeout_s", 5.0)),
+            probe_interval_s=float(payload.get("probe_interval_s", 1.0)),
+        )
+
+    @classmethod
+    def from_env(cls, variable: str = ENV_CLUSTER) -> Optional["ClusterSpec"]:
+        """The spec described by the environment, or ``None`` when unset.
+
+        Malformed values are ignored with a warning, like every other
+        ``REPRO_*`` knob read at construction time.
+        """
+        raw = os.environ.get(variable)
+        if raw is None or not raw.strip():
+            return None
+        try:
+            return cls.from_spec(raw)
+        except ClusterError:
+            from ..backend.dispatch import _warn_ignored_env
+
+            _warn_ignored_env(
+                variable, raw, "a JSON cluster spec or 'host:port,...' list"
+            )
+            return None
+
+
+def _drain(stream, sink: List[str]) -> None:
+    """Mirror a worker's output into a list (and keep the pipe from filling)."""
+    for line in iter(stream.readline, ""):
+        sink.append(line.rstrip("\n"))
+    stream.close()
+
+
+@dataclass
+class LocalCluster:
+    """Loopback worker subprocesses for tests and benchmarks.
+
+    Spawns ``workers`` copies of ``python -m repro.cluster.worker`` bound
+    to ephemeral ``127.0.0.1`` ports, reads each worker's ``LISTENING``
+    banner to learn the port, and exposes the resulting addresses through
+    :meth:`spec`.  Context-managed::
+
+        with LocalCluster(workers=4) as cluster:
+            backend = ShardedBackend(executor="remote", cluster=cluster.spec())
+
+    ``kill(index)`` hard-kills one worker — the chaos suite's way of
+    taking a host down mid-request.
+    """
+
+    workers: int = 2
+    start_timeout_s: float = 20.0
+    _processes: List[subprocess.Popen] = field(default_factory=list, repr=False)
+    _addresses: List[str] = field(default_factory=list, repr=False)
+    _output: List[List[str]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ClusterError(f"workers must be >= 1, got {self.workers}")
+        try:
+            for _ in range(self.workers):
+                self._spawn()
+        except BaseException:
+            self.close()
+            raise
+
+    @staticmethod
+    def _worker_environment() -> dict:
+        """The subprocess environment: repro importable, no inherited chaos.
+
+        Workers must not inherit the driver's fault plan or cluster spec —
+        injection belongs to the client side of the wire, and a worker
+        that dialled further workers would recurse.
+        """
+        source_root = str(Path(__file__).resolve().parent.parent.parent)
+        environment = dict(os.environ)
+        existing = environment.get("PYTHONPATH")
+        environment["PYTHONPATH"] = (
+            source_root + os.pathsep + existing if existing else source_root
+        )
+        environment.pop("REPRO_FAULTS", None)
+        environment.pop(ENV_CLUSTER, None)
+        return environment
+
+    def _spawn(self) -> None:
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cluster.worker", "--bind", "127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=self._worker_environment(),
+        )
+        self._processes.append(process)
+        lines: List[str] = []
+        self._output.append(lines)
+        banner: List[Optional[str]] = [None]
+        announced_event = threading.Event()
+
+        def wait_for_banner() -> None:
+            # Interpreter noise (runpy warnings, site messages) may precede
+            # the banner on the merged stream; scan until it appears.
+            for line in iter(process.stdout.readline, ""):
+                text = line.strip()
+                if text.startswith(("LISTENING ", "ERROR ")):
+                    banner[0] = text
+                    announced_event.set()
+                    break
+                lines.append(text)
+            else:
+                announced_event.set()
+            _drain(process.stdout, lines)
+
+        reader = threading.Thread(target=wait_for_banner, daemon=True)
+        reader.start()
+        announced_event.wait(self.start_timeout_s)
+        announced = banner[0]
+        if not announced or not announced.startswith("LISTENING "):
+            process.kill()
+            raise ClusterError(
+                f"worker failed to start (banner={announced!r}, "
+                f"output={lines[:5]!r})"
+            )
+        self._addresses.append(announced.split(" ", 1)[1])
+
+    @property
+    def addresses(self) -> Tuple[str, ...]:
+        """The ``host:port`` addresses the live workers bound."""
+        return tuple(self._addresses)
+
+    def spec(self, **overrides) -> ClusterSpec:
+        """A :class:`ClusterSpec` over this cluster's workers."""
+        base = ClusterSpec(hosts=self.addresses)
+        return replace(base, **overrides) if overrides else base
+
+    def kill(self, index: int) -> None:
+        """Hard-kill worker ``index`` (SIGKILL); its address stays listed."""
+        self._processes[index].kill()
+        self._processes[index].wait()
+
+    def output(self, index: int) -> List[str]:
+        """Captured stdout/stderr lines of worker ``index`` (diagnostics)."""
+        return list(self._output[index])
+
+    def close(self) -> None:
+        """Kill every worker and reap the subprocesses."""
+        for process in self._processes:
+            if process.poll() is None:
+                process.kill()
+        for process in self._processes:
+            process.wait()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

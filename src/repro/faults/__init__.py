@@ -4,10 +4,11 @@ Robustness only counts when failure is a *testable input*: this package
 defines seeded, replayable fault plans (:class:`FaultPlan` /
 :class:`FaultRule`) and the named injection sites threaded through the
 sharded compute backend (``shard.submit`` / ``shard.result``), the
-write-ahead log (``wal.append`` / ``wal.commit`` / ``wal.fsync``), the
-snapshot store (``snapshot.replace``), the persistence circuit breaker's
-probe (``persist.probe``) and the gateway worker dispatch
-(``gateway.dispatch``).
+remote-shard wire path (``cluster.connect`` / ``cluster.send`` /
+``cluster.recv``), the write-ahead log (``wal.append`` / ``wal.commit`` /
+``wal.fsync``), the snapshot store (``snapshot.replace``), the
+persistence circuit breaker's probe (``persist.probe``) and the gateway
+worker dispatch (``gateway.dispatch``).
 
 Activate a plan per session with ``SessionConfig(fault_plan=...)``, per
 gateway with ``GatewayConfig(fault_plan=...)``, or process-wide through
@@ -29,6 +30,9 @@ OSError: injected fault at wal.fsync (hit 1)
 
 from .plan import (
     ALL_SITES,
+    CLUSTER_CONNECT,
+    CLUSTER_RECV,
+    CLUSTER_SEND,
     ENV_FAULTS,
     FaultInjected,
     FaultPlan,
@@ -45,6 +49,9 @@ from .plan import (
 
 __all__ = [
     "ALL_SITES",
+    "CLUSTER_CONNECT",
+    "CLUSTER_RECV",
+    "CLUSTER_SEND",
     "ENV_FAULTS",
     "FaultInjected",
     "FaultPlan",

@@ -31,6 +31,9 @@ from typing import Dict, List, Optional, Sequence, Union
 
 __all__ = [
     "ALL_SITES",
+    "CLUSTER_CONNECT",
+    "CLUSTER_RECV",
+    "CLUSTER_SEND",
     "ENV_FAULTS",
     "FaultInjected",
     "FaultPlan",
@@ -53,6 +56,9 @@ ENV_FAULTS = "REPRO_FAULTS"
 # open — but these are the ones the shipped components fire.
 SHARD_SUBMIT = "shard.submit"
 SHARD_RESULT = "shard.result"
+CLUSTER_CONNECT = "cluster.connect"
+CLUSTER_SEND = "cluster.send"
+CLUSTER_RECV = "cluster.recv"
 WAL_APPEND = "wal.append"
 WAL_COMMIT = "wal.commit"
 WAL_FSYNC = "wal.fsync"
@@ -64,6 +70,9 @@ GATEWAY_DISPATCH = "gateway.dispatch"
 ALL_SITES = (
     SHARD_SUBMIT,
     SHARD_RESULT,
+    CLUSTER_CONNECT,
+    CLUSTER_SEND,
+    CLUSTER_RECV,
     WAL_APPEND,
     WAL_COMMIT,
     WAL_FSYNC,

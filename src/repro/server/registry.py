@@ -287,6 +287,46 @@ class SessionRegistry:
             "degraded_sessions": sorted(degraded),
         }
 
+    def cluster_health(self) -> dict:
+        """Aggregate remote-shard cluster state across tenants (``/healthz``).
+
+        ``disabled`` when no live session fans out to a cluster, ``ok``
+        when every host every clustered tenant talks to is ``up``, and
+        ``degraded`` otherwise — with a merged per-host table
+        (worst-state-wins across tenants) so the operator sees *which*
+        worker is suspect or down.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        clustered = 0
+        hosts: dict = {}
+        severity = {"up": 0, "suspect": 1, "down": 2}
+        for entry in entries:
+            backend = getattr(entry.session, "_backend", None)
+            health = getattr(backend, "cluster_health", None)
+            health = health() if callable(health) else None
+            if health is None:
+                continue
+            clustered += 1
+            for address, row in health.items():
+                known = hosts.get(address)
+                if known is None or (
+                    severity.get(row["state"], 2)
+                    > severity.get(known["state"], 2)
+                ):
+                    hosts[address] = dict(row)
+        if clustered == 0:
+            status = "disabled"
+        elif all(row["state"] == "up" for row in hosts.values()):
+            status = "ok"
+        else:
+            status = "degraded"
+        return {
+            "status": status,
+            "clustered_sessions": clustered,
+            "hosts": {address: hosts[address] for address in sorted(hosts)},
+        }
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #

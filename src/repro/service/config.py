@@ -87,6 +87,13 @@ class SessionConfig:
         threshold in milliseconds (``0`` disables hedging).  Defaults:
         ``REPRO_SHARD_RETRIES`` / ``REPRO_SHARD_HEDGE_MS`` and then the
         backend's own defaults.
+    cluster:
+        Worker hosts for distributed shard execution — a
+        :class:`~repro.cluster.ClusterSpec` or anything its ``from_spec``
+        accepts (``"host:port,host:port"``, a spec dict).  Setting it
+        implies ``shard_executor="remote"``; a remote executor without it
+        reads ``REPRO_CLUSTER``.  Only meaningful with
+        ``backend="sharded"``.
     fault_plan:
         Optional :class:`repro.faults.FaultPlan` (or its ``spec()``
         dict/JSON) injected into the session's backend and persister for
@@ -139,6 +146,7 @@ class SessionConfig:
     shard_min_population: Optional[int] = None
     shard_retries: Optional[int] = None
     shard_hedge_ms: Optional[float] = None
+    cluster: Optional[object] = None
     fault_plan: Optional[FaultPlan] = None
     cache_entries: Optional[int] = None
     cache_cells: Optional[int] = None
@@ -216,16 +224,18 @@ class SessionConfig:
             )
         elif self.shards < 1:
             raise ServiceError(f"shards must be >= 1, got {self.shards}")
+        explicit_executor = self.shard_executor is not None
         if self.shard_executor is None:
             executor = os.environ.get(ENV_EXECUTOR, "thread")
-            if executor not in ("thread", "process"):
+            if executor not in ("thread", "process", "remote"):
                 executor = "thread"
             _frozen_set(self, "shard_executor", executor)
-        elif self.shard_executor not in ("thread", "process"):
+        elif self.shard_executor not in ("thread", "process", "remote"):
             raise ServiceError(
-                f"shard_executor must be 'thread' or 'process', "
+                f"shard_executor must be 'thread', 'process' or 'remote', "
                 f"got {self.shard_executor!r}"
             )
+        self._resolve_cluster(explicit_executor)
         if self.shard_min_population is None:
             value = _env_int(ENV_MIN_POPULATION, minimum=0)
             _frozen_set(
@@ -258,6 +268,48 @@ class SessionConfig:
                 f"shard_hedge_ms must be >= 0, got {self.shard_hedge_ms}"
             )
         self._resolve_fault_plan()
+
+    def _resolve_cluster(self, explicit_executor: bool) -> None:
+        """Normalise the cluster field and couple it to the executor kind.
+
+        ``cluster=...`` alone implies ``shard_executor="remote"`` — the
+        spec is useless otherwise — while an explicit *local* executor next
+        to a cluster is a contradiction and fails fast.  A remote executor
+        without a cluster falls back to ``REPRO_CLUSTER``; if that is unset
+        too, an explicit choice raises and an environment-driven one
+        degrades to ``thread`` like every other malformed knob.
+        """
+        from ..cluster import ClusterError, ClusterSpec
+
+        if self.cluster is not None:
+            try:
+                _frozen_set(self, "cluster", ClusterSpec.from_spec(self.cluster))
+            except ClusterError as error:
+                raise ServiceError(f"invalid cluster: {error}") from error
+            if self.shard_executor != "remote":
+                if explicit_executor:
+                    raise ServiceError(
+                        f"cluster= requires shard_executor='remote', "
+                        f"got {self.shard_executor!r}"
+                    )
+                _frozen_set(self, "shard_executor", "remote")
+        elif self.shard_executor == "remote":
+            cluster = ClusterSpec.from_env()
+            if cluster is not None:
+                _frozen_set(self, "cluster", cluster)
+            elif explicit_executor:
+                raise ServiceError(
+                    "shard_executor='remote' needs a cluster "
+                    "(pass cluster=... or set REPRO_CLUSTER)"
+                )
+            else:
+                from ..backend.dispatch import _warn_ignored_env
+                from ..backend.sharded import ENV_EXECUTOR
+
+                _warn_ignored_env(
+                    ENV_EXECUTOR, "remote", "'remote' with REPRO_CLUSTER set"
+                )
+                _frozen_set(self, "shard_executor", "thread")
 
     def _resolve_fault_plan(self) -> None:
         plan = self.fault_plan
@@ -324,6 +376,8 @@ class SessionConfig:
                 }
             elif spec.name == "fault_plan":
                 value = value.spec() if isinstance(value, FaultPlan) else None
+            elif spec.name == "cluster" and value is not None:
+                value = value.spec()
             elif isinstance(value, tuple):
                 value = list(value)
             payload[spec.name] = value

@@ -188,6 +188,7 @@ class FlexSession:
                 retries=config.shard_retries,
                 hedge_ms=config.shard_hedge_ms,
                 faults=config.fault_plan,
+                cluster=config.cluster,
             )
         return get_backend(config.backend)
 
@@ -490,6 +491,11 @@ class FlexSession:
         resilience = getattr(self._backend, "resilience_stats", None)
         if callable(resilience):
             payload["resilience"] = resilience()
+        cluster_health = getattr(self._backend, "cluster_health", None)
+        if callable(cluster_health):
+            health = cluster_health()
+            if health is not None:
+                payload["cluster"] = health
         if self.config.fault_plan is not None:
             payload["faults"] = self.config.fault_plan.stats()
         if self._persister is not None:

@@ -1,0 +1,70 @@
+"""Shared fixtures for the cluster suite.
+
+Most tests run against *in-process* :class:`~repro.cluster.WorkerServer`
+instances on loopback sockets: every byte still travels the real frame
+protocol, but both sides execute under coverage and nothing forks.  The
+chaos/subprocess tests that genuinely need a killable worker process build
+their own :class:`~repro.cluster.LocalCluster` instead.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.cluster import ClusterSpec, WorkerServer
+from repro.core import FlexOffer
+
+
+def start_worker() -> tuple[WorkerServer, threading.Thread]:
+    """One in-process worker serving on an ephemeral loopback port."""
+    server = WorkerServer()
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(announce=False), daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def build_population(size: int, seed: int = 0) -> list[FlexOffer]:
+    """A small deterministic mixed population (the service-suite recipe)."""
+    rng = random.Random(seed)
+    offers = []
+    for index in range(size):
+        earliest = rng.randrange(0, 8)
+        slices = [(1, 1 + rng.randint(0, 3))]
+        if rng.random() < 0.5:
+            slices.append((0, rng.randint(1, 3)))
+        offers.append(
+            FlexOffer(
+                earliest,
+                earliest + rng.randint(0, 3),
+                slices,
+                name=f"o{index}",
+            )
+        )
+    return offers
+
+
+@pytest.fixture(scope="package")
+def workers():
+    """Three long-lived in-process workers shared by non-destructive tests."""
+    started = [start_worker() for _ in range(3)]
+    yield [server for server, _ in started]
+    for server, thread in started:
+        server.stop()
+        thread.join(timeout=5)
+
+
+@pytest.fixture(scope="package")
+def cluster_spec(workers) -> ClusterSpec:
+    """A spec over the shared in-process workers."""
+    return ClusterSpec(hosts=tuple(server.address for server in workers))
+
+
+@pytest.fixture(scope="session")
+def population():
+    """The population builder, as a fixture so tests share one recipe."""
+    return build_population

@@ -1,0 +1,202 @@
+"""ShardedBackend over the remote executor: differential equality with the
+reference backend, partial-failure recovery, hedging, and the serving path
+(session stats, gateway ``/healthz``)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.backend import ShardedBackend, get_backend
+from repro.cluster import ClusterSpec
+from repro.faults import CLUSTER_SEND, FaultPlan, FaultRule
+from repro.measures import evaluate_set, get_measure
+from repro.server import Gateway, GatewayConfig
+from repro.service import FlexSession, SessionConfig
+
+from test_executor import dead_host
+
+
+@pytest.fixture
+def backend(cluster_spec):
+    instance = ShardedBackend(
+        shards=3, executor="remote", min_population=1, cluster=cluster_spec
+    )
+    yield instance
+    instance.close()
+
+
+class TestDifferential:
+    def test_measure_values_are_bit_identical(self, backend, population):
+        offers = population(300)
+        for key in ("time", "energy", "product", "vector", "series"):
+            measure = get_measure(key)
+            expected = get_backend("reference").measure_values(measure, offers)
+            assert backend.measure_values(measure, offers) == expected
+
+    def test_evaluate_set_reports_are_bit_identical(self, backend, population):
+        offers = population(200)
+        from repro.backend import use_backend
+
+        with use_backend("reference"):
+            expected = evaluate_set(offers)
+        with use_backend(backend):
+            actual = evaluate_set(offers)
+        assert actual.values == expected.values
+        assert actual.skipped == expected.skipped
+
+    def test_error_parity_with_the_reference_backend(self, backend):
+        # relative_area cannot evaluate offers pinned to zero energy; the
+        # remote path must surface the same exception class.
+        from repro.core import FlexOffer, MeasureError
+
+        offers = [FlexOffer(0, 1, [(0, 0)], 0, 0, name="pinned")]
+        measure = get_measure("relative_area")
+        with pytest.raises(MeasureError) as reference_error:
+            get_backend("reference").measure_values(measure, offers)
+        with pytest.raises(MeasureError) as remote_error:
+            backend.measure_values(measure, offers)
+        assert type(remote_error.value) is type(reference_error.value)
+
+    def test_repeat_evaluations_reuse_interned_chunks(self, backend, population):
+        offers = population(400)
+        measure = get_measure("time")
+        first = backend.measure_values(measure, offers)
+        assert backend.measure_values(measure, offers) == first
+        pool = backend._pool
+        stats = pool.stats()
+        assert stats["ref_hits"] >= 1
+        assert stats["shipped_offers"] < stats["dispatched"] * len(offers)
+
+    def test_cluster_health_reports_every_host(self, backend, population):
+        backend.measure_values(get_measure("time"), population(60))
+        health = backend.cluster_health()
+        assert set(health) == set(backend.cluster.hosts)
+        assert all(row["state"] == "up" for row in health.values())
+        assert sum(row["dispatched"] for row in health.values()) >= 3
+
+
+class TestResilience:
+    def test_host_unavailable_recovers_without_a_pool_rebuild(
+        self, workers, population
+    ):
+        spec = ClusterSpec(
+            hosts=(dead_host(),), connect_timeout_s=0.5, probe_interval_s=30.0
+        )
+        backend = ShardedBackend(
+            shards=2, executor="remote", min_population=1, retries=1,
+            cluster=spec, retry_backoff_s=0.0,
+        )
+        try:
+            from repro.core.errors import BackendError
+
+            pool = backend._executor()
+            with pytest.raises(BackendError, match="failed after 2 attempt"):
+                backend.measure_values(get_measure("time"), population(40))
+            assert backend.partial_recoveries >= 1
+            assert backend.resilience_stats()["partial_recoveries"] >= 1
+            # The executor was retried in place, never torn down.
+            assert backend._pool is pool
+        finally:
+            backend.close()
+
+    def test_hedging_covers_a_slow_remote_shard(self, cluster_spec, population):
+        # One delayed send: the straggler sleeps, the hedge wins, and the
+        # result is still bit-identical.
+        plan = FaultPlan(
+            [FaultRule(CLUSTER_SEND, action="delay", delay_s=0.6, count=1)]
+        )
+        backend = ShardedBackend(
+            shards=2, executor="remote", min_population=1,
+            cluster=cluster_spec, hedge_ms=40.0, faults=plan,
+        )
+        try:
+            offers = population(80)
+            measure = get_measure("time")
+            expected = get_backend("reference").measure_values(measure, offers)
+            assert backend.measure_values(measure, offers) == expected
+            assert backend.hedges >= 1
+            assert backend.hedge_wins >= 1
+        finally:
+            backend.close()
+
+
+class TestServingPath:
+    def test_session_stats_expose_the_cluster_table(self, cluster_spec, population):
+        config = SessionConfig(
+            backend="sharded", shards=2, shard_min_population=1,
+            cluster=cluster_spec,
+        )
+        assert config.shard_executor == "remote"
+        with FlexSession(config) as session:
+            session.ingest(population(120))
+            session.evaluate()
+            stats = session.stats()
+        assert set(stats["cluster"]) == set(cluster_spec.hosts)
+        assert all(row["state"] == "up" for row in stats["cluster"].values())
+
+    def test_local_sessions_report_no_cluster_block(self, population):
+        with FlexSession(SessionConfig(backend="reference")) as session:
+            session.ingest(population(10))
+            session.evaluate()
+            assert "cluster" not in session.stats()
+
+    def test_gateway_healthz_aggregates_per_host_states(
+        self, cluster_spec, population
+    ):
+        config = SessionConfig(
+            backend="sharded", shards=2, shard_min_population=1,
+            cluster=cluster_spec,
+        )
+        gateway = Gateway(GatewayConfig(session_defaults=config))
+        try:
+
+            async def drive():
+                session = gateway.registry.create("tenant-1")
+                session.ingest(population(60))
+                session.evaluate()
+                return gateway.stats()
+
+            stats = asyncio.run(drive())
+            assert stats["components"]["cluster"] == "ok"
+            assert stats["cluster"]["status"] == "ok"
+            assert stats["cluster"]["clustered_sessions"] == 1
+            assert set(stats["cluster"]["hosts"]) == set(cluster_spec.hosts)
+        finally:
+            gateway.close()
+
+    def test_gateway_without_clustered_sessions_reports_disabled(self):
+        gateway = Gateway(GatewayConfig())
+        try:
+            stats = gateway.stats()
+            assert stats["components"]["cluster"] == "disabled"
+            assert stats["cluster"]["clustered_sessions"] == 0
+            # "disabled" must not fail /healthz (mirrors persistence).
+        finally:
+            gateway.close()
+
+    def test_worst_host_state_wins_in_the_merge(self, workers, population):
+        spec = ClusterSpec(
+            hosts=(workers[0].address, dead_host()),
+            connect_timeout_s=0.5, probe_interval_s=30.0,
+        )
+        config = SessionConfig(
+            backend="sharded", shards=2, shard_min_population=1, cluster=spec
+        )
+        gateway = Gateway(GatewayConfig(session_defaults=config))
+        try:
+
+            async def drive():
+                session = gateway.registry.create("tenant-1")
+                session.ingest(population(60))
+                session.evaluate()  # succeeds via the live host
+                return gateway.stats()
+
+            stats = asyncio.run(drive())
+            assert stats["cluster"]["status"] == "degraded"
+            assert stats["components"]["cluster"] == "degraded"
+            down = stats["cluster"]["hosts"][spec.hosts[1]]
+            assert down["state"] == "down"
+        finally:
+            gateway.close()

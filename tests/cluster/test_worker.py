@@ -1,0 +1,270 @@
+"""The worker's frame loop, exercised with a raw protocol client.
+
+The server under test is a real :class:`~repro.cluster.WorkerServer`
+accepting on a loopback socket inside this process, so both sides of the
+protocol run under coverage; the tests speak frames directly to pin the
+wire contract independent of the executor.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from conftest import start_worker
+from repro.cluster import WorkerServer, recv_frame, send_frame
+from repro.cluster.framing import PROTOCOL_VERSION, ShardRef, shard_key
+from repro.cluster.worker import main, resolve_function
+from repro.measures import get_measure
+
+
+def dial(server, version=PROTOCOL_VERSION):
+    """A connected client socket, handshake already replied to."""
+    host, _, port = server.address.rpartition(":")
+    sock = socket.create_connection((host, int(port)), timeout=10)
+    send_frame(sock, {"op": "hello", "version": version})
+    return sock, recv_frame(sock)
+
+
+@pytest.fixture
+def worker():
+    server, thread = start_worker()
+    yield server
+    server.stop()
+    thread.join(timeout=5)
+
+
+@pytest.fixture
+def client(worker):
+    sock, welcome = dial(worker)
+    assert welcome["op"] == "welcome"
+    yield worker, sock
+    sock.close()
+
+
+class TestResolveFunction:
+    def test_resolves_repro_callables(self):
+        function = resolve_function("repro.backend.sharded:_shard_values_outcome")
+        assert callable(function)
+
+    @pytest.mark.parametrize(
+        "name, match",
+        [
+            ("no-separator", "not 'module:attribute'"),
+            ("repro.core:", "not 'module:attribute'"),
+            ("os:system", "non-repro module"),
+            ("reprox.evil:fn", "non-repro module"),
+            ("repro.core:not_a_thing", "does not resolve"),
+            ("repro.core:FlexError.__doc__", "does not resolve"),
+        ],
+    )
+    def test_refuses_everything_else(self, name, match):
+        # The wire must not be a generic remote-code-execution endpoint.
+        with pytest.raises(ValueError, match=match):
+            resolve_function(name)
+
+
+class TestHandshake:
+    def test_welcome_carries_version_and_pid(self, worker):
+        sock, welcome = dial(worker)
+        assert welcome == {
+            "op": "welcome",
+            "version": PROTOCOL_VERSION,
+            "pid": worker.pid,
+        }
+        sock.close()
+
+    def test_version_skew_fails_loudly_and_closes(self, worker):
+        sock, reply = dial(worker, version=999)
+        assert reply["op"] == "error"
+        assert "unsupported" in reply["reason"]
+        assert recv_frame(sock) is None  # the worker hung up
+        sock.close()
+
+
+class TestOperations:
+    def test_ping_pong(self, client):
+        _, sock = client
+        send_frame(sock, {"op": "ping"})
+        assert recv_frame(sock) == {"op": "pong"}
+
+    def test_unknown_operation_errors_and_closes(self, client):
+        _, sock = client
+        send_frame(sock, {"op": "launch-missiles"})
+        reply = recv_frame(sock)
+        assert reply["op"] == "error"
+        assert "unknown operation" in reply["reason"]
+        assert recv_frame(sock) is None
+
+    def test_a_torn_client_frame_ends_only_that_connection(self, worker):
+        sock, _ = dial(worker)
+        sock.sendall(b"\xff\xff\xff\xff\x00\x00\x00\x00")  # implausible header
+        assert recv_frame(sock) in (None, {})  # worker drops the stream
+        sock.close()
+        # The worker still serves fresh connections.
+        again, welcome = dial(worker)
+        assert welcome["op"] == "welcome"
+        again.close()
+
+    def test_stats_reports_the_counters(self, client, population):
+        worker, sock = client
+        offers = population(6)
+        key = shard_key(offers)
+        task = {
+            "op": "task",
+            "id": 1,
+            "fn": "repro.backend.sharded:_shard_values_outcome",
+            "args": ["reference", get_measure("time"), ShardRef(key)],
+            "ship": {key: offers},
+        }
+        send_frame(sock, task, pickled=True)
+        assert recv_frame(sock)["ok"]
+        send_frame(sock, {"op": "stats"})
+        stats = recv_frame(sock)
+        assert stats["op"] == "stats"
+        assert stats["tasks"] == 1
+        assert stats["shipped_keys"] == 1
+        assert stats["cached_keys"] == 1
+
+    def test_shutdown_stops_the_whole_worker(self):
+        server, thread = start_worker()
+        sock, _ = dial(server)
+        send_frame(sock, {"op": "shutdown"})
+        assert recv_frame(sock) == {"op": "bye"}
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        sock.close()
+
+
+class TestTasks:
+    def test_ship_once_reference_ever_after(self, client, population):
+        worker, sock = client
+        offers = population(8)
+        key = shard_key(offers)
+        measure = get_measure("time")
+        expected = ("ok", [measure.value(offer) for offer in offers])
+
+        shipped = {
+            "op": "task",
+            "id": 1,
+            "fn": "repro.backend.sharded:_shard_values_outcome",
+            "args": ["reference", measure, ShardRef(key)],
+            "ship": {key: offers},
+        }
+        send_frame(sock, shipped, pickled=True)
+        reply = recv_frame(sock)
+        assert reply == {"op": "result", "id": 1, "ok": True, "value": expected}
+
+        by_reference = dict(shipped, id=2, ship={})
+        send_frame(sock, by_reference, pickled=True)
+        assert recv_frame(sock)["value"] == expected
+        assert worker.ref_hits == 1
+
+    def test_unknown_refs_answer_with_the_missing_keys(self, client, population):
+        _, sock = client
+        offers = population(4)
+        key = shard_key(offers)
+        send_frame(
+            sock,
+            {
+                "op": "task",
+                "id": 7,
+                "fn": "repro.backend.sharded:_shard_values_outcome",
+                "args": ["reference", get_measure("time"), ShardRef(key)],
+                "ship": {},
+            },
+            pickled=True,
+        )
+        reply = recv_frame(sock)
+        assert reply == {"op": "result", "id": 7, "ok": False, "missing": [key]}
+
+    def test_the_ref_cache_is_per_connection(self, worker, population):
+        offers = population(4)
+        key = shard_key(offers)
+        first, _ = dial(worker)
+        send_frame(
+            first,
+            {"op": "task", "id": 1, "fn": "repro.core:flexoffer_area",
+             "args": [ShardRef(key)], "ship": {key: offers}},
+            pickled=True,
+        )
+        recv_frame(first)
+        second, _ = dial(worker)
+        send_frame(
+            second,
+            {"op": "task", "id": 1, "fn": "repro.core:flexoffer_area",
+             "args": [ShardRef(key)], "ship": {}},
+            pickled=True,
+        )
+        assert recv_frame(second)["missing"] == [key]
+        first.close()
+        second.close()
+
+    def test_application_exceptions_travel_back_typed(self, client):
+        _, sock = client
+        send_frame(
+            sock,
+            {
+                "op": "task",
+                "id": 3,
+                # flexoffer_area on a non-offer raises inside the function.
+                "fn": "repro.core:flexoffer_area",
+                "args": ["not-a-flex-offer"],
+                "ship": {},
+            },
+            pickled=True,
+        )
+        reply = recv_frame(sock)
+        assert reply["ok"] is False
+        assert isinstance(reply["error"], AttributeError)
+        assert "flexoffer_area" in reply["traceback"]
+
+    def test_refused_function_names_are_typed_errors_too(self, client):
+        _, sock = client
+        send_frame(
+            sock,
+            {"op": "task", "id": 4, "fn": "os:system", "args": [], "ship": {}},
+            pickled=True,
+        )
+        reply = recv_frame(sock)
+        assert reply["ok"] is False
+        assert isinstance(reply["error"], ValueError)
+
+    def test_unpicklable_results_degrade_to_typed_error_frames(self, client):
+        _, sock = client
+        send_frame(
+            sock,
+            {
+                "op": "task",
+                "id": 5,
+                # Returns a live backend instance full of locks and pools.
+                "fn": "repro.backend.dispatch:get_backend",
+                "args": ["sharded"],
+                "ship": {},
+            },
+            pickled=True,
+        )
+        reply = recv_frame(sock)
+        assert reply["ok"] is False
+        assert isinstance(reply["error"], ValueError)
+        assert "not picklable" in str(reply["error"])
+
+
+class TestEntryPoint:
+    def test_bad_bind_is_a_value_error(self):
+        with pytest.raises(ValueError, match="not 'host:port'"):
+            WorkerServer(bind="nonsense")
+
+    def test_main_reports_bind_failures(self, capsys):
+        assert main(["--bind", "nonsense"]) == 2
+        assert capsys.readouterr().out.startswith("ERROR ")
+
+    def test_main_reports_unbindable_ports(self, capsys, worker):
+        # The shared worker already owns this port.
+        assert main(["--bind", worker.address]) == 2
+        assert capsys.readouterr().out.startswith("ERROR ")
+
+    def test_stop_is_idempotent(self, worker):
+        worker.stop()
+        worker.stop()

@@ -26,6 +26,12 @@ Usage::
 Requests rejected with 429 are retried after the server's ``Retry-After``
 hint (counted in the summary); any other non-2xx is a hard failure.
 
+``--cluster HOST:PORT,...`` points every tenant session's sharded backend
+at remote shard workers (start them with ``python -m repro.cluster.worker``
+or :class:`repro.cluster.LocalCluster`); the summary then includes the
+per-host dispatch counts from the gateway's merged cluster health block,
+showing how the tenants' shards spread across the fleet.
+
 ``--fault-rate P`` arms the gateway's deterministic fault plane with two
 probabilistic ``gateway.dispatch`` rules — half the budget surfaces as a
 typed 429 (``SaturatedError``, which must carry a ``Retry-After`` hint),
@@ -152,20 +158,26 @@ async def _drive_tenant(
     index: int,
     requests: int,
     offers_per_tenant: int,
-    backend: str,
+    session_config: Optional[dict],
     latencies_ms: List[float],
     counters: dict,
     max_retries: int = 50,
 ) -> None:
-    """One tenant's closed loop: create the session, run the mix, evict."""
+    """One tenant's closed loop: create the session, run the mix, evict.
+
+    ``session_config`` of ``None`` creates the session with no explicit
+    config, so the gateway's ``session_defaults`` apply (the cluster mode
+    relies on this: an explicit payload would *replace* the defaults and
+    drop the cluster spec).
+    """
     client: GatewayClient = await client_factory()
     name = f"tenant-{index}"
     try:
-        response = await client.create_session(name, {"backend": backend})
+        response = await client.create_session(name, session_config)
         while response.status == 429 and counters["retries"] < 10**6:
             counters["retries"] += 1
             await asyncio.sleep(response.retry_after or 0.01)
-            response = await client.create_session(name, {"backend": backend})
+            response = await client.create_session(name, session_config)
         if response.status != 201:
             counters["failures"] += 1
             return
@@ -222,6 +234,7 @@ async def run_load(
     access_log=None,
     fault_rate: float = 0.0,
     fault_seed: int = 0,
+    cluster: Optional[str] = None,
 ) -> dict:
     """Run the mixed-traffic load and return the latency/throughput summary.
 
@@ -244,6 +257,24 @@ async def run_load(
     external = host is not None and port is not None
     if fault_rate and external:
         raise ValueError("--fault-rate needs an in-process gateway")
+    if cluster and external:
+        raise ValueError("--cluster needs an in-process gateway")
+
+    if cluster:
+        # Every tenant session fans its shards out to the named remote
+        # workers; tiny shard counts keep per-tenant populations sharded
+        # rather than delegated whole to the inner backend.
+        from repro.cluster import ClusterSpec
+
+        backend = "sharded"
+        session_defaults = SessionConfig(
+            backend=backend,
+            shards=2,
+            shard_min_population=1,
+            cluster=ClusterSpec.from_spec(cluster),
+        )
+    else:
+        session_defaults = SessionConfig(backend=backend)
 
     gateway = None
     server = None
@@ -255,7 +286,7 @@ async def run_load(
             max_pending=tenants + 64 if max_pending is None else max_pending,
             session_queue_depth=session_queue_depth,
             request_timeout_s=request_timeout_s,
-            session_defaults=SessionConfig(backend=backend),
+            session_defaults=session_defaults,
             access_log=access_log,
             fault_plan=fault_plan(fault_rate, fault_seed) if fault_rate else None,
         )
@@ -285,7 +316,7 @@ async def run_load(
                     index,
                     requests,
                     offers_per_tenant,
-                    backend,
+                    None if cluster else {"backend": backend},
                     latencies_ms,
                     counters,
                 )
@@ -301,6 +332,10 @@ async def run_load(
             gateway.close()
 
     latencies_ms.sort()
+    cluster_hosts = {
+        host: row.get("dispatched", 0)
+        for host, row in gateway_stats.get("cluster", {}).get("hosts", {}).items()
+    }
     return {
         "tenants": tenants,
         "requests_per_tenant": requests,
@@ -319,6 +354,8 @@ async def run_load(
         "p95_ms": percentile(latencies_ms, 0.95),
         "p99_ms": percentile(latencies_ms, 0.99),
         "max_ms": latencies_ms[-1] if latencies_ms else float("nan"),
+        "cluster": cluster or None,
+        "cluster_dispatch": cluster_hosts,
         "gateway": gateway_stats,
     }
 
@@ -338,6 +375,12 @@ def format_summary(summary: dict) -> str:
             f"{summary['injected_5xx']} injected 5xx, "
             f"{summary['missing_retry_after']} missing Retry-After)",
         ]
+    if summary.get("cluster_dispatch"):
+        dispatch = "   ".join(
+            f"{host} {count}"
+            for host, count in sorted(summary["cluster_dispatch"].items())
+        )
+        lines += [f"cluster dispatch   {dispatch}"]
     lines += [
         f"elapsed            {summary['elapsed_s']:.2f} s",
         f"throughput         {summary['rps']:.0f} req/s",
@@ -381,6 +424,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fault-seed", type=int, default=0, help="fault plan RNG seed"
     )
     parser.add_argument(
+        "--cluster",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="remote shard worker addresses; every tenant session uses the "
+        "sharded backend over this cluster and the summary reports "
+        "per-host dispatch counts",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
     )
     args = parser.parse_args(argv)
@@ -400,6 +451,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             access_log=args.access_log,
             fault_rate=args.fault_rate,
             fault_seed=args.fault_seed,
+            cluster=args.cluster,
         )
     )
     if args.json:
